@@ -1,0 +1,100 @@
+package wasmdb_test
+
+import (
+	"strings"
+	"testing"
+
+	"wasmdb"
+)
+
+func TestAPIValueAccessors(t *testing.T) {
+	db := wasmdb.Open()
+	if err := db.Exec(`CREATE TABLE v (i INT, b BIGINT, f DOUBLE, d DECIMAL(8,2), dt DATE, s CHAR(5), ok BOOLEAN)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`INSERT INTO v VALUES (7, 900000000000, 2.5, 12.34, DATE '2001-02-03', 'abc', TRUE)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT i, b, f, d, dt, s, ok FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows: %d", res.NumRows())
+	}
+	if got := res.Value(0, 0).(int64); got != 7 {
+		t.Errorf("int: %v", got)
+	}
+	if got := res.Value(0, 1).(int64); got != 900000000000 {
+		t.Errorf("bigint: %v", got)
+	}
+	if got := res.Value(0, 2).(float64); got != 2.5 {
+		t.Errorf("double: %v", got)
+	}
+	if got := res.Value(0, 3).(float64); got != 12.34 {
+		t.Errorf("decimal: %v", got)
+	}
+	if got := res.Value(0, 4).(string); got != "2001-02-03" {
+		t.Errorf("date: %v", got)
+	}
+	if got := res.Value(0, 5).(string); got != "abc" {
+		t.Errorf("char: %v", got)
+	}
+	if got := res.Value(0, 6).(bool); !got {
+		t.Errorf("bool: %v", got)
+	}
+	if !strings.Contains(res.Format(), "2001-02-03") {
+		t.Error("Format output")
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	db := wasmdb.Open()
+	if err := db.Exec("CREATE TABLE e (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"SELECT b FROM e",                 // unknown column
+		"SELECT a FROM missing",           // unknown table
+		"SELECT a FROM",                   // parse error
+		"SELECT a FROM e HAVING a > 1",    // unsupported clause
+		"SELECT a, COUNT(*) FROM e",       // non-grouped column
+		"SELECT SUM(a) FROM e WHERE SUM(a) > 0", // aggregate in WHERE
+	}
+	for _, src := range cases {
+		if _, err := db.Query(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+	if err := db.Exec("SELECT a FROM e"); err == nil {
+		t.Error("Exec accepted a SELECT")
+	}
+	if err := db.Exec("CREATE TABLE e (a INT)"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := db.Exec("INSERT INTO e VALUES (1, 2)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Exec("INSERT INTO e VALUES ('x')"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, ok := wasmdb.TPCHQuery("Q99"); ok {
+		t.Error("unknown TPC-H query found")
+	}
+}
+
+func TestBackendStringNames(t *testing.T) {
+	names := map[wasmdb.Backend]string{
+		wasmdb.BackendWasm:         "wasm-adaptive",
+		wasmdb.BackendWasmLiftoff:  "wasm-liftoff",
+		wasmdb.BackendWasmTurbofan: "wasm-turbofan",
+		wasmdb.BackendHyperLike:    "hyper-like",
+		wasmdb.BackendVectorized:   "vectorized",
+		wasmdb.BackendVolcano:      "volcano",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%d: %q", b, b.String())
+		}
+	}
+}

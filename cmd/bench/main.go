@@ -1,0 +1,118 @@
+// Command bench regenerates the paper's tables and figures (§8) and the
+// ablation studies. Each experiment prints one aligned table (or CSV with
+// -csv) with one series per system.
+//
+// Usage:
+//
+//	bench -experiment fig6a
+//	bench -experiment all -rows 1000000 -sf 0.05
+//	bench -experiment fig10 -sf 0.1
+//	bench -experiment fig6a,fig6c -systems mutable,vectorized -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wasmdb/internal/experiments"
+	"wasmdb/internal/harness"
+)
+
+var allExperiments = []string{
+	"fig1", "fig6a", "fig6b", "fig6c", "fig6d",
+	"fig7a", "fig7b", "fig7c", "fig7d",
+	"fig8a", "fig8b", "fig9", "fig10",
+	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(allExperiments, ", ")+")")
+		rows       = flag.Int("rows", 1_000_000, "rows for the micro-benchmarks (the paper uses 10000000)")
+		reps       = flag.Int("reps", harness.Reps, "repetitions per measurement (median is reported)")
+		sf         = flag.Float64("sf", 0.05, "TPC-H scale factor (the paper uses 1.0)")
+		systems    = flag.String("systems", strings.Join(experiments.DefaultSystems, ","), "systems to measure")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		full       = flag.Bool("full", false, "paper-scale settings (10M rows, SF 0.5) — slow on the VM substrate")
+	)
+	flag.Parse()
+
+	if *full {
+		*rows = 10_000_000
+		*sf = 0.5
+	}
+	opts := experiments.Options{
+		Rows:    *rows,
+		Reps:    *reps,
+		SF:      *sf,
+		Systems: strings.Split(*systems, ","),
+		Out:     os.Stdout,
+	}
+
+	ids := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		ids = allExperiments
+	}
+	render := func(f *harness.Figure) {
+		if *csv {
+			f.RenderCSV(os.Stdout)
+		} else {
+			f.Render(os.Stdout)
+		}
+	}
+	for _, id := range ids {
+		switch strings.TrimSpace(id) {
+		case "fig1":
+			if err := experiments.Fig1(opts, os.Stdout); err != nil {
+				fail(err)
+			}
+		case "fig6a":
+			render(experiments.Fig6a(opts))
+		case "fig6b":
+			render(experiments.Fig6b(opts))
+		case "fig6c":
+			render(experiments.Fig6c(opts))
+		case "fig6d":
+			render(experiments.Fig6d(opts))
+		case "fig7a":
+			render(experiments.Fig7a(opts))
+		case "fig7b":
+			render(experiments.Fig7b(opts))
+		case "fig7c":
+			render(experiments.Fig7c(opts))
+		case "fig7d":
+			render(experiments.Fig7d(opts))
+		case "fig8a":
+			render(experiments.Fig8a(opts))
+		case "fig8b":
+			render(experiments.Fig8b(opts))
+		case "fig9":
+			for _, f := range experiments.Fig9(opts) {
+				render(f)
+			}
+		case "fig10":
+			if err := experiments.Fig10(opts, os.Stdout); err != nil {
+				fail(err)
+			}
+		case "abl-ht":
+			render(experiments.AblationHashTable(opts))
+		case "abl-sort":
+			render(experiments.AblationSort(opts))
+		case "abl-rewire":
+			experiments.AblationRewiring(opts, os.Stdout)
+		case "abl-tier":
+			if err := experiments.AblationTiers(opts, os.Stdout); err != nil {
+				fail(err)
+			}
+		default:
+			fail(fmt.Errorf("unknown experiment %q", id))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command wasmdb is an interactive SQL shell over the wasmdb engine.
+//
+//	wasmdb                 # empty database
+//	wasmdb -tpch 0.01      # preloaded with TPC-H at the given scale factor
+//
+// Meta commands:
+//
+//	\backend <name>   switch execution backend (wasm, liftoff, turbofan,
+//	                  hyper, vectorized, volcano)
+//	\explain <sql>    show the plan and pipeline dissection
+//	\wat <sql>        dump the generated WebAssembly (text form)
+//	\timing           toggle per-query phase timings
+//	\tpch <id>        run a built-in TPC-H query (Q1, Q3, Q6, Q12, Q14)
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wasmdb"
+)
+
+func main() {
+	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
+	flag.Parse()
+
+	db := wasmdb.Open()
+	if *tpchSF > 0 {
+		fmt.Printf("loading TPC-H at SF %g …\n", *tpchSF)
+		if err := db.LoadTPCH(*tpchSF, 42); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	backend := wasmdb.BackendWasm
+	timing := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	fmt.Println("wasmdb shell — SQL → WebAssembly → adaptive execution. \\q to quit.")
+	for {
+		fmt.Printf("%s> ", backend)
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if !meta(db, line, &backend, &timing) {
+				return
+			}
+			continue
+		}
+		runSQL(db, line, backend, timing)
+	}
+}
+
+func meta(db *wasmdb.DB, line string, backend *wasmdb.Backend, timing *bool) bool {
+	cmd, arg, _ := strings.Cut(line, " ")
+	arg = strings.TrimSpace(arg)
+	switch cmd {
+	case "\\q", "\\quit":
+		return false
+	case "\\timing":
+		*timing = !*timing
+		fmt.Printf("timing %v\n", *timing)
+	case "\\backend":
+		switch arg {
+		case "wasm", "adaptive":
+			*backend = wasmdb.BackendWasm
+		case "liftoff":
+			*backend = wasmdb.BackendWasmLiftoff
+		case "turbofan":
+			*backend = wasmdb.BackendWasmTurbofan
+		case "hyper":
+			*backend = wasmdb.BackendHyperLike
+		case "vectorized":
+			*backend = wasmdb.BackendVectorized
+		case "volcano":
+			*backend = wasmdb.BackendVolcano
+		default:
+			fmt.Println("backends: wasm, liftoff, turbofan, hyper, vectorized, volcano")
+		}
+	case "\\explain":
+		out, err := db.Explain(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\wat":
+		out, err := db.ExplainWAT(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\tpch":
+		src, ok := wasmdb.TPCHQuery(strings.ToUpper(arg))
+		if !ok {
+			fmt.Println("known queries: Q1, Q3, Q6, Q12, Q14")
+			return true
+		}
+		fmt.Println(src)
+		runSQL(db, src, *backend, *timing)
+	default:
+		fmt.Println("meta commands: \\backend, \\explain, \\wat, \\timing, \\tpch, \\q")
+	}
+	return true
+}
+
+func runSQL(db *wasmdb.DB, src string, backend wasmdb.Backend, timing bool) {
+	upper := strings.ToUpper(strings.TrimSpace(src))
+	if strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT") {
+		if err := db.Exec(src); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	res, err := db.Query(src, wasmdb.WithBackend(backend))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("(%d rows)\n", res.NumRows())
+	if timing {
+		s := res.Stats
+		fmt.Printf("translate=%v liftoff=%v turbofan=%v execute=%v morsels(lo/tf)=%d/%d module=%dB\n",
+			s.Translate, s.Liftoff, s.Turbofan, s.Execute, s.MorselsLiftoff, s.MorselsTurbofan, s.ModuleBytes)
+	}
+}

@@ -1,0 +1,194 @@
+package wasmdb_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"wasmdb"
+)
+
+// allBackends lists every execution architecture; differential tests demand
+// bit-identical result sets across all of them.
+var allBackends = []wasmdb.Backend{
+	wasmdb.BackendWasm,
+	wasmdb.BackendWasmLiftoff,
+	wasmdb.BackendWasmTurbofan,
+	wasmdb.BackendHyperLike,
+	wasmdb.BackendVectorized,
+	wasmdb.BackendVolcano,
+}
+
+func formatSorted(t *testing.T, r *wasmdb.Result, ordered bool) string {
+	t.Helper()
+	lines := make([]string, r.NumRows())
+	for i := range lines {
+		lines[i] = strings.Join(r.Row(i), "|")
+	}
+	if !ordered {
+		sort.Strings(lines)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func diffQuery(t *testing.T, db *wasmdb.DB, src string, ordered bool) {
+	t.Helper()
+	var ref string
+	var refBackend wasmdb.Backend
+	for _, b := range allBackends {
+		res, err := db.Query(src, wasmdb.WithBackend(b))
+		if err != nil {
+			t.Fatalf("%v: %v\nquery: %s", b, err, src)
+		}
+		got := formatSorted(t, res, ordered)
+		if ref == "" && refBackend == 0 {
+			ref, refBackend = got, b
+			continue
+		}
+		if got != ref {
+			t.Errorf("%v disagrees with %v on %q:\n--- %v ---\n%s\n--- %v ---\n%s",
+				b, refBackend, src, refBackend, clip(ref), b, clip(got))
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "\n…"
+	}
+	return s
+}
+
+func tpchDB(t *testing.T) *wasmdb.DB {
+	t.Helper()
+	db := wasmdb.Open()
+	if err := db.LoadTPCH(0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestTPCHDifferential runs every reproduced TPC-H query on every backend
+// and requires identical results — the project's primary correctness
+// oracle.
+func TestTPCHDifferential(t *testing.T) {
+	db := tpchDB(t)
+	for _, id := range []string{"Q1", "Q3", "Q6", "Q12", "Q14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			src, ok := wasmdb.TPCHQuery(id)
+			if !ok {
+				t.Fatalf("unknown query %s", id)
+			}
+			ordered := strings.Contains(src, "ORDER BY")
+			diffQuery(t, db, src, ordered)
+		})
+	}
+}
+
+// TestMicroDifferential covers the §8.2-style building blocks plus edge
+// cases on every backend.
+func TestMicroDifferential(t *testing.T) {
+	db := tpchDB(t)
+	queries := []struct {
+		src     string
+		ordered bool
+	}{
+		{"SELECT COUNT(*) FROM lineitem", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25 AND l_discount < 0.05", false},
+		{"SELECT COUNT(*), SUM(l_extendedprice), MIN(l_shipdate), MAX(l_shipdate) FROM lineitem", false},
+		{"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag", false},
+		{"SELECT l_shipmode, MIN(l_quantity), MAX(l_quantity) FROM lineitem GROUP BY l_shipmode", false},
+		{"SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority", true},
+		{"SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_totalprice > 200000.0", false},
+		{"SELECT c_mktsegment, COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey GROUP BY c_mktsegment", false},
+		{"SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 25", true},
+		{"SELECT l_orderkey, l_linenumber FROM lineitem WHERE l_shipmode = 'AIR' ORDER BY l_orderkey, l_linenumber LIMIT 100", true},
+		{"SELECT COUNT(*) FROM part WHERE p_type LIKE 'PROMO%'", false},
+		{"SELECT COUNT(*) FROM part WHERE p_type LIKE '%BRASS'", false},
+		{"SELECT COUNT(*) FROM part WHERE p_type LIKE '%ANODIZED%'", false},
+		{"SELECT COUNT(*) FROM part WHERE p_type NOT LIKE 'PROMO%'", false},
+		{"SELECT COUNT(*) FROM orders WHERE o_orderpriority IN ('1-URGENT', '5-LOW')", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 10 AND 20", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE NOT (l_quantity < 25)", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10 OR l_quantity > 45", false},
+		{"SELECT EXTRACT(YEAR FROM o_orderdate) AS y, COUNT(*) FROM orders GROUP BY EXTRACT(YEAR FROM o_orderdate) ORDER BY y", true},
+		{"SELECT SUM(CASE WHEN l_discount > 0.05 THEN l_extendedprice ELSE 0 END) FROM lineitem", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_commitdate < l_receiptdate", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1996-01-01'", false},
+		{"SELECT COUNT(*), AVG(l_quantity) FROM lineitem WHERE l_discount = 0.03", false},
+		// Empty result sets.
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0", false},
+		{"SELECT l_returnflag, COUNT(*) FROM lineitem WHERE l_quantity < 0 GROUP BY l_returnflag", false},
+		{"SELECT l_orderkey FROM lineitem WHERE l_quantity < 0", false},
+	}
+	for _, q := range queries {
+		diffQuery(t, db, q.src, q.ordered)
+	}
+}
+
+// TestCreateInsertQuery exercises the DDL/DML path of the public API.
+func TestCreateInsertQuery(t *testing.T) {
+	db := wasmdb.Open()
+	mustExec := func(s string) {
+		t.Helper()
+		if err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	mustExec(`CREATE TABLE items (id INT, name CHAR(12), price DECIMAL(10,2), added DATE)`)
+	mustExec(`INSERT INTO items VALUES
+		(1, 'hammer', 9.99, DATE '2024-01-05'),
+		(2, 'wrench', 14.50, DATE '2024-02-11'),
+		(3, 'pliers', 7.25, DATE '2024-02-28'),
+		(4, 'saw', 22.00, DATE '2024-03-02')`)
+	diffQuery(t, db, "SELECT name, price FROM items WHERE price < 15.00 ORDER BY price DESC", true)
+	res, err := db.Query("SELECT COUNT(*), SUM(price) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)[0] != "4" || res.Row(0)[1] != "53.74" {
+		t.Fatalf("unexpected: %v", res.Row(0))
+	}
+}
+
+// TestAdaptiveStatsExposed checks the paper's observable: morsels migrate
+// from the baseline tier to the optimized tier mid-query.
+func TestAdaptiveStatsExposed(t *testing.T) {
+	db := tpchDB(t)
+	res, err := db.Query("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 30",
+		wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithMorselRows(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MorselsLiftoff+res.Stats.MorselsTurbofan == 0 {
+		t.Error("no morsel accounting")
+	}
+	if res.Stats.ModuleBytes == 0 || res.Stats.Translate == 0 {
+		t.Errorf("missing stats: %+v", res.Stats)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := tpchDB(t)
+	src, _ := wasmdb.TPCHQuery("Q3")
+	out, err := db.Explain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HashJoin", "GroupBy", "Sort", "pipelines", "scan lineitem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	wat, err := db.ExplainWAT("SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode ORDER BY l_shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$pipeline_0", "$qsort_", "$grow_group", "$q_init"} {
+		if !strings.Contains(wat, want) {
+			t.Errorf("WAT missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Adaptive execution demo: watch a long-running query start on the fast
+// baseline tier (Liftoff) and migrate to optimized code (TurboFan) between
+// morsels, as background compilation finishes — the paper's §2.2 behavior,
+// delegated entirely to the embedded engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmdb"
+)
+
+func main() {
+	db := wasmdb.Open()
+	if err := db.LoadTPCH(0.05, 42); err != nil {
+		log.Fatal(err)
+	}
+	src, _ := wasmdb.TPCHQuery("Q1")
+
+	fmt.Println("TPC-H Q1 under three engine configurations:")
+	for _, cfg := range []struct {
+		name    string
+		backend wasmdb.Backend
+		morsel  int
+	}{
+		{"baseline tier only (interpreted start, no optimization)", wasmdb.BackendWasmLiftoff, 0},
+		{"optimizing tier only (compile everything first)", wasmdb.BackendWasmTurbofan, 0},
+		{"adaptive (start immediately, optimize in background)", wasmdb.BackendWasm, 2048},
+	} {
+		opts := []wasmdb.Option{wasmdb.WithBackend(cfg.backend)}
+		if cfg.morsel > 0 {
+			opts = append(opts, wasmdb.WithMorselRows(cfg.morsel))
+		}
+		res, err := db.Query(src, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("\n%s\n", cfg.name)
+		fmt.Printf("  liftoff compile:  %v\n", s.Liftoff)
+		fmt.Printf("  turbofan compile: %v\n", s.Turbofan)
+		fmt.Printf("  execution:        %v\n", s.Execute)
+		if cfg.backend == wasmdb.BackendWasm {
+			fmt.Printf("  morsels served by baseline tier:  %d\n", s.MorselsLiftoff)
+			fmt.Printf("  morsels served by optimized tier: %d  ← code replaced mid-query\n", s.MorselsTurbofan)
+		}
+	}
+}

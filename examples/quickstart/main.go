@@ -1,0 +1,51 @@
+// Quickstart: create a table, insert rows, and run queries on the default
+// (adaptive WebAssembly) backend.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmdb"
+)
+
+func main() {
+	db := wasmdb.Open()
+
+	must(db.Exec(`CREATE TABLE employees (
+		id INT, name CHAR(16), dept CHAR(12), salary DECIMAL(10,2), hired DATE)`))
+	must(db.Exec(`INSERT INTO employees VALUES
+		(1, 'ada',     'engineering', 9500.00, DATE '2019-03-01'),
+		(2, 'grace',   'engineering', 9100.50, DATE '2020-07-15'),
+		(3, 'edsger',  'research',    8800.00, DATE '2018-01-20'),
+		(4, 'donald',  'research',    9900.00, DATE '2015-06-11'),
+		(5, 'barbara', 'engineering', 9700.25, DATE '2021-02-03'),
+		(6, 'tony',    'support',     5400.00, DATE '2022-09-30')`))
+
+	res, err := db.Query(`
+		SELECT dept, COUNT(*) AS headcount, AVG(salary) AS avg_salary
+		FROM employees
+		WHERE hired >= DATE '2016-01-01'
+		GROUP BY dept
+		ORDER BY avg_salary DESC`)
+	must(err)
+	fmt.Println("Average salary by department (hired since 2016):")
+	fmt.Print(res.Format())
+
+	// The same query, compiled and executed — inspect the plan and the
+	// generated WebAssembly the engine JIT-compiles.
+	explain, err := db.Explain(`SELECT dept, COUNT(*) FROM employees GROUP BY dept`)
+	must(err)
+	fmt.Println("Plan and pipelines:")
+	fmt.Println(explain)
+
+	fmt.Printf("phases: translate=%v liftoff=%v turbofan=%v execute=%v (module %d bytes)\n",
+		res.Stats.Translate, res.Stats.Liftoff, res.Stats.Turbofan,
+		res.Stats.Execute, res.Stats.ModuleBytes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+// TPC-H walkthrough: load the benchmark data and run the paper's evaluation
+// queries on every backend, comparing results and timings (Figure 10 in
+// miniature).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wasmdb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flag.Parse()
+
+	db := wasmdb.Open()
+	fmt.Printf("loading TPC-H at SF %g …\n", *sf)
+	if err := db.LoadTPCH(*sf, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	backends := []wasmdb.Backend{
+		wasmdb.BackendWasm,
+		wasmdb.BackendHyperLike,
+		wasmdb.BackendVectorized,
+		wasmdb.BackendVolcano,
+	}
+
+	for _, id := range []string{"Q1", "Q3", "Q6", "Q12", "Q14"} {
+		src, _ := wasmdb.TPCHQuery(id)
+		fmt.Printf("\n===== TPC-H %s =====\n", id)
+		var shown bool
+		for _, b := range backends {
+			res, err := db.Query(src, wasmdb.WithBackend(b))
+			if err != nil {
+				log.Fatalf("%s on %v: %v", id, b, err)
+			}
+			if !shown {
+				fmt.Print(res.Format())
+				shown = true
+			}
+			s := res.Stats
+			fmt.Printf("%-14s translate=%-12v compile(lo/tf)=%v/%-12v execute=%-12v rows=%d\n",
+				b, s.Translate, s.Liftoff, s.Turbofan, s.Execute, res.NumRows())
+		}
+	}
+}

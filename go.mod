@@ -1,0 +1,3 @@
+module wasmdb
+
+go 1.24

@@ -1,0 +1,85 @@
+// Package catalog tracks the tables of a database instance along with the
+// lightweight statistics the planner uses for join ordering.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"wasmdb/internal/storage"
+	"wasmdb/internal/types"
+)
+
+// ColumnDef describes one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type types.Type
+}
+
+// Catalog is the set of tables of one database.
+type Catalog struct {
+	tables map[string]*storage.Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*storage.Table)}
+}
+
+// Create adds a new empty table.
+func (c *Catalog) Create(name string, cols []ColumnDef) (*storage.Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	names := make([]string, len(cols))
+	ts := make([]types.Type, len(cols))
+	seen := make(map[string]bool, len(cols))
+	for i, cd := range cols {
+		if seen[cd.Name] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", cd.Name, name)
+		}
+		seen[cd.Name] = true
+		names[i] = cd.Name
+		ts[i] = cd.Type
+	}
+	t := storage.NewTable(name, names, ts)
+	c.tables[name] = t
+	return t, nil
+}
+
+// Add registers an existing table (used by the data generators).
+func (c *Catalog) Add(t *storage.Table) error {
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*storage.Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

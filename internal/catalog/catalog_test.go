@@ -1,0 +1,62 @@
+package catalog
+
+import (
+	"testing"
+
+	"wasmdb/internal/storage"
+	"wasmdb/internal/types"
+)
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("t", []ColumnDef{{Name: "a", Type: types.TInt32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "t" || len(tbl.Columns) != 1 {
+		t.Fatalf("table: %+v", tbl)
+	}
+	if _, err := c.Create("t", nil); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	got, err := c.Table("t")
+	if err != nil || got != tbl {
+		t.Error("lookup failed")
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("missing table found")
+	}
+	if err := c.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("t"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := New()
+	_, err := c.Create("t", []ColumnDef{
+		{Name: "a", Type: types.TInt32},
+		{Name: "a", Type: types.TInt64},
+	})
+	if err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestAddAndNames(t *testing.T) {
+	c := New()
+	c.Create("b", []ColumnDef{{Name: "x", Type: types.TInt32}})
+	ext := storage.NewTable("a", []string{"y"}, []types.Type{types.TInt64})
+	if err := c.Add(ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ext); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names: %v", names)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"wasmdb/internal/engine"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/workload"
+)
+
+// TestChunkedRewiring processes a scan through a bounded address window:
+// the executor re-maps the columns chunk by chunk (§6.1) and the result must
+// match the whole-table mapping exactly.
+func TestChunkedRewiring(t *testing.T) {
+	// 200k rows: three 64Ki-row chunks, the last one partial.
+	cat, err := workload.Catalog(workload.Spec{Name: "t", Rows: 200_000, IntCols: 2, FloatCols: 1, Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*), SUM(i1), MIN(i0), MAX(i0) FROM t WHERE i0 < 1000000",
+		"SELECT COUNT(*) FROM t WHERE f0 < 0.25",
+	}
+	for _, src := range queries {
+		stmt, _ := sql.ParseSelect(src)
+		q, err := sema.Analyze(stmt, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plan.Build(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cq, err := Compile(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(engine.Config{Tier: engine.TierTurbofan})
+		whole, _, err := Execute(cq, q, eng, ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunkedRes, _, err := Execute(cq, q, eng, ExecOptions{ChunkRows: 65536, MorselRows: 10_000})
+		if err != nil {
+			t.Fatalf("chunked: %v", err)
+		}
+		if fmtRows(whole) != fmtRows(chunkedRes) {
+			t.Errorf("%s:\nwhole:\n%s\nchunked:\n%s", src, fmtRows(whole), fmtRows(chunkedRes))
+		}
+	}
+	// Misaligned chunk size is rejected.
+	stmt, _ := sql.ParseSelect(queries[0])
+	q, _ := sema.Analyze(stmt, cat)
+	p, _ := plan.Build(q)
+	cq, _ := Compile(q, p)
+	if _, _, err := Execute(cq, q, engine.New(engine.Config{}), ExecOptions{ChunkRows: 1000}); err == nil {
+		t.Error("misaligned ChunkRows accepted")
+	}
+}
+
+// TestChunkedRewiringWithJoin: only the probe-scan table is chunked; the
+// build side stays wholly mapped.
+func TestChunkedRewiringWithJoin(t *testing.T) {
+	cat, err := workload.JoinPair(5_000, 150_000, 1, 67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "SELECT COUNT(*), SUM(probe.payload) FROM build, probe WHERE build.pk = probe.fk AND build.nk = 0"
+	stmt, _ := sql.ParseSelect(src)
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+	whole, _, err := Execute(cq, q, eng, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, _, err := Execute(cq, q, eng, ExecOptions{ChunkRows: 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmtRows(whole) != fmtRows(chunked) {
+		t.Errorf("whole:\n%s\nchunked:\n%s", fmtRows(whole), fmtRows(chunked))
+	}
+}

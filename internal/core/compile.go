@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// PipelineKind tells the executor how to drive a pipeline.
+type PipelineKind int
+
+// Pipeline kinds.
+const (
+	// PipeScanTable iterates rows [begin, end) of a base table; the host
+	// drives morsels over the table's row count.
+	PipeScanTable PipelineKind = iota
+	// PipeScanSlots iterates hash-table slots [begin, end); the host reads
+	// the slot count from CountGlobal after the feeding pipeline ran.
+	PipeScanSlots
+	// PipeScanArray iterates sort-array elements [begin, end).
+	PipeScanArray
+	// PipeRunOnce is invoked a single time with (0, 0) — e.g. the quicksort
+	// call.
+	PipeRunOnce
+	// PipeScanBuckets iterates the buckets of a chained library hash table
+	// (Style.LibraryHT); CountGlobal holds the guest address of the table's
+	// control block, whose mask determines the bucket count.
+	PipeScanBuckets
+)
+
+// PipelineInfo describes one exported pipeline function.
+type PipelineInfo struct {
+	Export string
+	Kind   PipelineKind
+	// TableIdx identifies the scanned table for PipeScanTable.
+	TableIdx int
+	// CountGlobal is the module global holding the iteration bound for
+	// PipeScanSlots (capacity) and PipeScanArray (element count).
+	CountGlobal uint32
+}
+
+// ColumnMapping records where a referenced column must be rewired.
+type ColumnMapping struct {
+	TableIdx, ColIdx int
+	Base             uint32
+}
+
+// ResultField describes one column of the result row layout.
+type ResultField struct {
+	Name   string
+	Type   types.Type
+	Offset uint32
+}
+
+// CompiledQuery is the output of Compile: a binary Wasm module plus the
+// metadata the executor needs to wire memory and drive pipelines.
+type CompiledQuery struct {
+	Bin       []byte
+	Module    *wasm.Module // for WAT dumps
+	Pipelines []PipelineInfo
+	Columns   []ColumnMapping
+
+	ResultBase   uint32
+	ResultStride uint32
+	ResultFields []ResultField
+	// CursorGlobal holds the number of rows currently in the result buffer.
+	CursorGlobal uint32
+
+	// HeapBase is where the bump allocator starts.
+	HeapBase uint32
+	// MinPages is the initial memory size the executor must provide.
+	MinPages uint32
+
+	Limit int64 // -1 if none
+}
+
+// Compile translates a physical plan (with its bound query) to WebAssembly
+// in the paper's style: ad-hoc specialized library code, fully inlined.
+func Compile(q *sema.Query, root plan.Node) (*CompiledQuery, error) {
+	return CompileStyled(q, root, Style{})
+}
+
+// Style selects between the paper's ad-hoc specialization and the
+// "pre-compiled library" designs it argues against (§4.3, §5.1). The
+// HyPer-like baseline enables all three flags; the ablation benchmarks
+// flip them individually.
+type Style struct {
+	// LibraryHT replaces inlined monomorphic hash tables with generic,
+	// type-agnostic library routines: chained buckets, stored hashes, and a
+	// key comparison invoked through call_indirect per candidate —
+	// Listing 3's design, one function call per access.
+	LibraryHT bool
+	// LibrarySort replaces the specialized generated quicksort with a
+	// generic qsort taking a comparator function pointer and moving
+	// elements with a generic byte copy.
+	LibrarySort bool
+	// PredicatedSelection compiles selections feeding global aggregation
+	// branch-free (masked updates) instead of as conditional branches —
+	// the behavior the paper attributes to HyPer in Fig. 6.
+	PredicatedSelection bool
+}
+
+// CompileStyled compiles with explicit style flags.
+func CompileStyled(q *sema.Query, root plan.Node, style Style) (*CompiledQuery, error) {
+	c := &compiler{
+		q:     q,
+		style: style,
+		out:   &CompiledQuery{Limit: q.Limit},
+		b:     wasm.NewModuleBuilder(),
+
+		constStrings: map[string]uint32{},
+		strcmps:      map[[2]int]*wasm.FuncBuilder{},
+		likes:        map[string]*wasm.FuncBuilder{},
+	}
+	if err := c.compile(root); err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+type compiler struct {
+	q     *sema.Query
+	style Style
+	out   *CompiledQuery
+	b     *wasm.ModuleBuilder
+
+	// Library-style shared routines (generated when the style asks for
+	// them) and the comparator function table.
+	lib        *libRoutines
+	tableFuncs []uint32
+
+	// Imports.
+	fnResultFlush uint32
+
+	// Shared generated helpers, created on demand.
+	fnAlloc       *wasm.FuncBuilder
+	fnExtractYear *wasm.FuncBuilder
+	strcmps       map[[2]int]*wasm.FuncBuilder
+	likes         map[string]*wasm.FuncBuilder
+
+	// Globals.
+	gHeap      uint32 // bump-allocator cursor
+	gCursor    uint32 // rows in result buffer
+	gTotalRows uint32 // total result rows produced (for LIMIT)
+
+	// Constant region.
+	constStrings map[string]uint32
+	constCursor  uint32
+	constData    []byte
+
+	// Column addresses.
+	colBase map[[2]int]uint32
+
+	// Pipelines generated so far.
+	pipes []*wasm.FuncBuilder
+
+	// initSteps are emitted into the exported q_init function.
+	initSteps []func(g *gen)
+
+	// Per-query result layout.
+	resultLayout tupleLayout
+}
+
+func (c *compiler) compile(root plan.Node) error {
+	// --- Address space layout -------------------------------------------
+	c.colBase = map[[2]int]uint32{}
+	cursor := uint32(columnsBase)
+	used := map[[2]int]bool{}
+	c.collectColumns(used)
+	// Deterministic order: by table then column index.
+	for ti := range c.q.Tables {
+		tbl := c.q.Tables[ti].Table
+		for ci := range tbl.Columns {
+			if !used[[2]int{ti, ci}] {
+				continue
+			}
+			c.colBase[[2]int{ti, ci}] = cursor
+			c.out.Columns = append(c.out.Columns, ColumnMapping{TableIdx: ti, ColIdx: ci, Base: cursor})
+			cursor += uint32(pageCeilU(uint64(tbl.Columns[ci].MappedBytes())))
+			if cursor >= 1<<31 {
+				return fmt.Errorf("core: referenced columns exceed the 2 GiB column window; table too large for a single mapping")
+			}
+		}
+	}
+
+	// Result buffer.
+	var outExprs []sema.Expr
+	for _, oc := range c.q.Select {
+		outExprs = append(outExprs, oc.Expr)
+	}
+	c.resultLayout = buildLayout(outExprs, 0)
+	c.out.ResultBase = cursor
+	c.out.ResultStride = c.resultLayout.stride
+	for i, oc := range c.q.Select {
+		f, _ := c.resultLayout.find(oc.Expr)
+		// Note: duplicate output expressions share a field; record per item.
+		_ = i
+		c.out.ResultFields = append(c.out.ResultFields, ResultField{Name: oc.Name, Type: oc.Expr.Type(), Offset: f.offset})
+	}
+	resBytes := pageCeilU(uint64(c.resultLayout.stride) * resultCapacityRows)
+	heapBase := cursor + uint32(resBytes)
+	c.out.HeapBase = heapBase
+	c.out.MinPages = heapBase/pageSize + 16
+
+	// --- Module skeleton -------------------------------------------------
+	c.b.ImportMemory("env", "memory", c.out.MinPages, 65536)
+	c.fnResultFlush = c.b.ImportFunc("env", "result_flush",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+
+	c.gHeap = c.b.AddGlobal(wasm.I32, true, uint64(heapBase))
+	c.gCursor = c.b.AddGlobal(wasm.I32, true, 0)
+	c.gTotalRows = c.b.AddGlobal(wasm.I32, true, 0)
+	c.out.CursorGlobal = c.gCursor
+
+	// --- Plan walk --------------------------------------------------------
+	proj, ok := root.(*plan.Project)
+	if !ok {
+		return fmt.Errorf("core: plan root must be a projection")
+	}
+	if err := c.produce(proj.Input, c.resultConsumer(proj)); err != nil {
+		return err
+	}
+
+	// --- init function ----------------------------------------------------
+	fi := c.b.NewFunc("q_init", wasm.FuncType{})
+	gi := &gen{c: c, f: fi}
+	for _, step := range c.initSteps {
+		step(gi)
+	}
+	c.b.Export("q_init", wasm.ExternFunc, fi.Index)
+
+	// Constant region data.
+	if len(c.constData) > 0 {
+		c.b.AddData(constBase, c.constData)
+	}
+
+	mod := c.b.Module()
+	if len(c.tableFuncs) > 0 {
+		mod.HasTable = true
+		mod.TableMin = uint32(len(c.tableFuncs))
+		mod.Elems = []wasm.ElemSegment{{Offset: 0, Funcs: c.tableFuncs}}
+	}
+	if err := wasm.Validate(mod); err != nil {
+		return fmt.Errorf("core: generated module does not validate: %w", err)
+	}
+	c.out.Module = mod
+	c.out.Bin = wasm.Encode(mod)
+	return nil
+}
+
+func pageCeilU(n uint64) uint64 { return (n + pageSize - 1) &^ (pageSize - 1) }
+
+// collectColumns marks every (table, column) pair the query references.
+func (c *compiler) collectColumns(used map[[2]int]bool) {
+	for _, e := range c.q.Conjuncts {
+		sema.ColumnsUsed(e, used)
+	}
+	for _, e := range c.q.GroupBy {
+		sema.ColumnsUsed(e, used)
+	}
+	for _, a := range c.q.Aggs {
+		if a.Arg != nil {
+			sema.ColumnsUsed(a.Arg, used)
+		}
+	}
+	for _, oc := range c.q.Select {
+		sema.ColumnsUsed(oc.Expr, used)
+	}
+	for _, ok := range c.q.OrderBy {
+		sema.ColumnsUsed(ok.Expr, used)
+	}
+}
+
+// newPipeline opens a new exported pipeline function and registers it.
+func (c *compiler) newPipeline(kind PipelineKind, tableIdx int, countGlobal uint32) *gen {
+	name := fmt.Sprintf("pipeline_%d", len(c.pipes))
+	f := c.b.NewFunc(name, wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	c.pipes = append(c.pipes, f)
+	c.b.Export(name, wasm.ExternFunc, f.Index)
+	c.out.Pipelines = append(c.out.Pipelines, PipelineInfo{
+		Export: name, Kind: kind, TableIdx: tableIdx, CountGlobal: countGlobal,
+	})
+	return &gen{c: c, f: f}
+}
+
+// consumer emits the code that consumes one tuple in the current pipeline;
+// the environment provides the tuple's attribute bindings.
+type consumer func(g *gen, e *env)
+
+// produce compiles the subplan rooted at n, feeding each produced tuple to
+// consume (data-centric compilation, §4.2).
+func (c *compiler) produce(n plan.Node, consume consumer) error {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return c.produceScan(x, consume)
+	case *plan.HashJoin:
+		if c.style.LibraryHT {
+			return c.produceJoinLib(x, consume)
+		}
+		return c.produceJoin(x, consume)
+	case *plan.Group:
+		if len(x.Keys) == 0 {
+			// Keyless aggregation never needs a hash table.
+			if c.style.PredicatedSelection {
+				if scan, ok := x.Input.(*plan.Scan); ok {
+					return c.producePredicatedGlobalAgg(x, scan, consume)
+				}
+			}
+			return c.produceGlobalAgg(x, consume)
+		}
+		if c.style.LibraryHT {
+			return c.produceGroupLib(x, consume)
+		}
+		return c.produceGroup(x, consume)
+	case *plan.Sort:
+		if c.style.LibrarySort {
+			return c.produceSortLib(x, consume)
+		}
+		return c.produceSort(x, consume)
+	case *plan.Limit:
+		// LIMIT is enforced in the result consumer via gTotalRows.
+		return c.produce(x.Input, consume)
+	case *plan.Project:
+		return c.produce(x.Input, consume)
+	}
+	return fmt.Errorf("core: unsupported plan node %T", n)
+}
+
+// produceScan generates the morsel-driven table-scan pipeline.
+func (c *compiler) produceScan(s *plan.Scan, consume consumer) error {
+	g := c.newPipeline(PipeScanTable, s.TableIdx, 0)
+	row := g.f.AddLocal(wasm.I32)
+	g.f.LocalGet(g.f.Param(0))
+	g.f.LocalSet(row)
+
+	e := &env{}
+	c.bindTableColumns(g, e, s.TableIdx, row)
+
+	// for (row = begin; row < end; row++)
+	g.f.Block(wasm.BlockVoid) // exit
+	g.f.Loop(wasm.BlockVoid)
+	g.f.LocalGet(row)
+	g.f.LocalGet(g.f.Param(1))
+	g.f.I32GeU()
+	g.f.BrIf(1)
+
+	// Selection: evaluate the whole conjunction, one conditional branch
+	// (no short-circuiting — §8.2's analysis of Fig. 6c depends on this).
+	body := func() error {
+		consume(g, e)
+		return g.err
+	}
+	if len(s.Filter) > 0 {
+		if err := g.conjunction(e, s.Filter); err != nil {
+			return err
+		}
+		g.f.If(wasm.BlockVoid)
+		if err := body(); err != nil {
+			return err
+		}
+		g.f.End()
+	} else {
+		if err := body(); err != nil {
+			return err
+		}
+	}
+
+	// row++
+	g.f.LocalGet(row)
+	g.f.I32Const(1)
+	g.f.I32Add()
+	g.f.LocalSet(row)
+	g.f.Br(0)
+	g.f.End()
+	g.f.End()
+	g.f.I32Const(0)
+	return g.err
+}
+
+// bindTableColumns adds bindings for all referenced columns of a table,
+// loading from the rewired column arrays by row index.
+func (c *compiler) bindTableColumns(g *gen, e *env, tableIdx int, row wasm.Local) {
+	tbl := c.q.Tables[tableIdx].Table
+	for ci, col := range tbl.Columns {
+		base, ok := c.colBase[[2]int{tableIdx, ci}]
+		if !ok {
+			continue
+		}
+		col := col
+		ref := &sema.ColRef{Table: tableIdx, Col: ci, T: col.Type, Name: col.Name}
+		e.add(ref, func() { g.loadColumn(base, col.Type, row) })
+	}
+}

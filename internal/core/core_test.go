@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/types"
+)
+
+// runQuery compiles and executes src against cat on the given tier.
+func runQuery(t *testing.T, cat *catalog.Catalog, src string, tier engine.Tier) *ResultSet {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: tier}), ExecOptions{MorselRows: 1000})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res
+}
+
+// runAllTiers runs the query on every tier and asserts identical results.
+func runAllTiers(t *testing.T, cat *catalog.Catalog, src string) *ResultSet {
+	t.Helper()
+	var ref *ResultSet
+	for _, tier := range []engine.Tier{engine.TierLiftoff, engine.TierTurbofan, engine.TierAdaptive} {
+		got := runQuery(t, cat, src, tier)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if fmtRows(got) != fmtRows(ref) {
+			t.Fatalf("%v differs from liftoff:\n%s\nvs\n%s", tier, fmtRows(got), fmtRows(ref))
+		}
+	}
+	return ref
+}
+
+func fmtRows(r *ResultSet) string {
+	var sb strings.Builder
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteString("|")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// sortedRows returns the formatted rows sorted, for order-insensitive
+// comparison.
+func sortedRows(r *ResultSet) []string {
+	var out []string
+	for _, row := range r.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func microCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	r, err := cat.Create("r", []catalog.ColumnDef{
+		{Name: "id", Type: types.TInt32},
+		{Name: "x", Type: types.TInt32},
+		{Name: "y", Type: types.TFloat64},
+		{Name: "g", Type: types.TInt32},
+		{Name: "d", Type: types.TDate},
+		{Name: "price", Type: types.TDecimal(12, 2)},
+		{Name: "name", Type: types.TChar(8)},
+		{Name: "big", Type: types.TInt64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"alpha", "beta", "gamma", "delta", "PROMO X", "PROMO Y", "misc"}
+	for i := 0; i < n; i++ {
+		r.AppendRow(
+			types.NewInt32(int32(i)),
+			types.NewInt32(int32(rng.Intn(1000))),
+			types.NewFloat64(rng.Float64()),
+			types.NewInt32(int32(rng.Intn(10))),
+			types.NewDate(int32(10000+rng.Intn(1000))),
+			types.NewDecimal(int64(rng.Intn(100000)), 12, 2),
+			types.NewChar(names[rng.Intn(len(names))], 8),
+			types.NewInt64(int64(rng.Intn(1000000))),
+		)
+	}
+	s, err := cat.Create("s", []catalog.ColumnDef{
+		{Name: "rid", Type: types.TInt32},
+		{Name: "v", Type: types.TInt32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n*3; i++ {
+		s.AppendRow(types.NewInt32(int32(rng.Intn(n))), types.NewInt32(int32(rng.Intn(100))))
+	}
+	return cat
+}
+
+func TestSelectCount(t *testing.T) {
+	cat := microCatalog(t, 5000)
+	res := runAllTiers(t, cat, "SELECT COUNT(*) FROM r WHERE x < 500")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	// Host-side check.
+	tbl, _ := cat.Table("r")
+	xc, _ := tbl.Column("x")
+	want := int64(0)
+	for i := 0; i < tbl.Rows(); i++ {
+		if xc.I32At(i) < 500 {
+			want++
+		}
+	}
+	if res.Rows[0][0].I != want {
+		t.Errorf("count = %d, want %d", res.Rows[0][0].I, want)
+	}
+}
+
+func TestProjectionArithmetic(t *testing.T) {
+	cat := microCatalog(t, 100)
+	res := runAllTiers(t, cat, "SELECT id, x + 1 AS x1, y * 2.0 AS y2 FROM r WHERE id < 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	tbl, _ := cat.Table("r")
+	xc, _ := tbl.Column("x")
+	yc, _ := tbl.Column("y")
+	for _, row := range res.Rows {
+		id := int(row[0].I)
+		if row[1].I != int64(xc.I32At(id))+1 {
+			t.Errorf("row %d: x1 = %d", id, row[1].I)
+		}
+		if row[2].F != yc.F64At(id)*2 {
+			t.Errorf("row %d: y2 = %v", id, row[2].F)
+		}
+	}
+}
+
+func TestGroupByCounts(t *testing.T) {
+	cat := microCatalog(t, 5000)
+	res := runAllTiers(t, cat, "SELECT g, COUNT(*), SUM(big), MIN(x), MAX(x) FROM r GROUP BY g")
+	tbl, _ := cat.Table("r")
+	gc, _ := tbl.Column("g")
+	xc, _ := tbl.Column("x")
+	bc, _ := tbl.Column("big")
+	type agg struct {
+		n        int64
+		sum      int64
+		min, max int32
+	}
+	want := map[int32]*agg{}
+	for i := 0; i < tbl.Rows(); i++ {
+		g := gc.I32At(i)
+		a := want[g]
+		if a == nil {
+			a = &agg{min: xc.I32At(i), max: xc.I32At(i)}
+			want[g] = a
+		}
+		a.n++
+		a.sum += bc.I64At(i)
+		if xc.I32At(i) < a.min {
+			a.min = xc.I32At(i)
+		}
+		if xc.I32At(i) > a.max {
+			a.max = xc.I32At(i)
+		}
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("groups: %d, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		a := want[int32(row[0].I)]
+		if a == nil {
+			t.Fatalf("unexpected group %d", row[0].I)
+		}
+		if row[1].I != a.n || row[2].I != a.sum || int32(row[3].I) != a.min || int32(row[4].I) != a.max {
+			t.Errorf("group %d: got (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				row[0].I, row[1].I, row[2].I, row[3].I, row[4].I, a.n, a.sum, a.min, a.max)
+		}
+	}
+}
+
+func TestGroupByCharKeyAndAvg(t *testing.T) {
+	cat := microCatalog(t, 3000)
+	res := runAllTiers(t, cat, "SELECT name, COUNT(*), AVG(y) FROM r GROUP BY name")
+	tbl, _ := cat.Table("r")
+	nc, _ := tbl.Column("name")
+	yc, _ := tbl.Column("y")
+	cnt := map[string]int64{}
+	sum := map[string]float64{}
+	for i := 0; i < tbl.Rows(); i++ {
+		cnt[nc.CharAt(i)]++
+		sum[nc.CharAt(i)] += yc.F64At(i)
+	}
+	if len(res.Rows) != len(cnt) {
+		t.Fatalf("groups: %d want %d", len(res.Rows), len(cnt))
+	}
+	for _, row := range res.Rows {
+		name := row[0].S
+		if row[1].I != cnt[name] {
+			t.Errorf("count(%q) = %d, want %d", name, row[1].I, cnt[name])
+		}
+		avg := sum[name] / float64(cnt[name])
+		if diff := row[2].F - avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("avg(%q) = %v, want %v", name, row[2].F, avg)
+		}
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	cat := microCatalog(t, 1000)
+	res := runAllTiers(t, cat, "SELECT COUNT(*), SUM(price), MIN(d), MAX(d) FROM r")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	tbl, _ := cat.Table("r")
+	pc, _ := tbl.Column("price")
+	dc, _ := tbl.Column("d")
+	var sum int64
+	minD, maxD := dc.I32At(0), dc.I32At(0)
+	for i := 0; i < tbl.Rows(); i++ {
+		sum += pc.I64At(i)
+		if dc.I32At(i) < minD {
+			minD = dc.I32At(i)
+		}
+		if dc.I32At(i) > maxD {
+			maxD = dc.I32At(i)
+		}
+	}
+	row := res.Rows[0]
+	if row[0].I != 1000 || row[1].I != sum || int32(row[2].I) != minD || int32(row[3].I) != maxD {
+		t.Errorf("got %v, want (1000, %d, %d, %d)", row, sum, minD, maxD)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	cat := microCatalog(t, 500)
+	res := runAllTiers(t, cat, "SELECT COUNT(*), SUM(s.v) FROM r, s WHERE r.id = s.rid AND r.x < 300")
+	tbl, _ := cat.Table("r")
+	st, _ := cat.Table("s")
+	xc, _ := tbl.Column("x")
+	rid, _ := st.Column("rid")
+	vc, _ := st.Column("v")
+	var n, sum int64
+	for i := 0; i < st.Rows(); i++ {
+		r := int(rid.I32At(i))
+		if xc.I32At(r) < 300 {
+			n++
+			sum += int64(vc.I32At(i))
+		}
+	}
+	row := res.Rows[0]
+	if row[0].I != n || row[1].I != sum {
+		t.Errorf("join: got (%d, %d), want (%d, %d)", row[0].I, row[1].I, n, sum)
+	}
+}
+
+func TestJoinWithGroupBy(t *testing.T) {
+	cat := microCatalog(t, 400)
+	res := runAllTiers(t, cat, "SELECT r.g, COUNT(*) FROM r JOIN s ON r.id = s.rid GROUP BY r.g")
+	tbl, _ := cat.Table("r")
+	st, _ := cat.Table("s")
+	gc, _ := tbl.Column("g")
+	rid, _ := st.Column("rid")
+	want := map[int32]int64{}
+	for i := 0; i < st.Rows(); i++ {
+		want[gc.I32At(int(rid.I32At(i)))]++
+	}
+	got := map[int32]int64{}
+	for _, row := range res.Rows {
+		got[int32(row[0].I)] = row[1].I
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups: %d want %d", len(got), len(want))
+	}
+	for g, n := range want {
+		if got[g] != n {
+			t.Errorf("group %d: %d want %d", g, got[g], n)
+		}
+	}
+}
+
+func TestOrderByWithLimit(t *testing.T) {
+	cat := microCatalog(t, 2000)
+	res := runAllTiers(t, cat, "SELECT id, x FROM r WHERE g = 3 ORDER BY x DESC, id ASC LIMIT 10")
+	if len(res.Rows) > 10 {
+		t.Fatalf("limit violated: %d rows", len(res.Rows))
+	}
+	// Verify against host-side sort.
+	tbl, _ := cat.Table("r")
+	gc, _ := tbl.Column("g")
+	xc, _ := tbl.Column("x")
+	type pair struct{ id, x int32 }
+	var all []pair
+	for i := 0; i < tbl.Rows(); i++ {
+		if gc.I32At(i) == 3 {
+			all = append(all, pair{int32(i), xc.I32At(i)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].x != all[j].x {
+			return all[i].x > all[j].x
+		}
+		return all[i].id < all[j].id
+	})
+	for i, row := range res.Rows {
+		if int32(row[0].I) != all[i].id || int32(row[1].I) != all[i].x {
+			t.Errorf("row %d: got (%d,%d), want (%d,%d)", i, row[0].I, row[1].I, all[i].id, all[i].x)
+		}
+	}
+}
+
+func TestOrderByCharAndFloat(t *testing.T) {
+	cat := microCatalog(t, 300)
+	res := runAllTiers(t, cat, "SELECT name, y FROM r WHERE id < 50 ORDER BY name ASC, y DESC")
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a[0].S > b[0].S {
+			t.Fatalf("name order violated at %d: %q > %q", i, a[0].S, b[0].S)
+		}
+		if a[0].S == b[0].S && a[1].F < b[1].F {
+			t.Fatalf("y order violated at %d", i)
+		}
+	}
+}
+
+func TestLikePredicates(t *testing.T) {
+	cat := microCatalog(t, 1000)
+	tbl, _ := cat.Table("r")
+	nc, _ := tbl.Column("name")
+	count := func(pred func(string) bool) int64 {
+		var n int64
+		for i := 0; i < tbl.Rows(); i++ {
+			if pred(nc.CharAt(i)) {
+				n++
+			}
+		}
+		return n
+	}
+	cases := []struct {
+		pat  string
+		want int64
+	}{
+		{"PROMO%", count(func(s string) bool { return strings.HasPrefix(s, "PROMO") })},
+		{"%a", count(func(s string) bool { return strings.HasSuffix(s, "a") })},
+		{"%et%", count(func(s string) bool { return strings.Contains(s, "et") })},
+		{"beta", count(func(s string) bool { return s == "beta" })},
+		{"%l_a%", count(func(s string) bool {
+			// l, any char, a in sequence
+			for i := 0; i+3 <= len(s); i++ {
+				if s[i] == 'l' && s[i+2] == 'a' {
+					return true
+				}
+			}
+			return false
+		})},
+	}
+	for _, c := range cases {
+		res := runAllTiers(t, cat, fmt.Sprintf("SELECT COUNT(*) FROM r WHERE name LIKE '%s'", c.pat))
+		if res.Rows[0][0].I != c.want {
+			t.Errorf("LIKE %q: got %d, want %d", c.pat, res.Rows[0][0].I, c.want)
+		}
+		resNot := runAllTiers(t, cat, fmt.Sprintf("SELECT COUNT(*) FROM r WHERE name NOT LIKE '%s'", c.pat))
+		if resNot.Rows[0][0].I != int64(tbl.Rows())-c.want {
+			t.Errorf("NOT LIKE %q: got %d, want %d", c.pat, resNot.Rows[0][0].I, int64(tbl.Rows())-c.want)
+		}
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	cat := microCatalog(t, 1000)
+	res := runAllTiers(t, cat, `
+SELECT SUM(CASE WHEN x < 500 THEN big ELSE 0 END), SUM(big) FROM r`)
+	tbl, _ := cat.Table("r")
+	xc, _ := tbl.Column("x")
+	bc, _ := tbl.Column("big")
+	var some, all int64
+	for i := 0; i < tbl.Rows(); i++ {
+		if xc.I32At(i) < 500 {
+			some += bc.I64At(i)
+		}
+		all += bc.I64At(i)
+	}
+	row := res.Rows[0]
+	if row[0].I != some || row[1].I != all {
+		t.Errorf("case: got (%d,%d), want (%d,%d)", row[0].I, row[1].I, some, all)
+	}
+}
+
+func TestDecimalArithmeticMatchesHost(t *testing.T) {
+	cat := microCatalog(t, 1000)
+	res := runAllTiers(t, cat, "SELECT SUM(price * (1 - 0.05)) FROM r")
+	tbl, _ := cat.Table("r")
+	pc, _ := tbl.Column("price")
+	var want int64 // scale 4 after multiplication
+	for i := 0; i < tbl.Rows(); i++ {
+		want += pc.I64At(i) * 95 // price(s2) * 0.95(s2) → s4
+	}
+	if res.Rows[0][0].I != want {
+		t.Errorf("decimal sum: got %d, want %d", res.Rows[0][0].I, want)
+	}
+	if res.Types[0].Scale != 4 {
+		t.Errorf("result scale: %d", res.Types[0].Scale)
+	}
+}
+
+func TestDatePredicateAndExtract(t *testing.T) {
+	cat := microCatalog(t, 1000)
+	res := runAllTiers(t, cat, "SELECT EXTRACT(YEAR FROM d), COUNT(*) FROM r WHERE d >= DATE '1997-06-01' GROUP BY EXTRACT(YEAR FROM d)")
+	tbl, _ := cat.Table("r")
+	dc, _ := tbl.Column("d")
+	cut, _ := types.ParseDate("1997-06-01")
+	want := map[int32]int64{}
+	for i := 0; i < tbl.Rows(); i++ {
+		if dc.I32At(i) >= cut {
+			want[int32(types.ExtractYear(dc.I32At(i)))]++
+		}
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("groups: %d want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		if want[int32(row[0].I)] != row[1].I {
+			t.Errorf("year %d: %d want %d", row[0].I, row[1].I, want[int32(row[0].I)])
+		}
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	cat := microCatalog(t, 2000)
+	res := runAllTiers(t, cat, "SELECT COUNT(*) FROM r WHERE x BETWEEN 100 AND 200 AND g IN (1, 3, 5)")
+	tbl, _ := cat.Table("r")
+	xc, _ := tbl.Column("x")
+	gc, _ := tbl.Column("g")
+	var want int64
+	for i := 0; i < tbl.Rows(); i++ {
+		x, g := xc.I32At(i), gc.I32At(i)
+		if x >= 100 && x <= 200 && (g == 1 || g == 3 || g == 5) {
+			want++
+		}
+	}
+	if res.Rows[0][0].I != want {
+		t.Errorf("got %d, want %d", res.Rows[0][0].I, want)
+	}
+}
+
+func TestAdaptiveExecutionSwitchesTiers(t *testing.T) {
+	cat := microCatalog(t, 200000)
+	stmt, _ := sql.ParseSelect("SELECT COUNT(*) FROM r WHERE x < 500 AND y < 0.9")
+	q, _ := sema.Analyze(stmt, cat)
+	p, _ := plan.Build(q)
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierAdaptive}),
+		ExecOptions{MorselRows: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatal("no result")
+	}
+	if stats.MorselsLiftoff+stats.MorselsTurbofan == 0 {
+		t.Error("no morsel accounting")
+	}
+	// With tiny morsels on a large table, optimization should complete
+	// mid-query and the tail must run on turbofan.
+	if stats.MorselsTurbofan == 0 {
+		t.Logf("warning: no turbofan morsels (%d liftoff) — background compile slower than query", stats.MorselsLiftoff)
+	}
+}
+
+func TestResultFlushChunking(t *testing.T) {
+	// More output rows than the result buffer holds forces mid-query
+	// flush callbacks (§6.2). resultCapacityRows is 64K; use 100K rows.
+	cat := catalog.New()
+	tbl, _ := cat.Create("big", []catalog.ColumnDef{{Name: "v", Type: types.TInt32}})
+	for i := 0; i < 100_000; i++ {
+		tbl.AppendRow(types.NewInt32(int32(i)))
+	}
+	res := runQuery(t, cat, "SELECT v FROM big", engine.TierLiftoff)
+	if len(res.Rows) != 100_000 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if int32(row[0].I) != int32(i) {
+			t.Fatalf("row %d: %d", i, row[0].I)
+		}
+	}
+}
+
+func TestWATDumpContainsGeneratedLibrary(t *testing.T) {
+	cat := microCatalog(t, 100)
+	stmt, _ := sql.ParseSelect("SELECT name, COUNT(*) FROM r GROUP BY name ORDER BY name")
+	q, _ := sema.Analyze(stmt, cat)
+	p, _ := plan.Build(q)
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wat := watOf(cq)
+	for _, want := range []string{"$qsort_", "$isort_", "$grow_group", "$alloc", "$q_init", "$pipeline_0"} {
+		if !strings.Contains(wat, want) {
+			t.Errorf("WAT missing %s", want)
+		}
+	}
+}
+
+func watOf(cq *CompiledQuery) string {
+	return wasmPrint(cq)
+}

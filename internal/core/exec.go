@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wasmdb/internal/engine"
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// ExecOptions configures query execution.
+type ExecOptions struct {
+	// Tier selects the engine configuration (default TierAdaptive).
+	Tier engine.Tier
+	// MorselRows is the morsel size (default DefaultMorselRows).
+	MorselRows int
+	// ChunkRows enables chunked rewiring (§6.1) for table-scan pipelines:
+	// instead of mapping whole columns, the executor maps a window of
+	// ChunkRows rows and re-maps the window to the next chunk between
+	// morsel batches — how tables beyond the 32-bit address budget are
+	// processed. Must be a multiple of 65536 so every column's chunk stays
+	// page-aligned; 0 disables chunking.
+	ChunkRows int
+	// WaitOptimized blocks until background optimization finished before
+	// the first morsel runs — used by benchmarks that want to measure pure
+	// TurboFan-tier execution under the adaptive configuration.
+	WaitOptimized bool
+}
+
+// ExecStats reports where time went, phase by phase (the paper's Fig. 10
+// breakdown).
+type ExecStats struct {
+	// Compile covers engine compilation of the generated module.
+	Engine engine.CompileStats
+	// Init covers instantiation, column rewiring, and q_init.
+	Init time.Duration
+	// Run covers pipeline execution.
+	Run time.Duration
+	// MorselsLiftoff and MorselsTurbofan count exported calls served by
+	// each tier — the observable adaptive switch.
+	MorselsLiftoff  uint64
+	MorselsTurbofan uint64
+	// ModuleBytes is the size of the generated Wasm binary.
+	ModuleBytes int
+}
+
+// ResultSet holds decoded query results.
+type ResultSet struct {
+	Names []string
+	Types []types.Type
+	Rows  [][]types.Value
+}
+
+// Execute runs a compiled query against its bound tables on the given
+// engine: it rewires the referenced columns into a fresh linear memory
+// (§6.1), instantiates the module, and drives every pipeline morsel-wise so
+// the engine's background tier-up can swap code between morsels.
+func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptions) (*ResultSet, *ExecStats, error) {
+	stats := &ExecStats{ModuleBytes: len(cq.Bin)}
+	if opt.MorselRows <= 0 {
+		opt.MorselRows = DefaultMorselRows
+	}
+
+	mod, err := eng.Compile(cq.Bin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: engine compile: %w", err)
+	}
+
+	if opt.ChunkRows != 0 && opt.ChunkRows%wmem.PageSize != 0 {
+		return nil, nil, fmt.Errorf("core: ChunkRows must be a multiple of %d", wmem.PageSize)
+	}
+	// Tables scanned by a pipeline are chunk-rewired when chunking is on;
+	// all other referenced tables (build sides) are mapped whole.
+	chunked := map[int]bool{}
+	if opt.ChunkRows > 0 {
+		for _, p := range cq.Pipelines {
+			if p.Kind == PipeScanTable {
+				chunked[p.TableIdx] = true
+			}
+		}
+	}
+
+	t0 := time.Now()
+	mem := wmem.New(cq.MinPages, 65536)
+	for _, cm := range cq.Columns {
+		if chunked[cm.TableIdx] {
+			continue // mapped chunk-by-chunk while scanning
+		}
+		col := q.Tables[cm.TableIdx].Table.Columns[cm.ColIdx]
+		if col.MappedBytes() == 0 {
+			continue
+		}
+		if err := mem.Map(cm.Base, col.Data()); err != nil {
+			return nil, nil, fmt.Errorf("core: rewiring column %s.%s: %w",
+				q.Tables[cm.TableIdx].Table.Name, col.Name, err)
+		}
+	}
+
+	// mapChunk rewires rows [start, start+n) of every referenced column of
+	// table ti into the column's window.
+	mapChunk := func(ti, start, n int) error {
+		for _, cm := range cq.Columns {
+			if cm.TableIdx != ti {
+				continue
+			}
+			col := q.Tables[ti].Table.Columns[cm.ColIdx]
+			sz := col.Type.Size()
+			lo := start * sz
+			hi := (start + n) * sz
+			hi = (hi + wmem.PageSize - 1) &^ (wmem.PageSize - 1)
+			data := col.Data()
+			if hi > len(data) {
+				hi = len(data)
+			}
+			if lo >= hi {
+				continue
+			}
+			if err := mem.Map(cm.Base, data[lo:hi]); err != nil {
+				return fmt.Errorf("core: chunk rewiring %s.%s: %w", q.Tables[ti].Table.Name, col.Name, err)
+			}
+		}
+		return nil
+	}
+
+	res := &ResultSet{}
+	for _, rf := range cq.ResultFields {
+		res.Names = append(res.Names, rf.Name)
+		res.Types = append(res.Types, rf.Type)
+	}
+
+	drain := func(m *wmem.Memory, count uint32) {
+		for i := uint32(0); i < count; i++ {
+			res.Rows = append(res.Rows, decodeRow(m, cq, i))
+		}
+	}
+
+	imports := engine.Imports{
+		Memory: mem,
+		Funcs: map[string]*rt.HostFunc{
+			"env.result_flush": {
+				Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}},
+				Fn: func(env *rt.Env, args, out []uint64) {
+					drain(env.Mem, uint32(args[0]))
+					out[0] = 0
+				},
+			},
+		},
+	}
+	inst, err := mod.Instantiate(imports)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: instantiate: %w", err)
+	}
+	if _, err := inst.Call("q_init"); err != nil {
+		return nil, nil, fmt.Errorf("core: q_init: %w", err)
+	}
+	stats.Init = time.Since(t0)
+
+	if opt.WaitOptimized {
+		if err := mod.WaitOptimized(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	t1 := time.Now()
+	for _, p := range cq.Pipelines {
+		var total int
+		switch p.Kind {
+		case PipeScanTable:
+			total = q.Tables[p.TableIdx].Table.Rows()
+		case PipeScanSlots:
+			total = int(uint32(inst.Global(int(p.CountGlobal)))) + 1
+		case PipeScanArray:
+			total = int(uint32(inst.Global(int(p.CountGlobal))))
+		case PipeScanBuckets:
+			ctrl := uint32(inst.Global(int(p.CountGlobal)))
+			total = int(mem.U32(ctrl+4)) + 1
+		case PipeRunOnce:
+			if _, err := inst.Call(p.Export, 0, 0); err != nil {
+				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, err)
+			}
+			continue
+		}
+		stop := false
+		if p.Kind == PipeScanTable && chunked[p.TableIdx] {
+			// Chunked rewiring: remap the window, then drive morsels with
+			// window-relative row ranges.
+			for cs := 0; cs < total && !stop; cs += opt.ChunkRows {
+				ce := cs + opt.ChunkRows
+				if ce > total {
+					ce = total
+				}
+				if err := mapChunk(p.TableIdx, cs, ce-cs); err != nil {
+					return nil, nil, err
+				}
+				for begin := 0; begin < ce-cs && !stop; begin += opt.MorselRows {
+					end := begin + opt.MorselRows
+					if end > ce-cs {
+						end = ce - cs
+					}
+					r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
+					if err != nil {
+						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, err)
+					}
+					stop = r[0] != 0
+				}
+			}
+			continue
+		}
+		for begin := 0; begin < total && !stop; begin += opt.MorselRows {
+			end := begin + opt.MorselRows
+			if end > total {
+				end = total
+			}
+			r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, err)
+			}
+			stop = r[0] != 0
+		}
+	}
+	// Drain the rows still in the buffer.
+	drain(mem, uint32(inst.Global(int(cq.CursorGlobal))))
+	stats.Run = time.Since(t1)
+	stats.Engine = mod.Stats()
+	stats.MorselsLiftoff, stats.MorselsTurbofan = inst.TierCalls()
+
+	if cq.Limit >= 0 && int64(len(res.Rows)) > cq.Limit {
+		res.Rows = res.Rows[:cq.Limit]
+	}
+	// SQL semantics: a global aggregation over zero input rows still yields
+	// one row (COUNT = 0, SUM/MIN/MAX = 0 by this system's convention).
+	if len(res.Rows) == 0 && q.Grouped && len(q.GroupBy) == 0 && (cq.Limit != 0) {
+		res.Rows = append(res.Rows, zeroAggregateRow(q))
+	}
+	return res, stats, nil
+}
+
+// zeroAggregateRow fabricates the zero-group output row.
+func zeroAggregateRow(q *sema.Query) []types.Value {
+	out := make([]types.Value, len(q.Select))
+	for i, oc := range q.Select {
+		out[i] = evalZero(oc.Expr, q)
+	}
+	return out
+}
+
+func evalZero(e sema.Expr, q *sema.Query) types.Value {
+	switch x := e.(type) {
+	case *sema.Const:
+		return x.V
+	case *sema.AggRef:
+		t := q.Aggs[x.Idx].T
+		switch t.Kind {
+		case types.Float64:
+			return types.NewFloat64(0)
+		case types.Decimal:
+			return types.NewDecimal(0, t.Prec, t.Scale)
+		case types.Int32:
+			return types.NewInt32(0)
+		case types.Date:
+			return types.NewDate(0)
+		default:
+			return types.NewInt64(0)
+		}
+	case *sema.Binary:
+		l := evalZero(x.L, q)
+		if x.Op == sema.OpDiv {
+			return types.NewFloat64(0) // 0/0 reported as 0
+		}
+		return l
+	case *sema.Cast:
+		v := evalZero(x.E, q)
+		if x.To.Kind == types.Float64 {
+			return types.NewFloat64(0)
+		}
+		return v
+	}
+	return types.Value{Type: e.Type()}
+}
+
+// decodeRow reads result row i from guest memory.
+func decodeRow(m *wmem.Memory, cq *CompiledQuery, i uint32) []types.Value {
+	base := cq.ResultBase + i*cq.ResultStride
+	out := make([]types.Value, len(cq.ResultFields))
+	for fi, rf := range cq.ResultFields {
+		addr := base + rf.Offset
+		switch rf.Type.Kind {
+		case types.Bool:
+			out[fi] = types.NewBool(m.U8(addr) != 0)
+		case types.Int32:
+			out[fi] = types.NewInt32(int32(m.U32(addr)))
+		case types.Date:
+			out[fi] = types.NewDate(int32(m.U32(addr)))
+		case types.Int64:
+			out[fi] = types.NewInt64(int64(m.U64(addr)))
+		case types.Decimal:
+			out[fi] = types.NewDecimal(int64(m.U64(addr)), rf.Type.Prec, rf.Type.Scale)
+		case types.Float64:
+			out[fi] = types.NewFloat64(rtF64(m.U64(addr)))
+		case types.Char:
+			b := m.ReadBytes(addr, uint32(rf.Type.Length))
+			end := len(b)
+			for end > 0 && b[end-1] == ' ' {
+				end--
+			}
+			out[fi] = types.NewChar(string(b[:end]), rf.Type.Length)
+		}
+	}
+	return out
+}
+
+func rtF64(bits uint64) float64 { return rt.F64(bits) }

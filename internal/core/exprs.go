@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// gen wraps a function builder with the compiler context and an error slot
+// (emission helpers are void; the first error wins and aborts compilation).
+type gen struct {
+	c   *compiler
+	f   *wasm.FuncBuilder
+	err error
+}
+
+func (g *gen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("core: "+format, args...)
+	}
+}
+
+// loadColumn pushes column[row], given the column's rewired base address.
+// For CHAR columns it pushes the address of the value.
+func (g *gen) loadColumn(base uint32, t types.Type, row wasm.Local) {
+	f := g.f
+	switch t.Kind {
+	case types.Bool:
+		f.LocalGet(row)
+		f.I32Load8U(base)
+	case types.Int32, types.Date:
+		f.LocalGet(row)
+		f.I32Const(2)
+		f.Op(wasm.OpI32Shl)
+		f.I32Load(base)
+	case types.Int64, types.Decimal:
+		f.LocalGet(row)
+		f.I32Const(3)
+		f.Op(wasm.OpI32Shl)
+		f.I64Load(base)
+	case types.Float64:
+		f.LocalGet(row)
+		f.I32Const(3)
+		f.Op(wasm.OpI32Shl)
+		f.F64Load(base)
+	case types.Char:
+		f.LocalGet(row)
+		f.I32Const(int32(t.Length))
+		f.I32Mul()
+		f.I32Const(int32(base))
+		f.I32Add()
+	}
+}
+
+// internString places a string constant in the constant region and returns
+// its guest address.
+func (c *compiler) internString(s string) uint32 {
+	if addr, ok := c.constStrings[s]; ok {
+		return addr
+	}
+	addr := constBase + c.constCursor
+	c.constData = append(c.constData, s...)
+	c.constCursor += uint32(len(s))
+	if c.constCursor > constSize {
+		panic("core: constant region overflow")
+	}
+	c.constStrings[s] = addr
+	return addr
+}
+
+// expr compiles a bound expression, leaving its value on the stack (an i32
+// pointer for CHAR values).
+func (g *gen) expr(e *env, ex sema.Expr) {
+	if b, ok := e.lookup(ex); ok {
+		b.push()
+		return
+	}
+	f := g.f
+	switch x := ex.(type) {
+	case *sema.Const:
+		switch x.V.Type.Kind {
+		case types.Bool, types.Int32, types.Date:
+			f.I32Const(int32(x.V.I))
+		case types.Int64, types.Decimal:
+			f.I64Const(x.V.I)
+		case types.Float64:
+			f.F64Const(x.V.F)
+		case types.Char:
+			f.I32Const(int32(g.c.internString(x.V.S)))
+		default:
+			g.fail("unsupported constant type %s", x.V.Type)
+		}
+	case *sema.ColRef:
+		g.fail("unbound column reference %s", x)
+	case *sema.AggRef:
+		g.fail("unbound aggregate reference %s", x)
+	case *sema.KeyRef:
+		g.fail("unbound key reference %s", x)
+	case *sema.Binary:
+		g.binary(e, x)
+	case *sema.Not:
+		g.expr(e, x.E)
+		f.I32Eqz()
+	case *sema.Cast:
+		g.cast(e, x)
+	case *sema.Like:
+		g.like(e, x)
+	case *sema.Case:
+		g.caseExpr(e, x)
+	case *sema.ExtractYear:
+		g.expr(e, x.E)
+		f.Call(g.c.extractYearFunc().Index)
+	default:
+		g.fail("unsupported expression %T", ex)
+	}
+}
+
+// conjunction evaluates conjuncts as one boolean expression combined with
+// bitwise AND — a single conditional branch per selection, no
+// short-circuiting (matching the paper's mutable).
+func (g *gen) conjunction(e *env, conjuncts []sema.Expr) error {
+	for i, cj := range conjuncts {
+		g.expr(e, cj)
+		if i > 0 {
+			g.f.I32And()
+		}
+	}
+	return g.err
+}
+
+func (g *gen) binary(e *env, x *sema.Binary) {
+	f := g.f
+	// Logical connectives: bitwise on 0/1 (no short-circuit).
+	if x.Op == sema.OpAnd || x.Op == sema.OpOr {
+		g.expr(e, x.L)
+		g.expr(e, x.R)
+		if x.Op == sema.OpAnd {
+			f.I32And()
+		} else {
+			f.I32Or()
+		}
+		return
+	}
+
+	operandT := x.L.Type()
+	if x.Op.IsComparison() {
+		if operandT.Kind == types.Char {
+			g.charCompare(e, x)
+			return
+		}
+		g.expr(e, x.L)
+		g.expr(e, x.R)
+		f.Op(cmpOpcode(x.Op, operandT))
+		return
+	}
+
+	// Arithmetic.
+	g.expr(e, x.L)
+	g.expr(e, x.R)
+	switch x.T.Kind {
+	case types.Int32:
+		switch x.Op {
+		case sema.OpAdd:
+			f.I32Add()
+		case sema.OpSub:
+			f.I32Sub()
+		case sema.OpMul:
+			f.I32Mul()
+		default:
+			g.fail("unexpected i32 operator %s", x.Op)
+		}
+	case types.Int64, types.Decimal:
+		switch x.Op {
+		case sema.OpAdd:
+			f.I64Add()
+		case sema.OpSub:
+			f.I64Sub()
+		case sema.OpMul:
+			f.I64Mul()
+		case sema.OpMod:
+			f.Op(wasm.OpI64RemS)
+		default:
+			g.fail("unexpected i64 operator %s", x.Op)
+		}
+	case types.Float64:
+		switch x.Op {
+		case sema.OpAdd:
+			f.F64Add()
+		case sema.OpSub:
+			f.F64Sub()
+		case sema.OpMul:
+			f.F64Mul()
+		case sema.OpDiv:
+			f.F64Div()
+		default:
+			g.fail("unexpected f64 operator %s", x.Op)
+		}
+	default:
+		g.fail("unsupported arithmetic result type %s", x.T)
+	}
+}
+
+// cmpOpcode returns the wasm comparison opcode for op over operand type t.
+func cmpOpcode(op sema.OpKind, t types.Type) wasm.Opcode {
+	switch t.Kind {
+	case types.Bool, types.Int32, types.Date:
+		switch op {
+		case sema.OpEq:
+			return wasm.OpI32Eq
+		case sema.OpNe:
+			return wasm.OpI32Ne
+		case sema.OpLt:
+			return wasm.OpI32LtS
+		case sema.OpLe:
+			return wasm.OpI32LeS
+		case sema.OpGt:
+			return wasm.OpI32GtS
+		case sema.OpGe:
+			return wasm.OpI32GeS
+		}
+	case types.Int64, types.Decimal:
+		switch op {
+		case sema.OpEq:
+			return wasm.OpI64Eq
+		case sema.OpNe:
+			return wasm.OpI64Ne
+		case sema.OpLt:
+			return wasm.OpI64LtS
+		case sema.OpLe:
+			return wasm.OpI64LeS
+		case sema.OpGt:
+			return wasm.OpI64GtS
+		case sema.OpGe:
+			return wasm.OpI64GeS
+		}
+	case types.Float64:
+		switch op {
+		case sema.OpEq:
+			return wasm.OpF64Eq
+		case sema.OpNe:
+			return wasm.OpF64Ne
+		case sema.OpLt:
+			return wasm.OpF64Lt
+		case sema.OpLe:
+			return wasm.OpF64Le
+		case sema.OpGt:
+			return wasm.OpF64Gt
+		case sema.OpGe:
+			return wasm.OpF64Ge
+		}
+	}
+	panic("core: no comparison opcode")
+}
+
+// charCompare compiles CHAR comparisons through a generated monomorphic
+// string-compare function specialized to the two operand widths.
+func (g *gen) charCompare(e *env, x *sema.Binary) {
+	w1 := x.L.Type().Length
+	w2 := x.R.Type().Length
+	cmp := g.c.strcmpFunc(w1, w2)
+	g.expr(e, x.L)
+	g.expr(e, x.R)
+	g.f.Call(cmp.Index)
+	g.f.I32Const(0)
+	switch x.Op {
+	case sema.OpEq:
+		g.f.I32Eq()
+	case sema.OpNe:
+		g.f.I32Ne()
+	case sema.OpLt:
+		g.f.Op(wasm.OpI32LtS)
+	case sema.OpLe:
+		g.f.Op(wasm.OpI32LeS)
+	case sema.OpGt:
+		g.f.Op(wasm.OpI32GtS)
+	case sema.OpGe:
+		g.f.Op(wasm.OpI32GeS)
+	}
+}
+
+// strcmpFunc generates (once per width pair) a three-way comparison of two
+// space-padded CHAR values, honoring SQL padded-comparison semantics.
+func (c *compiler) strcmpFunc(w1, w2 int) *wasm.FuncBuilder {
+	if f, ok := c.strcmps[[2]int{w1, w2}]; ok {
+		return f
+	}
+	f := c.b.NewFunc(fmt.Sprintf("strcmp_%d_%d", w1, w2),
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	c.strcmps[[2]int{w1, w2}] = f
+	n := w1
+	if w2 > n {
+		n = w2
+	}
+	i := f.AddLocal(wasm.I32)
+	b1 := f.AddLocal(wasm.I32)
+	b2 := f.AddLocal(wasm.I32)
+
+	// loadByteSafe pushes p[i] for i < width and ' ' beyond (SQL padded
+	// comparison), clamping the load index so no out-of-bounds access
+	// happens on the shorter operand.
+	loadByteSafe := func(param wasm.Local, width int) {
+		if width >= n {
+			f.LocalGet(param)
+			f.LocalGet(i)
+			f.I32Add()
+			f.I32Load8U(0)
+			return
+		}
+		// idx = min(i, width-1); b = p[idx]; b = i < width ? b : ' '
+		f.LocalGet(param)
+		f.LocalGet(i)
+		f.I32Const(int32(width - 1))
+		f.LocalGet(i)
+		f.I32Const(int32(width))
+		f.Op(wasm.OpI32LtU)
+		f.Select()
+		f.I32Add()
+		f.I32Load8U(0)
+		f.I32Const(32)
+		f.LocalGet(i)
+		f.I32Const(int32(width))
+		f.Op(wasm.OpI32LtU)
+		f.Select()
+	}
+
+	f.Block(wasm.BlockOf(wasm.I32))
+	f.Loop(wasm.BlockOf(wasm.I32))
+	// if i >= n: equal
+	f.I32Const(0)
+	f.LocalGet(i)
+	f.I32Const(int32(n))
+	f.I32GeU()
+	f.BrIf(1)
+	f.Drop()
+	loadByteSafe(f.Param(0), w1)
+	f.LocalSet(b1)
+	loadByteSafe(f.Param(1), w2)
+	f.LocalSet(b2)
+	// if b1 != b2: return b1 - b2
+	f.LocalGet(b1)
+	f.LocalGet(b2)
+	f.I32Sub()
+	f.LocalGet(b1)
+	f.LocalGet(b2)
+	f.I32Ne()
+	f.BrIf(1)
+	f.Drop()
+	// i++
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	return f
+}
+
+func (g *gen) cast(e *env, x *sema.Cast) {
+	from := x.E.Type()
+	to := x.To
+	g.expr(e, x.E)
+	f := g.f
+	switch {
+	case from.Kind == types.Int32 && to.Kind == types.Int64:
+		f.Op(wasm.OpI64ExtendI32S)
+	case from.Kind == types.Int32 && to.Kind == types.Float64:
+		f.Op(wasm.OpF64ConvertI32S)
+	case from.Kind == types.Int64 && to.Kind == types.Float64:
+		f.Op(wasm.OpF64ConvertI64S)
+	case from.Kind == types.Decimal && to.Kind == types.Float64:
+		f.Op(wasm.OpF64ConvertI64S)
+		f.F64Const(float64(types.Pow10(from.Scale)))
+		f.F64Div()
+	case from.Kind == types.Int32 && to.Kind == types.Decimal:
+		f.Op(wasm.OpI64ExtendI32S)
+		if to.Scale > 0 {
+			f.I64Const(types.Pow10(to.Scale))
+			f.I64Mul()
+		}
+	case from.Kind == types.Int64 && to.Kind == types.Decimal:
+		if to.Scale > 0 {
+			f.I64Const(types.Pow10(to.Scale))
+			f.I64Mul()
+		}
+	case from.Kind == types.Decimal && to.Kind == types.Decimal:
+		if d := to.Scale - from.Scale; d > 0 {
+			f.I64Const(types.Pow10(d))
+			f.I64Mul()
+		} else if d < 0 {
+			f.I64Const(types.Pow10(-d))
+			f.Op(wasm.OpI64DivS)
+		}
+	case from.Kind == types.Date && to.Kind == types.Int32:
+		// Day number is already an i32.
+	case from.Kind == to.Kind:
+		// Identity (e.g. precision-only decimal difference).
+	default:
+		g.fail("unsupported cast %s → %s", from, to)
+	}
+}
+
+func (g *gen) caseExpr(e *env, x *sema.Case) {
+	f := g.f
+	rt := wasmType(x.T)
+	var emit func(i int)
+	emit = func(i int) {
+		if i == len(x.Whens) {
+			g.expr(e, x.Else)
+			return
+		}
+		g.expr(e, x.Whens[i].Cond)
+		f.If(wasm.BlockOf(rt))
+		g.expr(e, x.Whens[i].Then)
+		f.Else()
+		emit(i + 1)
+		f.End()
+	}
+	emit(0)
+}
+
+// extractYearFunc generates (once) the civil-date year extraction over day
+// numbers, using i64 arithmetic and branch-free floored division.
+func (c *compiler) extractYearFunc() *wasm.FuncBuilder {
+	if c.fnExtractYear != nil {
+		return c.fnExtractYear
+	}
+	f := c.b.NewFunc("extract_year", wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	c.fnExtractYear = f
+	// z = days + 719468
+	z := f.AddLocal(wasm.I64)
+	era := f.AddLocal(wasm.I64)
+	doe := f.AddLocal(wasm.I64)
+	yoe := f.AddLocal(wasm.I64)
+	doy := f.AddLocal(wasm.I64)
+	mp := f.AddLocal(wasm.I64)
+	y := f.AddLocal(wasm.I64)
+
+	f.LocalGet(f.Param(0))
+	f.Op(wasm.OpI64ExtendI32S)
+	f.I64Const(719468)
+	f.I64Add()
+	f.LocalSet(z)
+
+	// era = floorDiv(z, 146097): (z >= 0 ? z : z-146096) / 146097
+	f.LocalGet(z)
+	f.LocalGet(z)
+	f.I64Const(146096)
+	f.I64Sub()
+	f.LocalGet(z)
+	f.I64Const(0)
+	f.Op(wasm.OpI64GeS)
+	f.Select()
+	f.I64Const(146097)
+	f.Op(wasm.OpI64DivS)
+	f.LocalSet(era)
+
+	// doe = z - era*146097
+	f.LocalGet(z)
+	f.LocalGet(era)
+	f.I64Const(146097)
+	f.I64Mul()
+	f.I64Sub()
+	f.LocalSet(doe)
+
+	// yoe = (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	f.LocalGet(doe)
+	f.LocalGet(doe)
+	f.I64Const(1460)
+	f.Op(wasm.OpI64DivS)
+	f.I64Sub()
+	f.LocalGet(doe)
+	f.I64Const(36524)
+	f.Op(wasm.OpI64DivS)
+	f.I64Add()
+	f.LocalGet(doe)
+	f.I64Const(146096)
+	f.Op(wasm.OpI64DivS)
+	f.I64Sub()
+	f.I64Const(365)
+	f.Op(wasm.OpI64DivS)
+	f.LocalSet(yoe)
+
+	// doy = doe - (365*yoe + yoe/4 - yoe/100)
+	f.LocalGet(doe)
+	f.LocalGet(yoe)
+	f.I64Const(365)
+	f.I64Mul()
+	f.LocalGet(yoe)
+	f.I64Const(4)
+	f.Op(wasm.OpI64DivS)
+	f.I64Add()
+	f.LocalGet(yoe)
+	f.I64Const(100)
+	f.Op(wasm.OpI64DivS)
+	f.I64Sub()
+	f.I64Sub()
+	f.LocalSet(doy)
+
+	// mp = (5*doy + 2)/153
+	f.LocalGet(doy)
+	f.I64Const(5)
+	f.I64Mul()
+	f.I64Const(2)
+	f.I64Add()
+	f.I64Const(153)
+	f.Op(wasm.OpI64DivS)
+	f.LocalSet(mp)
+
+	// y = yoe + era*400, +1 if month <= 2 (mp >= 10)
+	f.LocalGet(yoe)
+	f.LocalGet(era)
+	f.I64Const(400)
+	f.I64Mul()
+	f.I64Add()
+	f.LocalSet(y)
+
+	f.LocalGet(y)
+	f.I64Const(1)
+	f.I64Add()
+	f.LocalGet(y)
+	f.LocalGet(mp)
+	f.I64Const(10)
+	f.Op(wasm.OpI64GeS)
+	f.Select()
+	f.Op(wasm.OpI32WrapI64)
+	return f
+}
+
+// alloc pushes the address of a fresh, zeroed, 8-aligned allocation of the
+// size currently on the stack (i32), growing memory as needed.
+func (c *compiler) allocFunc() *wasm.FuncBuilder {
+	if c.fnAlloc != nil {
+		return c.fnAlloc
+	}
+	f := c.b.NewFunc("alloc", wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	c.fnAlloc = f
+	ptr := f.AddLocal(wasm.I32)
+	need := f.AddLocal(wasm.I32)
+
+	// ptr = (heap + 7) &^ 7
+	f.GlobalGet(c.gHeap)
+	f.I32Const(7)
+	f.I32Add()
+	f.I32Const(-8)
+	f.I32And()
+	f.LocalSet(ptr)
+	// heap = ptr + size
+	f.LocalGet(ptr)
+	f.LocalGet(f.Param(0))
+	f.I32Add()
+	f.GlobalSet(c.gHeap)
+	// need = (heap + 65535) >> 16; grow if beyond memory.size
+	f.GlobalGet(c.gHeap)
+	f.I32Const(65535)
+	f.I32Add()
+	f.I32Const(16)
+	f.Op(wasm.OpI32ShrU)
+	f.LocalSet(need)
+	f.LocalGet(need)
+	f.MemorySize()
+	f.Op(wasm.OpI32GtU)
+	f.If(wasm.BlockVoid)
+	f.LocalGet(need)
+	f.MemorySize()
+	f.I32Sub()
+	// Grow with headroom to amortize.
+	f.I32Const(16)
+	f.I32Add()
+	f.MemoryGrow()
+	f.I32Const(-1)
+	f.I32Eq()
+	f.If(wasm.BlockVoid)
+	f.Unreachable() // out of memory
+	f.End()
+	f.End()
+	f.LocalGet(ptr)
+	return f
+}

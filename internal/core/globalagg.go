@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/wasm"
+)
+
+// produceGlobalAgg compiles keyless aggregation into module globals — no
+// hash table exists for a single group; the incoming pipeline updates the
+// aggregate registers directly (data-centric compilation as in HyPer and
+// mutable). MIN/MAX updates are branch-free via select (§8.2, Fig. 7d).
+func (c *compiler) produceGlobalAgg(gr *plan.Group, consume consumer) error {
+	states, gCount := c.newGlobalAggStates(gr)
+
+	err := c.produce(gr.Input, func(g *gen, e *env) {
+		f := g.f
+		f.GlobalGet(gCount)
+		f.I64Const(1)
+		f.I64Add()
+		f.GlobalSet(gCount)
+		for i, a := range gr.Aggs {
+			st := states[i]
+			switch a.Func {
+			case sema.AggCountStar, sema.AggCount:
+				f.GlobalGet(st.glob)
+				f.I64Const(1)
+				f.I64Add()
+				f.GlobalSet(st.glob)
+			case sema.AggSum:
+				f.GlobalGet(st.glob)
+				g.expr(e, a.Arg)
+				if st.t == wasm.F64 {
+					f.F64Add()
+				} else {
+					f.I64Add()
+				}
+				f.GlobalSet(st.glob)
+			case sema.AggMin, sema.AggMax:
+				v := f.AddLocal(st.t)
+				g.expr(e, a.Arg)
+				f.LocalSet(v)
+				f.LocalGet(v)
+				f.GlobalGet(st.glob)
+				f.LocalGet(v)
+				f.GlobalGet(st.glob)
+				f.Op(minMaxCmp(a.Func, a.T))
+				f.Select()
+				f.GlobalSet(st.glob)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return c.emitGlobalAggOutput(gr, states, gCount, consume)
+}
+
+type globalAggState struct {
+	glob uint32
+	t    wasm.ValType
+}
+
+// newGlobalAggStates allocates one global per aggregate (initialized to the
+// aggregate's identity) plus a matched-row counter.
+func (c *compiler) newGlobalAggStates(gr *plan.Group) ([]globalAggState, uint32) {
+	states := make([]globalAggState, len(gr.Aggs))
+	gCount := c.b.AddGlobal(wasm.I64, true, 0)
+	for i, a := range gr.Aggs {
+		states[i] = globalAggState{glob: c.b.AddGlobal(wasmType(a.T), true, 0), t: wasmType(a.T)}
+		st := states[i]
+		a := a
+		c.initSteps = append(c.initSteps, func(g *gen) {
+			f := g.f
+			switch {
+			case a.Func == sema.AggMin && st.t == wasm.I64:
+				f.I64Const(1<<63 - 1)
+			case a.Func == sema.AggMax && st.t == wasm.I64:
+				f.I64Const(-1 << 63)
+			case a.Func == sema.AggMin && st.t == wasm.F64:
+				f.F64Const(math.Inf(1))
+			case a.Func == sema.AggMax && st.t == wasm.F64:
+				f.F64Const(math.Inf(-1))
+			case a.Func == sema.AggMin && st.t == wasm.I32:
+				f.I32Const(1<<31 - 1)
+			case a.Func == sema.AggMax && st.t == wasm.I32:
+				f.I32Const(-1 << 31)
+			case st.t == wasm.F64:
+				f.F64Const(0)
+			case st.t == wasm.I32:
+				f.I32Const(0)
+			default:
+				f.I64Const(0)
+			}
+			f.GlobalSet(st.glob)
+		})
+	}
+	return states, gCount
+}
+
+// emitGlobalAggOutput creates the run-once pipeline producing the single
+// output row; MIN/MAX over zero rows fall back to 0 (this system's
+// convention across all engines).
+func (c *compiler) emitGlobalAggOutput(gr *plan.Group, states []globalAggState, gCount uint32, consume consumer) error {
+	g := c.newPipeline(PipeRunOnce, -1, 0)
+	f := g.f
+	e := &env{}
+	for i, a := range gr.Aggs {
+		st := states[i]
+		a := a
+		e.add(&sema.AggRef{Idx: i, T: a.T}, func() {
+			f.GlobalGet(st.glob)
+			if a.Func == sema.AggMin || a.Func == sema.AggMax {
+				switch st.t {
+				case wasm.F64:
+					f.F64Const(0)
+				case wasm.I32:
+					f.I32Const(0)
+				default:
+					f.I64Const(0)
+				}
+				f.GlobalGet(gCount)
+				f.Op(wasm.OpI64Eqz)
+				f.I32Eqz()
+				f.Select()
+			}
+		})
+	}
+	consume(g, e)
+	f.I32Const(0)
+	return g.err
+}

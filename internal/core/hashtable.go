@@ -1,0 +1,507 @@
+package core
+
+import (
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// Ad-hoc generated hash tables (§4.3, §5): open addressing with linear
+// probing over power-of-two capacities. Keys and payloads are stored inline
+// in the entry, monomorphically laid out for the QEP's types; hashing and
+// key comparison are emitted directly into the pipeline code — no
+// type-agnostic interface, no comparison callbacks, no per-access function
+// calls. A generated grow function doubles and rehashes when the table
+// exceeds 75 % load.
+
+// htEntryFlagSize reserves 8 bytes at the front of each entry for the
+// occupancy flag so that 8-byte fields stay naturally aligned.
+const htEntryFlagSize = 8
+
+// htInfo describes one generated hash table.
+type htInfo struct {
+	name   string
+	layout tupleLayout
+	keys   []sema.Expr
+	gBase  uint32
+	gMask  uint32
+	gCount uint32
+	grow   *wasm.FuncBuilder
+}
+
+// keySrc supplies one key value in the current emission context: pushVal
+// leaves the value (or CHAR pointer) on the stack.
+type keySrc struct {
+	t       types.Type
+	pushVal func()
+}
+
+// newHashTable declares globals, the init step, and the grow function for a
+// hash table whose entries contain the given fields (keys must be a prefix
+// subset of fields by structural equality).
+func (c *compiler) newHashTable(name string, fields []sema.Expr, keys []sema.Expr, initialCap uint32) *htInfo {
+	ht := &htInfo{
+		name:   name,
+		layout: buildLayout(dedupExprs(fields), htEntryFlagSize),
+		keys:   keys,
+		gBase:  c.b.AddGlobal(wasm.I32, true, 0),
+		gMask:  c.b.AddGlobal(wasm.I32, true, 0),
+		gCount: c.b.AddGlobal(wasm.I32, true, 0),
+	}
+	if initialCap < 64 {
+		initialCap = 64
+	}
+	initialCap = pow2ceil(initialCap)
+
+	// Init step: allocate the zeroed initial table.
+	c.initSteps = append(c.initSteps, func(g *gen) {
+		g.f.I32Const(int32(initialCap * ht.layout.stride))
+		g.f.Call(c.allocFunc().Index)
+		g.f.GlobalSet(ht.gBase)
+		g.f.I32Const(int32(initialCap - 1))
+		g.f.GlobalSet(ht.gMask)
+		g.f.I32Const(0)
+		g.f.GlobalSet(ht.gCount)
+	})
+
+	ht.grow = c.genGrowFunc(ht)
+	return ht
+}
+
+func dedupExprs(in []sema.Expr) []sema.Expr {
+	var out []sema.Expr
+	for _, e := range in {
+		dup := false
+		for _, o := range out {
+			if sema.Equal(o, e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func pow2ceil(v uint32) uint32 {
+	p := uint32(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// emitHash computes the hash of the key sources into an i64 local and
+// returns it. Numeric keys are mixed with multiply-xorshift; CHAR keys are
+// FNV-1a over the padding-stripped bytes, so equal logical strings of
+// different declared widths hash identically.
+func (g *gen) emitHash(keys []keySrc) wasm.Local {
+	f := g.f
+	h := f.AddLocal(wasm.I64)
+	f.I64Const(-3750763034362895579) // FNV-1a 64 offset basis
+	f.LocalSet(h)
+	for _, k := range keys {
+		switch k.t.Kind {
+		case types.Char:
+			ptr := f.AddLocal(wasm.I32)
+			llen := f.AddLocal(wasm.I32)
+			i := f.AddLocal(wasm.I32)
+			k.pushVal()
+			f.LocalSet(ptr)
+			emitLogicalLen(f, ptr, llen, k.t.Length)
+			f.I32Const(0)
+			f.LocalSet(i)
+			f.Block(wasm.BlockVoid)
+			f.Loop(wasm.BlockVoid)
+			f.LocalGet(i)
+			f.LocalGet(llen)
+			f.I32GeU()
+			f.BrIf(1)
+			// h = (h ^ byte) * prime
+			f.LocalGet(h)
+			f.LocalGet(ptr)
+			f.LocalGet(i)
+			f.I32Add()
+			f.I32Load8U(0)
+			f.Op(wasm.OpI64ExtendI32U)
+			f.Op(wasm.OpI64Xor)
+			f.I64Const(1099511628211)
+			f.I64Mul()
+			f.LocalSet(h)
+			f.LocalGet(i)
+			f.I32Const(1)
+			f.I32Add()
+			f.LocalSet(i)
+			f.Br(0)
+			f.End()
+			f.End()
+		default:
+			f.LocalGet(h)
+			k.pushVal()
+			g.toI64Bits(k.t)
+			f.Op(wasm.OpI64Xor)
+			f.I64Const(-0x61c8864680b583eb) // golden-ratio multiplier
+			f.I64Mul()
+			f.LocalSet(h)
+		}
+	}
+	// Final avalanche: h ^= h >> 29.
+	f.LocalGet(h)
+	f.LocalGet(h)
+	f.I64Const(29)
+	f.Op(wasm.OpI64ShrU)
+	f.Op(wasm.OpI64Xor)
+	f.LocalSet(h)
+	return h
+}
+
+// toI64Bits converts the stack top of the given type to i64 bits.
+func (g *gen) toI64Bits(t types.Type) {
+	switch t.Kind {
+	case types.Bool, types.Int32, types.Date:
+		g.f.Op(wasm.OpI64ExtendI32S)
+	case types.Int64, types.Decimal:
+	case types.Float64:
+		g.f.Op(wasm.OpI64ReinterpretF64)
+	default:
+		g.fail("cannot hash type %s", t)
+	}
+}
+
+// emitSlotIndex computes (h & mask) as an i32 local from the i64 hash.
+func (g *gen) emitSlotIndex(ht *htInfo, h wasm.Local) wasm.Local {
+	f := g.f
+	idx := f.AddLocal(wasm.I32)
+	f.LocalGet(h)
+	f.Op(wasm.OpI32WrapI64)
+	f.GlobalGet(ht.gMask)
+	f.I32And()
+	f.LocalSet(idx)
+	return idx
+}
+
+// emitEntryPtr computes base + idx*stride into a local.
+func (g *gen) emitEntryPtr(ht *htInfo, idx wasm.Local, entry wasm.Local) {
+	f := g.f
+	f.GlobalGet(ht.gBase)
+	f.LocalGet(idx)
+	f.I32Const(int32(ht.layout.stride))
+	f.I32Mul()
+	f.I32Add()
+	f.LocalSet(entry)
+}
+
+// loadField pushes the field's value (or CHAR pointer) from the entry at
+// the pointer local.
+func (g *gen) loadField(ptr wasm.Local, fld field) {
+	f := g.f
+	f.LocalGet(ptr)
+	switch fld.t.Kind {
+	case types.Bool:
+		f.I32Load8U(fld.offset)
+	case types.Int32, types.Date:
+		f.I32Load(fld.offset)
+	case types.Int64, types.Decimal:
+		f.I64Load(fld.offset)
+	case types.Float64:
+		f.F64Load(fld.offset)
+	case types.Char:
+		if fld.offset != 0 {
+			f.I32Const(int32(fld.offset))
+			f.I32Add()
+		}
+	}
+}
+
+// storeFieldFromStack stores a value already on the stack into the entry
+// field (numeric types only; CHAR uses copyCharField).
+func (g *gen) storeFieldFromStack(ptr wasm.Local, fld field, pushVal func()) {
+	f := g.f
+	switch fld.t.Kind {
+	case types.Bool:
+		f.LocalGet(ptr)
+		pushVal()
+		f.I32Store8(fld.offset)
+	case types.Int32, types.Date:
+		f.LocalGet(ptr)
+		pushVal()
+		f.I32Store(fld.offset)
+	case types.Int64, types.Decimal:
+		f.LocalGet(ptr)
+		pushVal()
+		f.I64Store(fld.offset)
+	case types.Float64:
+		f.LocalGet(ptr)
+		pushVal()
+		f.F64Store(fld.offset)
+	case types.Char:
+		g.copyChar(ptr, fld.offset, pushVal, fld.t.Length)
+	}
+}
+
+// copyChar copies a CHAR value (source pointer pushed by pushSrc) into
+// dst+offset, width bytes, with a simple byte loop.
+func (g *gen) copyChar(dst wasm.Local, offset uint32, pushSrc func(), width int) {
+	f := g.f
+	src := f.AddLocal(wasm.I32)
+	i := f.AddLocal(wasm.I32)
+	pushSrc()
+	f.LocalSet(src)
+	f.I32Const(0)
+	f.LocalSet(i)
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(i)
+	f.I32Const(int32(width))
+	f.I32GeU()
+	f.BrIf(1)
+	f.LocalGet(dst)
+	f.LocalGet(i)
+	f.I32Add()
+	f.LocalGet(src)
+	f.LocalGet(i)
+	f.I32Add()
+	f.I32Load8U(0)
+	f.I32Store8(offset)
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+}
+
+// emitKeysEqual pushes 1 if the probe keys equal the stored keys of the
+// entry at the pointer local. Comparison code is fully inlined and
+// monomorphic per key type.
+func (g *gen) emitKeysEqual(ht *htInfo, probe []keySrc, entry wasm.Local) {
+	f := g.f
+	for i, k := range probe {
+		fld, ok := ht.layout.find(ht.keys[i])
+		if !ok {
+			g.fail("hash table %s: key %s not in entry layout", ht.name, ht.keys[i])
+			f.I32Const(0)
+			return
+		}
+		switch k.t.Kind {
+		case types.Char:
+			if k.t.Length == fld.t.Length && k.t.Length <= 8 {
+				// Fully inlined byte-wise equality for short fixed-width
+				// keys (both sides share the same padding).
+				ptr := f.AddLocal(wasm.I32)
+				k.pushVal()
+				f.LocalSet(ptr)
+				for j := 0; j < k.t.Length; j++ {
+					f.LocalGet(ptr)
+					f.I32Load8U(uint32(j))
+					g.loadField(entry, fld)
+					f.I32Load8U(uint32(j))
+					f.I32Eq()
+					if j > 0 {
+						f.I32And()
+					}
+				}
+				break
+			}
+			cmp := g.c.strcmpFunc(k.t.Length, fld.t.Length)
+			k.pushVal()
+			g.loadField(entry, fld)
+			f.Call(cmp.Index)
+			f.I32Eqz()
+		case types.Float64:
+			k.pushVal()
+			g.loadField(entry, fld)
+			f.Op(wasm.OpF64Eq)
+		case types.Int64, types.Decimal:
+			k.pushVal()
+			g.loadField(entry, fld)
+			f.Op(wasm.OpI64Eq)
+		default:
+			k.pushVal()
+			g.loadField(entry, fld)
+			f.I32Eq()
+		}
+		if i > 0 {
+			f.I32And()
+		}
+	}
+	if len(probe) == 0 {
+		f.I32Const(1)
+	}
+}
+
+// genGrowFunc generates the doubling/rehash routine for a hash table.
+func (c *compiler) genGrowFunc(ht *htInfo) *wasm.FuncBuilder {
+	f := c.b.NewFunc("grow_"+ht.name, wasm.FuncType{})
+	g := &gen{c: c, f: f}
+
+	oldBase := f.AddLocal(wasm.I32)
+	oldCap := f.AddLocal(wasm.I32)
+	newBase := f.AddLocal(wasm.I32)
+	newMask := f.AddLocal(wasm.I32)
+	i := f.AddLocal(wasm.I32)
+	entry := f.AddLocal(wasm.I32)
+	ne := f.AddLocal(wasm.I32)
+	j := f.AddLocal(wasm.I32)
+	w := f.AddLocal(wasm.I32)
+
+	stride := int32(ht.layout.stride)
+
+	f.GlobalGet(ht.gBase)
+	f.LocalSet(oldBase)
+	f.GlobalGet(ht.gMask)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(oldCap)
+	// newCap = oldCap*2; newMask = newCap-1
+	f.LocalGet(oldCap)
+	f.I32Const(1)
+	f.Op(wasm.OpI32Shl)
+	f.I32Const(int32(ht.layout.stride))
+	f.I32Mul()
+	f.Call(c.allocFunc().Index)
+	f.LocalSet(newBase)
+	f.LocalGet(oldCap)
+	f.I32Const(1)
+	f.Op(wasm.OpI32Shl)
+	f.I32Const(1)
+	f.I32Sub()
+	f.LocalSet(newMask)
+
+	// for i in 0..oldCap
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(i)
+	f.LocalGet(oldCap)
+	f.I32GeU()
+	f.BrIf(1)
+	// entry = oldBase + i*stride
+	f.LocalGet(oldBase)
+	f.LocalGet(i)
+	f.I32Const(stride)
+	f.I32Mul()
+	f.I32Add()
+	f.LocalSet(entry)
+	// if filled
+	f.LocalGet(entry)
+	f.Emit(wasm.OpI32Load, 0, 2)
+	f.If(wasm.BlockVoid)
+	// rehash from stored keys
+	var stored []keySrc
+	for _, k := range ht.keys {
+		fld, ok := ht.layout.find(k)
+		if !ok {
+			g.fail("grow: key not found")
+			continue
+		}
+		kf := fld
+		stored = append(stored, keySrc{t: kf.t, pushVal: func() { g.loadField(entry, kf) }})
+	}
+	h := g.emitHash(stored)
+	// j = h & newMask
+	f.LocalGet(h)
+	f.Op(wasm.OpI32WrapI64)
+	f.LocalGet(newMask)
+	f.I32And()
+	f.LocalSet(j)
+	// find first empty slot in new table
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(newBase)
+	f.LocalGet(j)
+	f.I32Const(stride)
+	f.I32Mul()
+	f.I32Add()
+	f.LocalSet(ne)
+	f.LocalGet(ne)
+	f.Emit(wasm.OpI32Load, 0, 2)
+	f.I32Eqz()
+	f.BrIf(1)
+	f.LocalGet(j)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalGet(newMask)
+	f.I32And()
+	f.LocalSet(j)
+	f.Br(0)
+	f.End()
+	f.End()
+	// copy entry (stride is a multiple of 8): word loop
+	f.I32Const(0)
+	f.LocalSet(w)
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(w)
+	f.I32Const(stride)
+	f.I32GeU()
+	f.BrIf(1)
+	f.LocalGet(ne)
+	f.LocalGet(w)
+	f.I32Add()
+	f.LocalGet(entry)
+	f.LocalGet(w)
+	f.I32Add()
+	f.I64Load(0)
+	f.I64Store(0)
+	f.LocalGet(w)
+	f.I32Const(8)
+	f.I32Add()
+	f.LocalSet(w)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.End() // if filled
+	// i++
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(newBase)
+	f.GlobalSet(ht.gBase)
+	f.LocalGet(newMask)
+	f.GlobalSet(ht.gMask)
+	if g.err != nil {
+		panic(g.err)
+	}
+	return f
+}
+
+// emitMaybeGrow emits the load-factor check and conditional grow call.
+func (g *gen) emitMaybeGrow(ht *htInfo) {
+	f := g.f
+	f.GlobalGet(ht.gCount)
+	f.I32Const(4)
+	f.I32Mul()
+	f.GlobalGet(ht.gMask)
+	f.I32Const(1)
+	f.I32Add()
+	f.I32Const(3)
+	f.I32Mul()
+	f.I32GeU()
+	f.If(wasm.BlockVoid)
+	f.Call(ht.grow.Index)
+	f.End()
+}
+
+// keySrcsFromEnv materializes key expressions into locals once and returns
+// key sources reading those locals (so probe loops do not recompute keys).
+func (g *gen) keySrcsFromEnv(e *env, keys []sema.Expr) []keySrc {
+	f := g.f
+	out := make([]keySrc, len(keys))
+	for i, k := range keys {
+		t := k.Type()
+		l := f.AddLocal(wasmType(t))
+		g.expr(e, k)
+		f.LocalSet(l)
+		lv := l
+		out[i] = keySrc{t: t, pushVal: func() { f.LocalGet(lv) }}
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"wasmdb/internal/sema"
+	"wasmdb/internal/wasm"
+)
+
+// like compiles a LIKE predicate. Every pattern becomes a monomorphic
+// generated matcher specialized to the pattern text and the operand's CHAR
+// width — ad-hoc library generation in miniature (§5): no generic regex
+// machinery exists at runtime, only the loop this pattern needs.
+func (g *gen) like(e *env, x *sema.Like) {
+	w := x.E.Type().Length
+	fn := g.c.likeFunc(x, w)
+	g.expr(e, x.E)
+	g.f.Call(fn.Index)
+	if x.Not {
+		g.f.I32Eqz()
+	}
+}
+
+func (c *compiler) likeFunc(x *sema.Like, w int) *wasm.FuncBuilder {
+	key := fmt.Sprintf("%d|%d|%s", x.Kind, w, x.Pattern)
+	if f, ok := c.likes[key]; ok {
+		return f
+	}
+	f := c.b.NewFunc(fmt.Sprintf("like_%d", len(c.likes)),
+		wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	c.likes[key] = f
+
+	switch x.Kind {
+	case sema.LikeExact:
+		c.emitLikeExact(f, x.Needle, w)
+	case sema.LikePrefix:
+		c.emitLikePrefix(f, x.Needle, w)
+	case sema.LikeSuffix:
+		c.emitLikeSuffix(f, x.Needle, w)
+	case sema.LikeContains:
+		c.emitLikeContains(f, x.Needle, w)
+	default:
+		c.emitLikeComplex(f, x.Pattern, w)
+	}
+	return f
+}
+
+// emitMemEqConst emits code pushing 1 if the w bytes at (ptr + off) equal
+// the constant needle, where off is an i32 local; needle address is baked.
+func (c *compiler) emitMemEqConst(f *wasm.FuncBuilder, ptr wasm.Local, offset wasm.Local, needle string) {
+	addr := c.internString(needle)
+	i := f.AddLocal(wasm.I32)
+	f.I32Const(0)
+	f.LocalSet(i)
+	f.Block(wasm.BlockOf(wasm.I32))
+	f.Loop(wasm.BlockOf(wasm.I32))
+	// if i >= len: all equal
+	f.I32Const(1)
+	f.LocalGet(i)
+	f.I32Const(int32(len(needle)))
+	f.I32GeU()
+	f.BrIf(1)
+	f.Drop()
+	// if p[off+i] != needle[i]: 0
+	f.I32Const(0)
+	f.LocalGet(ptr)
+	f.LocalGet(offset)
+	f.I32Add()
+	f.LocalGet(i)
+	f.I32Add()
+	f.I32Load8U(0)
+	f.LocalGet(i)
+	f.I32Load8U(addr)
+	f.I32Ne()
+	f.BrIf(1)
+	f.Drop()
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+}
+
+func (c *compiler) emitLikeExact(f *wasm.FuncBuilder, needle string, w int) {
+	if len(needle) > w {
+		f.I32Const(0)
+		return
+	}
+	llen := f.AddLocal(wasm.I32)
+	zero := f.AddLocal(wasm.I32)
+	emitLogicalLen(f, f.Param(0), llen, w)
+	// llen == len(needle) && memeq
+	f.LocalGet(llen)
+	f.I32Const(int32(len(needle)))
+	f.I32Eq()
+	f.If(wasm.BlockOf(wasm.I32))
+	c.emitMemEqConst(f, f.Param(0), zero, needle)
+	f.Else()
+	f.I32Const(0)
+	f.End()
+}
+
+func (c *compiler) emitLikePrefix(f *wasm.FuncBuilder, needle string, w int) {
+	if len(needle) > w {
+		f.I32Const(0)
+		return
+	}
+	zero := f.AddLocal(wasm.I32)
+	c.emitMemEqConst(f, f.Param(0), zero, needle)
+}
+
+func (c *compiler) emitLikeSuffix(f *wasm.FuncBuilder, needle string, w int) {
+	if len(needle) > w {
+		f.I32Const(0)
+		return
+	}
+	llen := f.AddLocal(wasm.I32)
+	off := f.AddLocal(wasm.I32)
+	emitLogicalLen(f, f.Param(0), llen, w)
+	// llen >= len && memeq at llen-len
+	f.LocalGet(llen)
+	f.I32Const(int32(len(needle)))
+	f.I32GeU()
+	f.If(wasm.BlockOf(wasm.I32))
+	f.LocalGet(llen)
+	f.I32Const(int32(len(needle)))
+	f.I32Sub()
+	f.LocalSet(off)
+	c.emitMemEqConst(f, f.Param(0), off, needle)
+	f.Else()
+	f.I32Const(0)
+	f.End()
+}
+
+func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, needle string, w int) {
+	if len(needle) > w {
+		f.I32Const(0)
+		return
+	}
+	llen := f.AddLocal(wasm.I32)
+	off := f.AddLocal(wasm.I32)
+	emitLogicalLen(f, f.Param(0), llen, w)
+	f.I32Const(0)
+	f.LocalSet(off)
+	f.Block(wasm.BlockOf(wasm.I32))
+	f.Loop(wasm.BlockOf(wasm.I32))
+	// if off + len > llen: no match
+	f.I32Const(0)
+	f.LocalGet(off)
+	f.I32Const(int32(len(needle)))
+	f.I32Add()
+	f.LocalGet(llen)
+	f.Op(wasm.OpI32GtU)
+	f.BrIf(1)
+	f.Drop()
+	// if memeq at off: match
+	f.I32Const(1)
+	c.emitMemEqConst(f, f.Param(0), off, needle)
+	f.BrIf(1)
+	f.Drop()
+	f.LocalGet(off)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(off)
+	f.Br(0)
+	f.End()
+	f.End()
+}
+
+// emitLikeComplex generates the classic iterative glob matcher with
+// single-star backtracking over the logical string, with the pattern baked
+// into the constant region.
+func (c *compiler) emitLikeComplex(f *wasm.FuncBuilder, pattern string, w int) {
+	pAddr := c.internString(pattern)
+	plen := int32(len(pattern))
+
+	llen := f.AddLocal(wasm.I32)
+	s := f.AddLocal(wasm.I32)
+	p := f.AddLocal(wasm.I32)
+	star := f.AddLocal(wasm.I32)
+	ss := f.AddLocal(wasm.I32)
+	pc := f.AddLocal(wasm.I32) // current pattern byte
+
+	emitLogicalLen(f, f.Param(0), llen, w)
+	f.I32Const(-1)
+	f.LocalSet(star)
+
+	f.Block(wasm.BlockOf(wasm.I32)) // result
+	f.Loop(wasm.BlockOf(wasm.I32))
+	// while s < llen
+	f.LocalGet(s)
+	f.LocalGet(llen)
+	f.I32GeU()
+	f.If(wasm.BlockVoid)
+	// Consume trailing %'s: while p < plen && pat[p] == '%': p++
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(p)
+	f.I32Const(plen)
+	f.I32GeU()
+	f.BrIf(1)
+	f.LocalGet(p)
+	f.I32Load8U(pAddr)
+	f.I32Const('%')
+	f.I32Ne()
+	f.BrIf(1)
+	f.LocalGet(p)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(p)
+	f.Br(0)
+	f.End()
+	f.End()
+	// return p == plen
+	f.LocalGet(p)
+	f.I32Const(plen)
+	f.I32Eq()
+	f.Br(2) // to result block
+	f.End()
+
+	// pc = p < plen ? pat[p] : 0
+	f.LocalGet(p)
+	f.I32Const(plen)
+	f.Op(wasm.OpI32LtU)
+	f.If(wasm.BlockOf(wasm.I32))
+	f.LocalGet(p)
+	f.I32Load8U(pAddr)
+	f.Else()
+	f.I32Const(0)
+	f.End()
+	f.LocalSet(pc)
+
+	// if pc == '%': star = p, ss = s, p++
+	f.LocalGet(pc)
+	f.I32Const('%')
+	f.I32Eq()
+	f.If(wasm.BlockVoid)
+	f.LocalGet(p)
+	f.LocalSet(star)
+	f.LocalGet(s)
+	f.LocalSet(ss)
+	f.LocalGet(p)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(p)
+	f.Else()
+	// else if pc == '_' or pc == str[s]: s++, p++
+	f.LocalGet(pc)
+	f.I32Const('_')
+	f.I32Eq()
+	f.LocalGet(pc)
+	f.LocalGet(f.Param(0))
+	f.LocalGet(s)
+	f.I32Add()
+	f.I32Load8U(0)
+	f.I32Eq()
+	f.I32Or()
+	f.If(wasm.BlockVoid)
+	f.LocalGet(s)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(s)
+	f.LocalGet(p)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(p)
+	f.Else()
+	// else if star >= 0: p = star+1, ss++, s = ss
+	f.LocalGet(star)
+	f.I32Const(0)
+	f.Op(wasm.OpI32GeS)
+	f.If(wasm.BlockVoid)
+	f.LocalGet(star)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(p)
+	f.LocalGet(ss)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalTee(ss)
+	f.LocalSet(s)
+	f.Else()
+	// else: no match
+	f.I32Const(0)
+	f.Br(4)
+	f.End()
+	f.End()
+	f.End()
+	f.Br(0)
+	f.End() // loop
+	f.End() // result block
+}
+
+// emitLogicalLen emits code computing the logical (padding-stripped)
+// length of the CHAR value at the pointer in ptr, storing it into llen.
+func emitLogicalLen(f *wasm.FuncBuilder, ptr wasm.Local, llen wasm.Local, w int) {
+	f.I32Const(int32(w))
+	f.LocalSet(llen)
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(llen)
+	f.I32Eqz()
+	f.BrIf(1)
+	f.LocalGet(ptr)
+	f.LocalGet(llen)
+	f.I32Add()
+	f.I32Const(1)
+	f.I32Sub()
+	f.I32Load8U(0)
+	f.I32Const(32)
+	f.I32Ne()
+	f.BrIf(1)
+	f.LocalGet(llen)
+	f.I32Const(1)
+	f.I32Sub()
+	f.LocalSet(llen)
+	f.Br(0)
+	f.End()
+	f.End()
+}

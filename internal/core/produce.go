@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// resultConsumer emits the final step of the last pipeline: write the output
+// row to the result buffer, flushing to the host when the buffer fills
+// (§6.2), and stop early once LIMIT is reached.
+func (c *compiler) resultConsumer(proj *plan.Project) consumer {
+	return func(g *gen, e *env) {
+		f := g.f
+		// Flush when full: cursor = result_flush(cursor).
+		f.GlobalGet(c.gCursor)
+		f.I32Const(resultCapacityRows)
+		f.I32GeU()
+		f.If(wasm.BlockVoid)
+		f.GlobalGet(c.gCursor)
+		f.Call(c.fnResultFlush)
+		f.GlobalSet(c.gCursor)
+		f.End()
+
+		// rowPtr = ResultBase + cursor*stride
+		rowPtr := f.AddLocal(wasm.I32)
+		f.GlobalGet(c.gCursor)
+		f.I32Const(int32(c.resultLayout.stride))
+		f.I32Mul()
+		f.I32Const(int32(c.out.ResultBase))
+		f.I32Add()
+		f.LocalSet(rowPtr)
+
+		for _, fld := range c.resultLayout.fields {
+			fld := fld
+			g.storeFieldFromStack(rowPtr, fld, func() { g.expr(e, fld.expr) })
+		}
+
+		// cursor++
+		f.GlobalGet(c.gCursor)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalSet(c.gCursor)
+
+		// LIMIT: totalRows++; if totalRows >= N return 1.
+		if c.out.Limit >= 0 {
+			f.GlobalGet(c.gTotalRows)
+			f.I32Const(1)
+			f.I32Add()
+			f.GlobalSet(c.gTotalRows)
+			f.GlobalGet(c.gTotalRows)
+			f.I32Const(int32(c.out.Limit))
+			f.I32GeU()
+			f.If(wasm.BlockVoid)
+			f.I32Const(1)
+			f.Return()
+			f.End()
+		}
+	}
+}
+
+// produceGroup compiles hash-based grouping & aggregation (§4.3): the
+// feeding pipeline updates a generated hash table; a new pipeline then scans
+// the table's slots.
+func (c *compiler) produceGroup(gr *plan.Group, consume consumer) error {
+	// Entry fields: group keys followed by one slot per aggregate
+	// (referenced as AggRef in the post-aggregation domain).
+	fields := append([]sema.Expr{}, gr.Keys...)
+	var aggSlots []*sema.AggRef
+	for i, a := range gr.Aggs {
+		ref := &sema.AggRef{Idx: i, T: a.T}
+		aggSlots = append(aggSlots, ref)
+		fields = append(fields, ref)
+		if a.Arg != nil && a.Arg.Type().Kind == types.Char {
+			return fmt.Errorf("core: aggregates over CHAR are not supported")
+		}
+	}
+	est := uint32(1024)
+	ht := c.newHashTable(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys, est)
+
+	// Feeding pipeline: insert-or-update.
+	err := c.produce(gr.Input, func(g *gen, e *env) {
+		f := g.f
+		keys := g.keySrcsFromEnv(e, gr.Keys)
+		// Aggregate arguments, computed once per tuple.
+		argLocals := make([]wasm.Local, len(gr.Aggs))
+		for i, a := range gr.Aggs {
+			if a.Arg == nil {
+				continue
+			}
+			l := f.AddLocal(wasmType(a.Arg.Type()))
+			g.expr(e, a.Arg)
+			f.LocalSet(l)
+			argLocals[i] = l
+		}
+
+		h := g.emitHash(keys)
+		idx := g.emitSlotIndex(ht, h)
+		entry := f.AddLocal(wasm.I32)
+
+		f.Block(wasm.BlockVoid) // done
+		f.Loop(wasm.BlockVoid)
+		g.emitEntryPtr(ht, idx, entry)
+		f.LocalGet(entry)
+		f.Emit(wasm.OpI32Load, 0, 2) // occupancy flag
+		f.I32Eqz()
+		f.If(wasm.BlockVoid)
+		// Claim: flag=1, store keys, init aggregates.
+		f.LocalGet(entry)
+		f.I32Const(1)
+		f.I32Store(0)
+		for i, k := range gr.Keys {
+			fld, _ := ht.layout.find(k)
+			ks := keys[i]
+			g.storeFieldFromStack(entry, fld, ks.pushVal)
+		}
+		for i, a := range gr.Aggs {
+			fld, _ := ht.layout.find(aggSlots[i])
+			g.emitAggInit(entry, fld, a, argLocals[i])
+		}
+		// count++, maybe grow.
+		f.GlobalGet(ht.gCount)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalSet(ht.gCount)
+		g.emitMaybeGrow(ht)
+		f.Br(2) // done
+		f.End()
+		// Occupied: keys equal → update; else advance.
+		g.emitKeysEqual(ht, keys, entry)
+		f.If(wasm.BlockVoid)
+		for i, a := range gr.Aggs {
+			fld, _ := ht.layout.find(aggSlots[i])
+			g.emitAggUpdate(entry, fld, a, argLocals[i])
+		}
+		f.Br(2) // done
+		f.End()
+		f.LocalGet(idx)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalGet(ht.gMask)
+		f.I32And()
+		f.LocalSet(idx)
+		f.Br(0)
+		f.End()
+		f.End()
+	})
+	if err != nil {
+		return err
+	}
+
+	// Scanning pipeline: iterate slots [begin, end), skip empty, bind
+	// KeyRef/AggRef to entry fields.
+	g := c.newPipeline(PipeScanSlots, -1, ht.gMask)
+	f := g.f
+	slot := f.AddLocal(wasm.I32)
+	entry := f.AddLocal(wasm.I32)
+	f.LocalGet(f.Param(0))
+	f.LocalSet(slot)
+
+	e := &env{}
+	for i, k := range gr.Keys {
+		kf, _ := ht.layout.find(k)
+		e.add(&sema.KeyRef{Idx: i, T: k.Type()}, func() { g.loadField(entry, kf) })
+	}
+	for i := range gr.Aggs {
+		af, _ := ht.layout.find(aggSlots[i])
+		e.add(aggSlots[i], func() { g.loadField(entry, af) })
+	}
+
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(slot)
+	f.LocalGet(f.Param(1))
+	f.I32GeU()
+	f.BrIf(1)
+	g.emitEntryPtr(ht, slot, entry)
+	f.LocalGet(entry)
+	f.Emit(wasm.OpI32Load, 0, 2)
+	f.If(wasm.BlockVoid)
+	consume(g, e)
+	f.End()
+	f.LocalGet(slot)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(slot)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.I32Const(0)
+	return g.err
+}
+
+// emitAggInit initializes an aggregate slot from the first tuple of a group.
+func (g *gen) emitAggInit(entry wasm.Local, fld field, a sema.Aggregate, arg wasm.Local) {
+	f := g.f
+	switch a.Func {
+	case sema.AggCountStar, sema.AggCount:
+		g.storeFieldFromStack(entry, fld, func() { f.I64Const(1) })
+	case sema.AggSum, sema.AggMin, sema.AggMax:
+		g.storeFieldFromStack(entry, fld, func() { f.LocalGet(arg) })
+	}
+}
+
+// emitAggUpdate folds the current tuple into an aggregate slot. MIN and MAX
+// are branch-free via select (§8.2, Fig. 7d).
+func (g *gen) emitAggUpdate(entry wasm.Local, fld field, a sema.Aggregate, arg wasm.Local) {
+	f := g.f
+	switch a.Func {
+	case sema.AggCountStar, sema.AggCount:
+		g.storeFieldFromStack(entry, fld, func() {
+			g.loadField(entry, fld)
+			f.I64Const(1)
+			f.I64Add()
+		})
+	case sema.AggSum:
+		g.storeFieldFromStack(entry, fld, func() {
+			g.loadField(entry, fld)
+			f.LocalGet(arg)
+			if fld.t.Kind == types.Float64 {
+				f.F64Add()
+			} else {
+				f.I64Add()
+			}
+		})
+	case sema.AggMin, sema.AggMax:
+		g.storeFieldFromStack(entry, fld, func() {
+			// select(new, old, cmp) — branch-free.
+			f.LocalGet(arg)
+			g.loadField(entry, fld)
+			f.LocalGet(arg)
+			g.loadField(entry, fld)
+			op := minMaxCmp(a.Func, fld.t)
+			f.Op(op)
+			f.Select()
+		})
+	}
+}
+
+func minMaxCmp(fn sema.AggFunc, t types.Type) wasm.Opcode {
+	lt := fn == sema.AggMin
+	switch t.Kind {
+	case types.Int32, types.Date, types.Bool:
+		if lt {
+			return wasm.OpI32LtS
+		}
+		return wasm.OpI32GtS
+	case types.Int64, types.Decimal:
+		if lt {
+			return wasm.OpI64LtS
+		}
+		return wasm.OpI64GtS
+	case types.Float64:
+		if lt {
+			return wasm.OpF64Lt
+		}
+		return wasm.OpF64Gt
+	}
+	panic("core: no min/max comparison")
+}
+
+// produceJoin compiles a simple hash join (§4.3): the build pipeline inserts
+// build-side tuples into a generated table; the probe side continues its
+// pipeline through an inlined probe loop.
+func (c *compiler) produceJoin(j *plan.HashJoin, consume consumer) error {
+	// Payload: every referenced column of the build side, plus the keys.
+	buildTables := j.Build.Tables()
+	fields := append([]sema.Expr{}, j.BuildKeys...)
+	used := map[[2]int]bool{}
+	c.collectColumns(used)
+	for ti := range c.q.Tables {
+		if !buildTables[ti] {
+			continue
+		}
+		tbl := c.q.Tables[ti].Table
+		for ci, col := range tbl.Columns {
+			if used[[2]int{ti, ci}] {
+				fields = append(fields, &sema.ColRef{Table: ti, Col: ci, T: col.Type, Name: col.Name})
+			}
+		}
+	}
+	ht := c.newHashTable(fmt.Sprintf("join%d", len(c.pipes)), fields, j.BuildKeys, uint32(j.Build.Rows()/2))
+
+	// Build pipeline: append-style insert (duplicates coexist).
+	err := c.produce(j.Build, func(g *gen, e *env) {
+		f := g.f
+		keys := g.keySrcsFromEnv(e, j.BuildKeys)
+		h := g.emitHash(keys)
+		idx := g.emitSlotIndex(ht, h)
+		entry := f.AddLocal(wasm.I32)
+
+		f.Block(wasm.BlockVoid)
+		f.Loop(wasm.BlockVoid)
+		g.emitEntryPtr(ht, idx, entry)
+		f.LocalGet(entry)
+		f.Emit(wasm.OpI32Load, 0, 2)
+		f.I32Eqz()
+		f.If(wasm.BlockVoid)
+		f.LocalGet(entry)
+		f.I32Const(1)
+		f.I32Store(0)
+		// Store every entry field from the build-side environment.
+		for _, fld := range ht.layout.fields {
+			fld := fld
+			g.storeFieldFromStack(entry, fld, func() { g.expr(e, fld.expr) })
+		}
+		f.GlobalGet(ht.gCount)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalSet(ht.gCount)
+		g.emitMaybeGrow(ht)
+		f.Br(2)
+		f.End()
+		f.LocalGet(idx)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalGet(ht.gMask)
+		f.I32And()
+		f.LocalSet(idx)
+		f.Br(0)
+		f.End()
+		f.End()
+	})
+	if err != nil {
+		return err
+	}
+
+	// Probe side: continue the enclosing pipeline.
+	return c.produce(j.Probe, func(g *gen, e *env) {
+		f := g.f
+		keys := g.keySrcsFromEnv(e, j.ProbeKeys)
+		h := g.emitHash(keys)
+		idx := g.emitSlotIndex(ht, h)
+		entry := f.AddLocal(wasm.I32)
+
+		// Extended environment: probe bindings plus entry fields.
+		e2 := &env{binds: append([]binding{}, e.binds...)}
+		for _, fld := range ht.layout.fields {
+			fld := fld
+			e2.add(fld.expr, func() { g.loadField(entry, fld) })
+		}
+
+		f.Block(wasm.BlockVoid) // probe done
+		f.Loop(wasm.BlockVoid)
+		g.emitEntryPtr(ht, idx, entry)
+		f.LocalGet(entry)
+		f.Emit(wasm.OpI32Load, 0, 2)
+		f.I32Eqz()
+		f.BrIf(1) // empty slot: no more candidates
+		g.emitKeysEqual(ht, keys, entry)
+		f.If(wasm.BlockVoid)
+		if len(j.Residual) > 0 {
+			if err := g.conjunction(e2, j.Residual); err != nil {
+				return
+			}
+			f.If(wasm.BlockVoid)
+			consume(g, e2)
+			f.End()
+		} else {
+			consume(g, e2)
+		}
+		f.End()
+		f.LocalGet(idx)
+		f.I32Const(1)
+		f.I32Add()
+		f.GlobalGet(ht.gMask)
+		f.I32And()
+		f.LocalSet(idx)
+		f.Br(0)
+		f.End()
+		f.End()
+	})
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+)
+
+// runStyled compiles with the given style and runs on turbofan.
+func runStyled(t *testing.T, cat *catalog.Catalog, src string, style Style) *ResultSet {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileStyled(q, p, style)
+	if err != nil {
+		t.Fatalf("compile styled: %v", err)
+	}
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierTurbofan}), ExecOptions{MorselRows: 700})
+	if err != nil {
+		t.Fatalf("execute styled: %v", err)
+	}
+	return res
+}
+
+// hyperStyle is the HyPer-like configuration: all library designs on.
+var hyperStyle = Style{LibraryHT: true, LibrarySort: true, PredicatedSelection: true}
+
+// TestStyledMatchesSpecialized runs the same queries through the ad-hoc
+// specialized compiler and the library-style compiler and requires identical
+// result sets (order-insensitive where no ORDER BY is present).
+func TestStyledMatchesSpecialized(t *testing.T) {
+	cat := microCatalog(t, 4000)
+	ordered := []string{
+		"SELECT id, x FROM r WHERE g = 2 ORDER BY x DESC, id LIMIT 20",
+		"SELECT name, COUNT(*) FROM r GROUP BY name ORDER BY name",
+		"SELECT g, SUM(big) FROM r GROUP BY g ORDER BY g",
+	}
+	unordered := []string{
+		"SELECT COUNT(*) FROM r WHERE x < 300",
+		"SELECT COUNT(*), SUM(big), MIN(x), MAX(x) FROM r WHERE y < 0.5",
+		"SELECT g, COUNT(*), MIN(price), MAX(price) FROM r GROUP BY g",
+		"SELECT COUNT(*), SUM(s.v) FROM r, s WHERE r.id = s.rid AND r.x < 500",
+		"SELECT r.g, COUNT(*) FROM r JOIN s ON r.id = s.rid GROUP BY r.g",
+		"SELECT COUNT(*) FROM r WHERE x < -5",
+		"SELECT COUNT(*), MIN(x) FROM r WHERE x < -5", // empty: min falls back to 0
+	}
+	for _, src := range ordered {
+		spec := runStyled(t, cat, src, Style{})
+		lib := runStyled(t, cat, src, hyperStyle)
+		if fmtRows(spec) != fmtRows(lib) {
+			t.Errorf("%s:\nspecialized:\n%slibrary:\n%s", src, fmtRows(spec), fmtRows(lib))
+		}
+	}
+	for _, src := range unordered {
+		spec := sortedRows(runStyled(t, cat, src, Style{}))
+		lib := sortedRows(runStyled(t, cat, src, hyperStyle))
+		if len(spec) != len(lib) {
+			t.Errorf("%s: %d vs %d rows", src, len(spec), len(lib))
+			continue
+		}
+		for i := range spec {
+			if spec[i] != lib[i] {
+				t.Errorf("%s row %d:\n%s\nvs\n%s", src, i, spec[i], lib[i])
+				break
+			}
+		}
+	}
+}
+
+// TestStyledFlagsIndividually exercises each library design alone (the
+// ablation configurations).
+func TestStyledFlagsIndividually(t *testing.T) {
+	cat := microCatalog(t, 3000)
+	cases := []struct {
+		name  string
+		style Style
+		query string
+	}{
+		{"library-ht-group", Style{LibraryHT: true}, "SELECT g, COUNT(*), SUM(big) FROM r GROUP BY g ORDER BY g"},
+		{"library-ht-join", Style{LibraryHT: true}, "SELECT COUNT(*), SUM(s.v) FROM r, s WHERE r.id = s.rid"},
+		{"library-sort", Style{LibrarySort: true}, "SELECT id, x FROM r WHERE g = 1 ORDER BY x, id LIMIT 50"},
+		{"predicated", Style{PredicatedSelection: true}, "SELECT COUNT(*), SUM(big), MIN(x), MAX(x) FROM r WHERE x < 500 AND y < 0.7"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := runStyled(t, cat, c.query, Style{})
+			lib := runStyled(t, cat, c.query, c.style)
+			s1, s2 := sortedRows(spec), sortedRows(lib)
+			if len(s1) != len(s2) {
+				t.Fatalf("rows: %d vs %d", len(s1), len(s2))
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("row %d: %s vs %s", i, s1[i], s2[i])
+				}
+			}
+		})
+	}
+}

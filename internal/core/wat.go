@@ -1,0 +1,9 @@
+package core
+
+import "wasmdb/internal/wasm"
+
+// WAT renders the generated module in text form (for EXPLAIN and the
+// examples/adhoc demo).
+func (cq *CompiledQuery) WAT() string { return wasm.Print(cq.Module) }
+
+func wasmPrint(cq *CompiledQuery) string { return cq.WAT() }

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"wasmdb/internal/wasm"
+)
+
+// TestConcurrentInstances shares one compiled module across goroutines, each
+// with its own instance — the engine's code objects must be reusable while
+// background tier-up swaps them.
+func TestConcurrentInstances(t *testing.T) {
+	b := wasm.NewModuleBuilder()
+	f := b.NewFunc("tri", wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	acc := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I64)
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(i)
+	f.LocalGet(0)
+	f.Op(wasm.OpI64GeS)
+	f.BrIf(1)
+	f.LocalGet(acc)
+	f.LocalGet(i)
+	f.I64Add()
+	f.LocalSet(acc)
+	f.LocalGet(i)
+	f.I64Const(1)
+	f.I64Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(acc)
+	b.Export("tri", wasm.ExternFunc, f.Index)
+	bin := b.Bytes()
+
+	m, err := New(Config{Tier: TierAdaptive}).Compile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			inst, err := m.Instantiate(Imports{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for k := 0; k < 200; k++ {
+				n := uint64(100 + g + k)
+				res, err := inst.Call("tri", n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := n * (n - 1) / 2; res[0] != want {
+					t.Errorf("tri(%d) = %d, want %d", n, res[0], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := m.WaitOptimized(); err != nil {
+		t.Fatal(err)
+	}
+}

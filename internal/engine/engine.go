@@ -1,0 +1,377 @@
+// Package engine is the embeddable WebAssembly execution engine — the
+// stand-in for V8 in the paper's architecture (§2.2). It decodes and
+// validates binary modules, compiles every function with the fast baseline
+// tier (liftoff), optionally compiles with the optimizing tier (turbofan) —
+// synchronously or concurrently in the background — and dispatches each call
+// to the best code available at that moment. Background tier-up replaces
+// code at function granularity via an atomic pointer swap, so a query that
+// invokes its pipeline function once per morsel transparently migrates from
+// baseline to optimized code mid-query, exactly the adaptive execution the
+// paper delegates to the engine.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wasmdb/internal/engine/liftoff"
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/engine/turbofan"
+	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/wasm"
+)
+
+// Tier selects the compilation strategy.
+type Tier int
+
+// Available tiers.
+const (
+	// TierAdaptive compiles with liftoff synchronously and with turbofan in
+	// the background, swapping code in as it becomes ready (the default,
+	// mirroring V8's Liftoff→TurboFan pipeline).
+	TierAdaptive Tier = iota
+	// TierLiftoff uses only the baseline compiler.
+	TierLiftoff
+	// TierTurbofan compiles everything with the optimizing compiler before
+	// execution begins.
+	TierTurbofan
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierAdaptive:
+		return "adaptive"
+	case TierLiftoff:
+		return "liftoff"
+	case TierTurbofan:
+		return "turbofan"
+	}
+	return "unknown"
+}
+
+// Config configures an Engine.
+type Config struct {
+	Tier Tier
+	// OptRounds overrides the optimizing tier's optimization budget
+	// (default turbofan.DefaultOptRounds). Large values model heavier,
+	// LLVM-grade compilation pipelines (used by the HyPer-like baseline).
+	OptRounds int
+}
+
+// Engine compiles modules. It is stateless and safe for concurrent use.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+func (e *Engine) optRounds() int {
+	if e.cfg.OptRounds > 0 {
+		return e.cfg.OptRounds
+	}
+	return turbofan.DefaultOptRounds
+}
+
+// CompileStats records the cost of each compilation phase.
+type CompileStats struct {
+	Decode   time.Duration
+	Validate time.Duration
+	Liftoff  time.Duration
+	// Turbofan is the optimizing-tier compile time. Under TierAdaptive it is
+	// measured on the background goroutine and is valid after WaitOptimized.
+	Turbofan  time.Duration
+	CodeBytes int
+	NumFuncs  int
+}
+
+// guestFunc dispatches calls to the best available code for one function.
+type guestFunc struct {
+	code atomic.Pointer[tiered]
+}
+
+type tiered struct {
+	tier Tier
+	c    rt.Callee
+}
+
+// Call implements rt.Callee.
+func (g *guestFunc) Call(env *rt.Env, args, res []uint64) {
+	g.code.Load().c.Call(env, args, res)
+}
+
+// Module is a compiled module ready for instantiation.
+type Module struct {
+	wmod  *wasm.Module
+	funcs []*guestFunc
+
+	mu        sync.Mutex
+	stats     CompileStats
+	optimized chan struct{}
+	optErr    error
+}
+
+// Compile decodes, validates, and compiles a binary module according to the
+// engine's tier configuration.
+func (e *Engine) Compile(bin []byte) (*Module, error) {
+	t0 := time.Now()
+	wmod, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	if err := wasm.Validate(wmod); err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+
+	m := &Module{wmod: wmod, optimized: make(chan struct{})}
+	m.stats.Decode = t1.Sub(t0)
+	m.stats.Validate = t2.Sub(t1)
+	m.stats.CodeBytes = len(bin)
+	m.stats.NumFuncs = len(wmod.Funcs)
+
+	switch e.cfg.Tier {
+	case TierTurbofan:
+		start := time.Now()
+		for i := range wmod.Funcs {
+			tf, err := turbofan.CompileRounds(wmod, &wmod.Funcs[i], e.optRounds())
+			if err != nil {
+				return nil, err
+			}
+			g := &guestFunc{}
+			g.code.Store(&tiered{tier: TierTurbofan, c: tf})
+			m.funcs = append(m.funcs, g)
+		}
+		m.stats.Turbofan = time.Since(start)
+		close(m.optimized)
+	default:
+		start := time.Now()
+		for i := range wmod.Funcs {
+			lo, err := liftoff.Compile(wmod, &wmod.Funcs[i])
+			if err != nil {
+				return nil, err
+			}
+			g := &guestFunc{}
+			g.code.Store(&tiered{tier: TierLiftoff, c: lo})
+			m.funcs = append(m.funcs, g)
+		}
+		m.stats.Liftoff = time.Since(start)
+		if e.cfg.Tier == TierAdaptive {
+			go m.optimize(e.optRounds())
+		} else {
+			close(m.optimized)
+		}
+	}
+	return m, nil
+}
+
+// optimize runs turbofan over every function in the background, publishing
+// each one as it completes.
+func (m *Module) optimize(rounds int) {
+	start := time.Now()
+	var firstErr error
+	for i := range m.wmod.Funcs {
+		tf, err := turbofan.CompileRounds(m.wmod, &m.wmod.Funcs[i], rounds)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // keep running on liftoff code
+		}
+		m.funcs[i].code.Store(&tiered{tier: TierTurbofan, c: tf})
+	}
+	m.mu.Lock()
+	m.stats.Turbofan = time.Since(start)
+	m.optErr = firstErr
+	m.mu.Unlock()
+	close(m.optimized)
+}
+
+// WaitOptimized blocks until background optimization has finished (it
+// returns immediately for non-adaptive tiers) and reports any compile error;
+// execution continues on baseline code for functions that failed.
+func (m *Module) WaitOptimized() error {
+	<-m.optimized
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.optErr
+}
+
+// Stats returns the compile statistics gathered so far.
+func (m *Module) Stats() CompileStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Imports supplies the host side of a module's imports.
+type Imports struct {
+	// Funcs maps "module.name" to host implementations.
+	Funcs map[string]*rt.HostFunc
+	// Memory satisfies a memory import — this is the SetModuleMemory() of
+	// the paper: the instance operates directly on host-managed memory.
+	Memory *wmem.Memory
+}
+
+// Instance is an instantiated module.
+type Instance struct {
+	mod *Module
+	env *rt.Env
+
+	// Per-tier counts of exported calls, for observing adaptive switching.
+	callsLiftoff  atomic.Uint64
+	callsTurbofan atomic.Uint64
+}
+
+// Instantiate links a compiled module against imports, initializes globals,
+// table, and data segments, and runs the start function if present.
+func (m *Module) Instantiate(imp Imports) (*Instance, error) {
+	wm := m.wmod
+	env := &rt.Env{Types: wm.Types}
+
+	// Resolve imports.
+	for _, im := range wm.Imports {
+		switch im.Kind {
+		case wasm.ExternFunc:
+			key := im.Module + "." + im.Name
+			hf := imp.Funcs[key]
+			if hf == nil {
+				return nil, fmt.Errorf("engine: unresolved function import %q", key)
+			}
+			if !hf.Type.Equal(wm.Types[im.Type]) {
+				return nil, fmt.Errorf("engine: import %q signature mismatch: host %v, module %v", key, hf.Type, wm.Types[im.Type])
+			}
+			env.Funcs = append(env.Funcs, hf)
+			env.FuncTypes = append(env.FuncTypes, im.Type)
+		case wasm.ExternMemory:
+			if imp.Memory == nil {
+				return nil, errors.New("engine: module imports memory but none provided")
+			}
+			if imp.Memory.Pages() < im.Mem.Min {
+				return nil, fmt.Errorf("engine: imported memory has %d pages, module requires %d", imp.Memory.Pages(), im.Mem.Min)
+			}
+			env.Mem = imp.Memory
+		case wasm.ExternGlobal, wasm.ExternTable:
+			return nil, errors.New("engine: global/table imports not supported")
+		}
+	}
+	for i, g := range m.funcs {
+		env.Funcs = append(env.Funcs, g)
+		env.FuncTypes = append(env.FuncTypes, wm.Funcs[i].Type)
+	}
+
+	// Memory.
+	if wm.HasMemory {
+		if env.Mem != nil {
+			return nil, errors.New("engine: module both imports and defines memory")
+		}
+		maxPages := wm.Memory.Max
+		if !wm.Memory.HasMax {
+			maxPages = 65536
+		}
+		env.Mem = wmem.New(wm.Memory.Min, maxPages)
+	}
+
+	// Globals.
+	for _, g := range wm.Globals {
+		env.Globals = append(env.Globals, g.Init)
+	}
+
+	// Table and element segments.
+	if wm.HasTable {
+		env.Table = make([]uint32, wm.TableMin)
+		for i := range env.Table {
+			env.Table[i] = ^uint32(0)
+		}
+		for _, seg := range wm.Elems {
+			if int(seg.Offset)+len(seg.Funcs) > len(env.Table) {
+				return nil, errors.New("engine: element segment out of bounds")
+			}
+			copy(env.Table[seg.Offset:], seg.Funcs)
+		}
+	}
+
+	// Data segments.
+	for _, d := range wm.Data {
+		if env.Mem == nil {
+			return nil, errors.New("engine: data segment without memory")
+		}
+		if uint64(d.Offset)+uint64(len(d.Bytes)) > uint64(env.Mem.Pages())*wmem.PageSize {
+			return nil, errors.New("engine: data segment out of bounds")
+		}
+		env.Mem.WriteBytes(d.Offset, d.Bytes)
+	}
+
+	inst := &Instance{mod: m, env: env}
+	if wm.Start >= 0 {
+		if _, err := inst.CallIndex(uint32(wm.Start)); err != nil {
+			return nil, fmt.Errorf("engine: start function: %w", err)
+		}
+	}
+	return inst, nil
+}
+
+// Memory returns the instance's linear memory.
+func (i *Instance) Memory() *wmem.Memory { return i.env.Mem }
+
+// Global returns the current value of a module-defined global.
+func (i *Instance) Global(idx int) uint64 { return i.env.Globals[idx] }
+
+// Call invokes an exported function by name. Raw 64-bit argument and result
+// values follow the wasm value representation.
+func (i *Instance) Call(name string, args ...uint64) ([]uint64, error) {
+	idx, ok := i.mod.wmod.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no exported function %q", name)
+	}
+	return i.CallIndex(idx, args...)
+}
+
+// CallIndex invokes a function by index.
+func (i *Instance) CallIndex(idx uint32, args ...uint64) (results []uint64, err error) {
+	if idx >= uint32(len(i.env.Funcs)) {
+		return nil, fmt.Errorf("engine: function index %d out of range", idx)
+	}
+	ft := i.mod.wmod.Types[i.env.FuncTypes[idx]]
+	if len(args) != len(ft.Params) {
+		return nil, fmt.Errorf("engine: function expects %d arguments, got %d", len(ft.Params), len(args))
+	}
+	// Record which tier serves this call, for adaptive-execution stats.
+	if g, ok := i.env.Funcs[idx].(*guestFunc); ok {
+		if g.code.Load().tier == TierTurbofan {
+			i.callsTurbofan.Add(1)
+		} else {
+			i.callsLiftoff.Add(1)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			switch t := r.(type) {
+			case *rt.TrapError:
+				err = t
+			case *wmem.Trap:
+				err = t
+			default:
+				panic(r)
+			}
+			i.env.Reset()
+		}
+	}()
+	res := make([]uint64, len(ft.Results))
+	i.env.Funcs[idx].Call(i.env, args, res)
+	return res, nil
+}
+
+// TierCalls reports how many exported calls were served by each tier since
+// instantiation — the observable trace of adaptive code replacement.
+func (i *Instance) TierCalls() (liftoffCalls, turbofanCalls uint64) {
+	return i.callsLiftoff.Load(), i.callsTurbofan.Load()
+}
+
+// WaitOptimized blocks until the instance's module finished background
+// optimization.
+func (i *Instance) WaitOptimized() error { return i.mod.WaitOptimized() }

@@ -1,0 +1,165 @@
+package liftoff
+
+import (
+	"testing"
+
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/wasm"
+)
+
+// compileOne builds a single-function module and compiles it.
+func compileOne(t *testing.T, build func(f *wasm.FuncBuilder), ft wasm.FuncType) *Code {
+	t.Helper()
+	b := wasm.NewModuleBuilder()
+	f := b.NewFunc("f", ft)
+	build(f)
+	m := b.Module()
+	if err := wasm.Validate(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	c, err := Compile(m, &m.Funcs[0])
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func call1(t *testing.T, c *Code, args ...uint64) uint64 {
+	t.Helper()
+	env := &rt.Env{Funcs: []rt.Callee{c}}
+	res := make([]uint64, c.NResults)
+	c.Call(env, args, res)
+	if len(res) == 0 {
+		return 0
+	}
+	return res[0]
+}
+
+func TestDeadCodeSkipped(t *testing.T) {
+	// Code after br is dead and must not be translated into the stream in a
+	// way that breaks heights.
+	c := compileOne(t, func(f *wasm.FuncBuilder) {
+		f.Block(wasm.BlockOf(wasm.I32))
+		f.I32Const(1)
+		f.Br(0)
+		// dead, stack-polymorphic garbage
+		f.I32Add()
+		f.I32Add()
+		f.End()
+	}, wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
+	if got := call1(t, c); got != 1 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestIfWithoutElseDead(t *testing.T) {
+	// then-arm ends in br; the false path must fall through to end.
+	c := compileOne(t, func(f *wasm.FuncBuilder) {
+		out := f.AddLocal(wasm.I32)
+		f.Block(wasm.BlockVoid)
+		f.LocalGet(0)
+		f.If(wasm.BlockVoid)
+		f.I32Const(10)
+		f.LocalSet(out)
+		f.Br(1)
+		f.End()
+		f.I32Const(20)
+		f.LocalSet(out)
+		f.End()
+		f.LocalGet(out)
+	}, wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	if got := call1(t, c, 1); got != 10 {
+		t.Errorf("taken: %d", got)
+	}
+	if got := call1(t, c, 0); got != 20 {
+		t.Errorf("not taken: %d", got)
+	}
+}
+
+func TestBranchWithValueUnwinding(t *testing.T) {
+	// br carrying a value out of a block with extra stack entries forces
+	// the unwind path.
+	c := compileOne(t, func(f *wasm.FuncBuilder) {
+		f.Block(wasm.BlockOf(wasm.I32))
+		f.I32Const(7) // extra stack entry below the result
+		f.I32Const(42)
+		f.LocalGet(0)
+		f.BrIf(0)  // if p0: return 42 with height mismatch → unwind
+		f.I32Add() // else 7+42 = 49
+		f.End()
+	}, wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	if got := call1(t, c, 1); got != 42 {
+		t.Errorf("taken: %d", got)
+	}
+	if got := call1(t, c, 0); got != 49 {
+		t.Errorf("fallthrough: %d", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// sum of i*j for i,j in [0,n)
+	c := compileOne(t, func(f *wasm.FuncBuilder) {
+		n := f.Param(0)
+		i := f.AddLocal(wasm.I64)
+		j := f.AddLocal(wasm.I64)
+		acc := f.AddLocal(wasm.I64)
+		f.Block(wasm.BlockVoid)
+		f.Loop(wasm.BlockVoid)
+		f.LocalGet(i)
+		f.LocalGet(n)
+		f.Op(wasm.OpI64GeS)
+		f.BrIf(1)
+		f.I64Const(0)
+		f.LocalSet(j)
+		f.Block(wasm.BlockVoid)
+		f.Loop(wasm.BlockVoid)
+		f.LocalGet(j)
+		f.LocalGet(n)
+		f.Op(wasm.OpI64GeS)
+		f.BrIf(1)
+		f.LocalGet(acc)
+		f.LocalGet(i)
+		f.LocalGet(j)
+		f.I64Mul()
+		f.I64Add()
+		f.LocalSet(acc)
+		f.LocalGet(j)
+		f.I64Const(1)
+		f.I64Add()
+		f.LocalSet(j)
+		f.Br(0)
+		f.End()
+		f.End()
+		f.LocalGet(i)
+		f.I64Const(1)
+		f.I64Add()
+		f.LocalSet(i)
+		f.Br(0)
+		f.End()
+		f.End()
+		f.LocalGet(acc)
+	}, wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	n := int64(20)
+	want := uint64((n * (n - 1) / 2) * (n * (n - 1) / 2))
+	if got := call1(t, c, uint64(n)); got != want {
+		t.Errorf("got %d want %d", got, want)
+	}
+}
+
+func TestCompileIsCheap(t *testing.T) {
+	// The baseline tier is a single pass: instruction count of the output
+	// must be O(input) and MaxStack must be bounded.
+	c := compileOne(t, func(f *wasm.FuncBuilder) {
+		for i := 0; i < 100; i++ {
+			f.I32Const(int32(i))
+			f.Drop()
+		}
+		f.I32Const(0)
+	}, wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
+	if len(c.ins) > 250 {
+		t.Errorf("instruction blowup: %d", len(c.ins))
+	}
+	if c.MaxStack > 4 {
+		t.Errorf("MaxStack = %d", c.MaxStack)
+	}
+}

@@ -1,0 +1,109 @@
+// Package rt holds the shared runtime types used by both execution tiers.
+// It defines the call convention between compiled functions, the execution
+// environment (memory, globals, function table), and trap handling.
+package rt
+
+import (
+	"fmt"
+
+	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/wasm"
+)
+
+// MaxCallDepth bounds guest recursion; exceeding it traps.
+const MaxCallDepth = 20000
+
+// Callee is anything invocable by guest code: a tiered guest function or a
+// host function. Args and res may alias the caller's operand stack; a callee
+// must consume args before producing res.
+type Callee interface {
+	Call(env *Env, args, res []uint64)
+}
+
+// HostFunc adapts a Go function to the guest call convention.
+type HostFunc struct {
+	Type wasm.FuncType
+	Fn   func(env *Env, args, res []uint64)
+}
+
+// Call implements Callee.
+func (h *HostFunc) Call(env *Env, args, res []uint64) { h.Fn(env, args, res) }
+
+// Env is the per-instance execution environment shared by all frames.
+type Env struct {
+	Mem     *wmem.Memory
+	Globals []uint64
+	// Funcs maps function index (imports first) to callable code.
+	Funcs []Callee
+	// FuncTypes maps function index to its type index; Types is the module
+	// type section. Both serve call_indirect signature checks.
+	FuncTypes []uint32
+	Types     []wasm.FuncType
+	// Table is the funcref table; entries are function indices, ^0 if null.
+	Table []uint32
+	Depth int
+
+	// arena is the shared value-stack arena for interpreter frames.
+	arena []uint64
+	top   int
+}
+
+// TrapError is a non-memory trap (unreachable, division by zero, bad
+// conversion, indirect call failure, stack exhaustion).
+type TrapError struct{ Msg string }
+
+func (t *TrapError) Error() string { return "wasm trap: " + t.Msg }
+
+// Trap panics with a TrapError; the engine recovers it at the call boundary.
+func Trap(format string, args ...any) {
+	panic(&TrapError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Frame carves n value slots from the shared arena. Release with PopFrame in
+// LIFO order.
+func (e *Env) Frame(n int) []uint64 {
+	if e.top+n > len(e.arena) {
+		grow := len(e.arena)*2 + n + 4096
+		na := make([]uint64, grow)
+		copy(na, e.arena[:e.top])
+		e.arena = na
+	}
+	f := e.arena[e.top : e.top+n : e.top+n]
+	for i := range f {
+		f[i] = 0
+	}
+	e.top += n
+	return f
+}
+
+// PopFrame releases the most recent n slots.
+func (e *Env) PopFrame(n int) { e.top -= n }
+
+// Reset discards all frames and resets the call depth. The engine calls it
+// after recovering from a trap, when unwinding skipped the usual PopFrame
+// bookkeeping.
+func (e *Env) Reset() {
+	e.top = 0
+	e.Depth = 0
+}
+
+// Enter increments the call depth, trapping on exhaustion.
+func (e *Env) Enter() {
+	e.Depth++
+	if e.Depth > MaxCallDepth {
+		Trap("call stack exhausted")
+	}
+}
+
+// Exit decrements the call depth.
+func (e *Env) Exit() { e.Depth-- }
+
+// CheckAddr validates that an access of size bytes at base+offset stays
+// within the 32-bit address space and returns the effective address.
+func CheckAddr(base uint64, offset uint64, size uint32) uint32 {
+	ea := uint64(uint32(base)) + offset
+	if ea+uint64(size) > 1<<32 {
+		panic(&wmem.Trap{Addr: uint32(ea), Size: size, Msg: "out-of-bounds memory access"})
+	}
+	return uint32(ea)
+}

@@ -1,0 +1,365 @@
+// Package turbofan is the optimizing tier of the execution engine, named
+// after V8's optimizing compiler. It compiles validated WebAssembly into
+// register-machine code: the operand stack is eliminated (every stack slot
+// maps to a fixed virtual register), then block-local constant folding, copy
+// propagation, compare-and-branch fusion, jump threading, and global
+// liveness-based dead-code elimination run over the basic-block graph.
+// Compilation costs several passes — an order of magnitude more than liftoff
+// — and yields correspondingly faster code, reproducing the tier asymmetry
+// the paper's architecture delegates to V8 (§2.2).
+package turbofan
+
+import (
+	"math"
+	"math/bits"
+
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/wasm"
+)
+
+// tin is a three-address register instruction. Simple value operations reuse
+// the wasm.Opcode numbering (d ← a op b); extended opcodes ≥ 0x100 cover
+// control flow, calls, and fused forms.
+type tin struct {
+	op      uint16
+	d, a, b int32
+	imm     uint64
+}
+
+// Extended opcodes.
+const (
+	tMove         = 0x100 + iota // d ← a
+	tJump                        // imm = target block
+	tJumpIfZero                  // if a == 0 goto imm
+	tJumpIfNot                   // if a != 0 goto imm
+	tBrTable                     // switch a over tables[imm]
+	tRet                         // return; results in regs [nLocals, nLocals+nResults)
+	tCall                        // call imm; args at regs [a, a+np), results at [a, a+nr); b = np<<16|nr
+	tCallIndirect                // like tCall; imm = type index; table index in reg a+np
+	tSelect                      // d ← (regs[imm] != 0) ? a : b
+	tUnreachable                 // trap
+	tMemorySize                  // d ← pages
+	tMemoryGrow                  // d ← grow(a)
+	tGlobalGet                   // d ← globals[imm]
+	tGlobalSet                   // globals[imm] ← a
+	tNop                         // removed at linearization
+)
+
+// Fused compare-and-branch opcodes: tBrCmpBase+k branches to imm when
+// comparison k of (a, b) is true; tBrCmpNotBase+k branches when it is false.
+// k indexes the comparison kinds below.
+const (
+	tBrCmpBase    = 0x200
+	tBrCmpNotBase = 0x240
+	numCmpKinds   = 32
+)
+
+// Comparison kind indices.
+const (
+	cmpI32Eq = iota
+	cmpI32Ne
+	cmpI32LtS
+	cmpI32LtU
+	cmpI32GtS
+	cmpI32GtU
+	cmpI32LeS
+	cmpI32LeU
+	cmpI32GeS
+	cmpI32GeU
+	cmpI64Eq
+	cmpI64Ne
+	cmpI64LtS
+	cmpI64LtU
+	cmpI64GtS
+	cmpI64GtU
+	cmpI64LeS
+	cmpI64LeU
+	cmpI64GeS
+	cmpI64GeU
+	cmpF32Eq
+	cmpF32Ne
+	cmpF32Lt
+	cmpF32Gt
+	cmpF32Le
+	cmpF32Ge
+	cmpF64Eq
+	cmpF64Ne
+	cmpF64Lt
+	cmpF64Gt
+	cmpF64Le
+	cmpF64Ge
+)
+
+// cmpKind maps a wasm comparison opcode to its kind index; ok=false for
+// non-comparison opcodes (including eqz, which fuses differently).
+func cmpKind(op uint16) (int, bool) {
+	switch {
+	case op >= uint16(wasm.OpI32Eq) && op <= uint16(wasm.OpI32GeU):
+		return cmpI32Eq + int(op) - int(wasm.OpI32Eq), true
+	case op >= uint16(wasm.OpI64Eq) && op <= uint16(wasm.OpI64GeU):
+		return cmpI64Eq + int(op) - int(wasm.OpI64Eq), true
+	case op >= uint16(wasm.OpF32Eq) && op <= uint16(wasm.OpF32Ge):
+		return cmpF32Eq + int(op) - int(wasm.OpF32Eq), true
+	case op >= uint16(wasm.OpF64Eq) && op <= uint16(wasm.OpF64Ge):
+		return cmpF64Eq + int(op) - int(wasm.OpF64Eq), true
+	}
+	return 0, false
+}
+
+// evalCmp evaluates comparison kind k on raw values.
+func evalCmp(k int, x, y uint64) bool {
+	switch k {
+	case cmpI32Eq:
+		return uint32(x) == uint32(y)
+	case cmpI32Ne:
+		return uint32(x) != uint32(y)
+	case cmpI32LtS:
+		return int32(uint32(x)) < int32(uint32(y))
+	case cmpI32LtU:
+		return uint32(x) < uint32(y)
+	case cmpI32GtS:
+		return int32(uint32(x)) > int32(uint32(y))
+	case cmpI32GtU:
+		return uint32(x) > uint32(y)
+	case cmpI32LeS:
+		return int32(uint32(x)) <= int32(uint32(y))
+	case cmpI32LeU:
+		return uint32(x) <= uint32(y)
+	case cmpI32GeS:
+		return int32(uint32(x)) >= int32(uint32(y))
+	case cmpI32GeU:
+		return uint32(x) >= uint32(y)
+	case cmpI64Eq:
+		return x == y
+	case cmpI64Ne:
+		return x != y
+	case cmpI64LtS:
+		return int64(x) < int64(y)
+	case cmpI64LtU:
+		return x < y
+	case cmpI64GtS:
+		return int64(x) > int64(y)
+	case cmpI64GtU:
+		return x > y
+	case cmpI64LeS:
+		return int64(x) <= int64(y)
+	case cmpI64LeU:
+		return x <= y
+	case cmpI64GeS:
+		return int64(x) >= int64(y)
+	case cmpI64GeU:
+		return x >= y
+	case cmpF32Eq:
+		return rt.F32(x) == rt.F32(y)
+	case cmpF32Ne:
+		return rt.F32(x) != rt.F32(y)
+	case cmpF32Lt:
+		return rt.F32(x) < rt.F32(y)
+	case cmpF32Gt:
+		return rt.F32(x) > rt.F32(y)
+	case cmpF32Le:
+		return rt.F32(x) <= rt.F32(y)
+	case cmpF32Ge:
+		return rt.F32(x) >= rt.F32(y)
+	case cmpF64Eq:
+		return rt.F64(x) == rt.F64(y)
+	case cmpF64Ne:
+		return rt.F64(x) != rt.F64(y)
+	case cmpF64Lt:
+		return rt.F64(x) < rt.F64(y)
+	case cmpF64Gt:
+		return rt.F64(x) > rt.F64(y)
+	case cmpF64Le:
+		return rt.F64(x) <= rt.F64(y)
+	case cmpF64Ge:
+		return rt.F64(x) >= rt.F64(y)
+	}
+	return false
+}
+
+// pureEval evaluates side-effect-free value operations at compile time for
+// constant folding. Trapping operations (divisions, truncations) and memory
+// operations report ok=false and are never folded.
+func pureEval(op uint16, x, y uint64) (uint64, bool) {
+	if k, ok := cmpKind(op); ok {
+		return rt.B2i(evalCmp(k, x, y)), true
+	}
+	switch wasm.Opcode(op) {
+	case wasm.OpI32Eqz:
+		return rt.B2i(uint32(x) == 0), true
+	case wasm.OpI64Eqz:
+		return rt.B2i(x == 0), true
+	case wasm.OpI32Add:
+		return uint64(uint32(x) + uint32(y)), true
+	case wasm.OpI32Sub:
+		return uint64(uint32(x) - uint32(y)), true
+	case wasm.OpI32Mul:
+		return uint64(uint32(x) * uint32(y)), true
+	case wasm.OpI32And:
+		return uint64(uint32(x) & uint32(y)), true
+	case wasm.OpI32Or:
+		return uint64(uint32(x) | uint32(y)), true
+	case wasm.OpI32Xor:
+		return uint64(uint32(x) ^ uint32(y)), true
+	case wasm.OpI32Shl:
+		return uint64(uint32(x) << (y & 31)), true
+	case wasm.OpI32ShrS:
+		return uint64(uint32(int32(uint32(x)) >> (y & 31))), true
+	case wasm.OpI32ShrU:
+		return uint64(uint32(x) >> (y & 31)), true
+	case wasm.OpI32Rotl:
+		return rt.Rotl32(x, y), true
+	case wasm.OpI32Rotr:
+		return rt.Rotr32(x, y), true
+	case wasm.OpI32Clz:
+		return uint64(bits.LeadingZeros32(uint32(x))), true
+	case wasm.OpI32Ctz:
+		return uint64(bits.TrailingZeros32(uint32(x))), true
+	case wasm.OpI32Popcnt:
+		return uint64(bits.OnesCount32(uint32(x))), true
+	case wasm.OpI64Add:
+		return x + y, true
+	case wasm.OpI64Sub:
+		return x - y, true
+	case wasm.OpI64Mul:
+		return x * y, true
+	case wasm.OpI64And:
+		return x & y, true
+	case wasm.OpI64Or:
+		return x | y, true
+	case wasm.OpI64Xor:
+		return x ^ y, true
+	case wasm.OpI64Shl:
+		return x << (y & 63), true
+	case wasm.OpI64ShrS:
+		return uint64(int64(x) >> (y & 63)), true
+	case wasm.OpI64ShrU:
+		return x >> (y & 63), true
+	case wasm.OpI64Rotl:
+		return rt.Rotl64(x, y), true
+	case wasm.OpI64Rotr:
+		return rt.Rotr64(x, y), true
+	case wasm.OpI64Clz:
+		return uint64(bits.LeadingZeros64(x)), true
+	case wasm.OpI64Ctz:
+		return uint64(bits.TrailingZeros64(x)), true
+	case wasm.OpI64Popcnt:
+		return uint64(bits.OnesCount64(x)), true
+	case wasm.OpF64Add:
+		return rt.F64Bits(rt.F64(x) + rt.F64(y)), true
+	case wasm.OpF64Sub:
+		return rt.F64Bits(rt.F64(x) - rt.F64(y)), true
+	case wasm.OpF64Mul:
+		return rt.F64Bits(rt.F64(x) * rt.F64(y)), true
+	case wasm.OpF64Div:
+		return rt.F64Bits(rt.F64(x) / rt.F64(y)), true
+	case wasm.OpF64Neg:
+		return x ^ 0x8000000000000000, true
+	case wasm.OpF64Abs:
+		return x &^ 0x8000000000000000, true
+	case wasm.OpF64Sqrt:
+		return rt.F64Bits(math.Sqrt(rt.F64(x))), true
+	case wasm.OpF32Add:
+		return rt.F32Bits(rt.F32(x) + rt.F32(y)), true
+	case wasm.OpF32Sub:
+		return rt.F32Bits(rt.F32(x) - rt.F32(y)), true
+	case wasm.OpF32Mul:
+		return rt.F32Bits(rt.F32(x) * rt.F32(y)), true
+	case wasm.OpF32Div:
+		return rt.F32Bits(rt.F32(x) / rt.F32(y)), true
+	case wasm.OpI32WrapI64:
+		return uint64(uint32(x)), true
+	case wasm.OpI64ExtendI32S:
+		return uint64(int64(int32(uint32(x)))), true
+	case wasm.OpI64ExtendI32U:
+		return uint64(uint32(x)), true
+	case wasm.OpF64ConvertI32S:
+		return rt.F64Bits(float64(int32(uint32(x)))), true
+	case wasm.OpF64ConvertI32U:
+		return rt.F64Bits(float64(uint32(x))), true
+	case wasm.OpF64ConvertI64S:
+		return rt.F64Bits(float64(int64(x))), true
+	case wasm.OpF64ConvertI64U:
+		return rt.F64Bits(float64(x)), true
+	case wasm.OpF64PromoteF32:
+		return rt.F64Bits(float64(rt.F32(x))), true
+	case wasm.OpF32DemoteF64:
+		return rt.F32Bits(float32(rt.F64(x))), true
+	case wasm.OpF32ConvertI32S:
+		return rt.F32Bits(float32(int32(uint32(x)))), true
+	case wasm.OpF32ConvertI64S:
+		return rt.F32Bits(float32(int64(x))), true
+	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
+		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
+		return x, true
+	case wasm.OpI32Extend8S:
+		return uint64(uint32(int32(int8(uint8(x))))), true
+	case wasm.OpI32Extend16S:
+		return uint64(uint32(int32(int16(uint16(x))))), true
+	case wasm.OpI64Extend8S:
+		return uint64(int64(int8(uint8(x)))), true
+	case wasm.OpI64Extend16S:
+		return uint64(int64(int16(uint16(x)))), true
+	case wasm.OpI64Extend32S:
+		return uint64(int64(int32(uint32(x)))), true
+	}
+	return 0, false
+}
+
+// opKind classifies instructions for the generic pass machinery.
+type opKind uint8
+
+const (
+	kindOther  opKind = iota // calls, branches, returns — handled specially
+	kindBin                  // d ← a op b (pure unless trapping)
+	kindUn                   // d ← op a
+	kindConst                // d ← imm
+	kindMove                 // d ← a
+	kindLoad                 // d ← mem[a+imm]
+	kindStore                // mem[a+imm] ← b
+	kindSelect               // d ← regs[imm] ? a : b
+)
+
+// classify returns the kind plus whether the op may trap (and therefore must
+// not be removed by DCE even when its result is dead).
+func classify(op uint16) (opKind, bool) {
+	switch op {
+	case tMove:
+		return kindMove, false
+	case tSelect:
+		return kindSelect, false
+	case tMemoryGrow:
+		return kindOther, false
+	}
+	if op >= 0x100 {
+		return kindOther, false
+	}
+	wop := wasm.Opcode(op)
+	switch wop {
+	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+		return kindConst, false
+	}
+	if wop >= wasm.OpI32Load && wop <= wasm.OpI64Load32U {
+		return kindLoad, true
+	}
+	if wop >= wasm.OpI32Store && wop <= wasm.OpI64Store32 {
+		return kindStore, true
+	}
+	if in, out, ok := wop.InOut(); ok {
+		traps := false
+		switch wop {
+		case wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU,
+			wasm.OpI64DivS, wasm.OpI64DivU, wasm.OpI64RemS, wasm.OpI64RemU,
+			wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S, wasm.OpI32TruncF64U,
+			wasm.OpI64TruncF32S, wasm.OpI64TruncF32U, wasm.OpI64TruncF64S, wasm.OpI64TruncF64U:
+			traps = true
+		}
+		if in == 2 && out == 1 {
+			return kindBin, traps
+		}
+		if in == 1 && out == 1 {
+			return kindUn, traps
+		}
+	}
+	return kindOther, false
+}

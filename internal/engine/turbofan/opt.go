@@ -1,0 +1,583 @@
+package turbofan
+
+import "wasmdb/internal/wasm"
+
+// A block is a basic block; branch instruction imm fields hold target block
+// ids while optimization runs, and the block falls through to its successor
+// in graph order unless it ends in an unconditional transfer.
+type block struct {
+	ins []tin
+}
+
+type graph struct {
+	blocks []block
+	tables [][]uint32 // entries are block ids during optimization
+}
+
+// isBranch reports whether op transfers control, and whether it is
+// unconditional (ends fallthrough).
+func isBranch(op uint16) (branch, uncond bool) {
+	switch {
+	case op == tJump:
+		return true, true
+	case op == tRet, op == tUnreachable:
+		return true, true
+	case op == tJumpIfZero, op == tJumpIfNot:
+		return true, false
+	case op == tBrTable:
+		return true, true
+	case op >= tBrCmpBase && op < tBrCmpBase+numCmpKinds,
+		op >= tBrCmpNotBase && op < tBrCmpNotBase+numCmpKinds:
+		return true, false
+	}
+	return false, false
+}
+
+// hasTarget reports whether the branch op's imm is a jump target.
+func hasTarget(op uint16) bool {
+	if op == tRet || op == tUnreachable || op == tBrTable {
+		return false
+	}
+	b, _ := isBranch(op)
+	return b
+}
+
+// buildBlocks splits linear code (with pc targets) into basic blocks and
+// rewrites targets to block ids.
+func buildBlocks(ins []tin, tables [][]uint32) *graph {
+	n := len(ins)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, t := range ins {
+		if br, _ := isBranch(t.op); !br {
+			continue
+		}
+		leader[i+1] = true
+		if hasTarget(t.op) {
+			leader[t.imm] = true
+		}
+	}
+	for _, tbl := range tables {
+		for _, pc := range tbl {
+			leader[pc] = true
+		}
+	}
+	blockOf := make([]int, n+1)
+	id := -1
+	for i := 0; i <= n; i++ {
+		if i < n && leader[i] {
+			id++
+		}
+		blockOf[i] = id
+	}
+	// A trailing target pointing one past the end maps to a synthetic final
+	// empty block.
+	numBlocks := id + 1
+	if leader[n] {
+		blockOf[n] = numBlocks
+		numBlocks++
+	} else {
+		blockOf[n] = numBlocks - 1
+	}
+	g := &graph{blocks: make([]block, numBlocks)}
+	cur := -1
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			cur++
+		}
+		g.blocks[cur].ins = append(g.blocks[cur].ins, ins[i])
+	}
+	// Rewrite pc targets to block ids.
+	for bi := range g.blocks {
+		for ii := range g.blocks[bi].ins {
+			t := &g.blocks[bi].ins[ii]
+			if hasTarget(t.op) {
+				t.imm = uint64(blockOf[t.imm])
+			}
+		}
+	}
+	g.tables = make([][]uint32, len(tables))
+	for ti, tbl := range tables {
+		g.tables[ti] = make([]uint32, len(tbl))
+		for i, pc := range tbl {
+			g.tables[ti][i] = uint32(blockOf[pc])
+		}
+	}
+	return g
+}
+
+// successors appends the successor block ids of block bi to dst.
+func (g *graph) successors(bi int, dst []int) []int {
+	ins := g.blocks[bi].ins
+	fall := true
+	if len(ins) > 0 {
+		last := ins[len(ins)-1]
+		if br, uncond := isBranch(last.op); br {
+			if hasTarget(last.op) {
+				dst = append(dst, int(last.imm))
+			}
+			if last.op == tBrTable {
+				for _, t := range g.tables[last.imm] {
+					dst = append(dst, int(t))
+				}
+			}
+			fall = !uncond
+		}
+	}
+	if fall && bi+1 < len(g.blocks) {
+		dst = append(dst, bi+1)
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer.
+
+type optimizer struct {
+	g      *graph
+	nRegs  int
+	code   *Code
+	rounds int
+	passes int
+}
+
+func (o *optimizer) run() {
+	if o.rounds <= 0 {
+		o.rounds = 2
+	}
+	for round := 0; round < o.rounds; round++ {
+		o.foldBlocks()
+		o.passes++
+		o.fuseBranches()
+		o.passes++
+		o.threadJumps()
+		o.passes++
+		o.deadCodeElim()
+		o.passes++
+	}
+}
+
+// regUses calls fn for every register read by t.
+func (o *optimizer) regUses(t *tin, fn func(r int32)) {
+	kind, _ := classify(t.op)
+	switch kind {
+	case kindBin:
+		fn(t.a)
+		fn(t.b)
+	case kindUn, kindLoad, kindMove:
+		fn(t.a)
+	case kindStore:
+		fn(t.a)
+		fn(t.b)
+	case kindSelect:
+		fn(t.a)
+		fn(t.b)
+		fn(int32(t.imm))
+	case kindConst:
+	default:
+		switch {
+		case t.op == tJumpIfZero || t.op == tJumpIfNot || t.op == tMemoryGrow ||
+			t.op == tGlobalSet || t.op == tBrTable:
+			fn(t.a)
+		case t.op >= tBrCmpBase && t.op < tBrCmpNotBase+numCmpKinds && t.op >= 0x200:
+			fn(t.a)
+			fn(t.b)
+		case t.op == tCall:
+			np := int32(t.b >> 16)
+			for r := t.a; r < t.a+np; r++ {
+				fn(r)
+			}
+		case t.op == tCallIndirect:
+			np := int32(t.b >> 16)
+			for r := t.a; r <= t.a+np; r++ {
+				fn(r)
+			}
+		case t.op == tRet:
+			for i := 0; i < o.code.NResults; i++ {
+				fn(int32(o.code.NLocals + i))
+			}
+		}
+	}
+}
+
+// regDefs calls fn for every register written by t.
+func (o *optimizer) regDefs(t *tin, fn func(r int32)) {
+	kind, _ := classify(t.op)
+	switch kind {
+	case kindBin, kindUn, kindLoad, kindMove, kindConst, kindSelect:
+		fn(t.d)
+	default:
+		switch t.op {
+		case tMemorySize, tMemoryGrow, tGlobalGet:
+			fn(t.d)
+		case tCall:
+			nr := int32(t.b & 0xFFFF)
+			for r := t.a; r < t.a+nr; r++ {
+				fn(r)
+			}
+		case tCallIndirect:
+			nr := int32(t.b & 0xFFFF)
+			for r := t.a; r < t.a+nr; r++ {
+				fn(r)
+			}
+		}
+	}
+}
+
+// foldBlocks performs block-local constant propagation, copy propagation,
+// and constant folding.
+func (o *optimizer) foldBlocks() {
+	constKnown := make([]bool, o.nRegs)
+	constVal := make([]uint64, o.nRegs)
+	copySrc := make([]int32, o.nRegs)
+	for bi := range o.g.blocks {
+		for i := range constKnown {
+			constKnown[i] = false
+			copySrc[i] = -1
+		}
+		ins := o.g.blocks[bi].ins
+		kill := func(d int32) {
+			constKnown[d] = false
+			copySrc[d] = -1
+			for r := range copySrc {
+				if copySrc[r] == d {
+					copySrc[r] = -1
+				}
+			}
+		}
+		for ii := range ins {
+			t := &ins[ii]
+			// Rewrite uses through available copies.
+			rewrite := func(r int32) int32 {
+				if s := copySrc[r]; s >= 0 {
+					return s
+				}
+				return r
+			}
+			kind, _ := classify(t.op)
+			switch kind {
+			case kindBin:
+				t.a, t.b = rewrite(t.a), rewrite(t.b)
+			case kindUn, kindLoad, kindMove:
+				t.a = rewrite(t.a)
+			case kindStore:
+				t.a, t.b = rewrite(t.a), rewrite(t.b)
+			case kindSelect:
+				t.a, t.b = rewrite(t.a), rewrite(t.b)
+				t.imm = uint64(rewrite(int32(t.imm)))
+			default:
+				switch {
+				case t.op == tJumpIfZero || t.op == tJumpIfNot || t.op == tGlobalSet || t.op == tBrTable || t.op == tMemoryGrow:
+					t.a = rewrite(t.a)
+				case t.op >= tBrCmpBase && t.op < tBrCmpNotBase+numCmpKinds:
+					t.a, t.b = rewrite(t.a), rewrite(t.b)
+				}
+				// Calls and rets use canonical registers; no rewriting.
+			}
+
+			// Transform and update dataflow facts.
+			switch kind {
+			case kindConst:
+				kill(t.d)
+				constKnown[t.d] = true
+				constVal[t.d] = t.imm
+			case kindMove:
+				if constKnown[t.a] {
+					v := constVal[t.a]
+					*t = tin{op: uint16(wasm.OpI64Const), d: t.d, imm: v}
+					kill(t.d)
+					constKnown[t.d] = true
+					constVal[t.d] = v
+				} else {
+					src := t.a
+					kill(t.d)
+					if src != t.d {
+						copySrc[t.d] = src
+					}
+				}
+			case kindBin:
+				if constKnown[t.a] && constKnown[t.b] {
+					if v, ok := pureEval(t.op, constVal[t.a], constVal[t.b]); ok {
+						*t = tin{op: uint16(wasm.OpI64Const), d: t.d, imm: v}
+						kill(t.d)
+						constKnown[t.d] = true
+						constVal[t.d] = v
+						continue
+					}
+				}
+				kill(t.d)
+			case kindUn:
+				if constKnown[t.a] {
+					if v, ok := pureEval(t.op, constVal[t.a], 0); ok {
+						*t = tin{op: uint16(wasm.OpI64Const), d: t.d, imm: v}
+						kill(t.d)
+						constKnown[t.d] = true
+						constVal[t.d] = v
+						continue
+					}
+				}
+				kill(t.d)
+			case kindSelect:
+				if cr := int32(t.imm); constKnown[cr] {
+					if constVal[cr] != 0 {
+						*t = tin{op: tMove, d: t.d, a: t.a}
+					} else {
+						*t = tin{op: tMove, d: t.d, a: t.b}
+					}
+					src := t.a
+					kill(t.d)
+					if constKnown[src] {
+						constKnown[t.d] = true
+						constVal[t.d] = constVal[src]
+					} else if src != t.d {
+						copySrc[t.d] = src
+					}
+					continue
+				}
+				kill(t.d)
+			default:
+				switch t.op {
+				case tJumpIfZero:
+					if constKnown[t.a] {
+						if constVal[t.a] == 0 {
+							*t = tin{op: tJump, imm: t.imm}
+						} else {
+							*t = tin{op: tNop}
+						}
+					}
+				case tJumpIfNot:
+					if constKnown[t.a] {
+						if constVal[t.a] != 0 {
+							*t = tin{op: tJump, imm: t.imm}
+						} else {
+							*t = tin{op: tNop}
+						}
+					}
+				default:
+					o.regDefs(t, func(r int32) { kill(r) })
+				}
+			}
+		}
+	}
+}
+
+// fuseBranches fuses comparison results consumed directly by a conditional
+// branch into a single compare-and-branch instruction, and folds eqz into
+// branch polarity.
+//
+// Correctness: the stack-to-register lowering reuses slots, so the compare's
+// destination usually aliases its first operand (d == a). The fused branch
+// reads the *operands*, so the compare must be removed, not merely left for
+// DCE — otherwise it clobbers the operand before the branch reads it. The
+// removal is safe exactly when d is an operand-stack slot (d ≥ NLocals):
+// the branch pops that stack position, and the wasm stack discipline
+// guarantees any later use of the slot is preceded by a write. When the
+// result lands in a local (via local.tee), it may outlive the branch and we
+// skip fusion.
+func (o *optimizer) fuseBranches() {
+	nLocals := int32(o.code.NLocals)
+	for bi := range o.g.blocks {
+		ins := o.g.blocks[bi].ins
+		for i := 0; i+1 < len(ins); i++ {
+			def, br := &ins[i], &ins[i+1]
+			if br.op != tJumpIfZero && br.op != tJumpIfNot {
+				continue
+			}
+			if def.op == tNop || def.d < nLocals || br.a != def.d {
+				continue
+			}
+			// eqz feeding a branch flips polarity. Registers hold i32
+			// values zero-extended, so testing the full register is safe
+			// for i32.eqz as well.
+			if def.op == uint16(wasm.OpI32Eqz) || def.op == uint16(wasm.OpI64Eqz) {
+				flip := uint16(tJumpIfZero)
+				if br.op == tJumpIfZero {
+					flip = tJumpIfNot
+				}
+				*br = tin{op: flip, a: def.a, imm: br.imm}
+				*def = tin{op: tNop}
+				continue
+			}
+			k, ok := cmpKind(def.op)
+			if !ok {
+				continue
+			}
+			var fused uint16
+			if br.op == tJumpIfNot {
+				fused = uint16(tBrCmpBase + k)
+			} else {
+				fused = uint16(tBrCmpNotBase + k)
+			}
+			*br = tin{op: fused, a: def.a, b: def.b, imm: br.imm}
+			*def = tin{op: tNop}
+		}
+	}
+}
+
+// threadJumps retargets branches that point at blocks containing only an
+// unconditional jump.
+func (o *optimizer) threadJumps() {
+	target := func(bid uint64) uint64 {
+		for hops := 0; hops < 8; hops++ {
+			blk := &o.g.blocks[bid]
+			redirected := false
+			for _, t := range blk.ins {
+				switch t.op {
+				case tNop:
+					continue
+				case tJump:
+					if t.imm == bid {
+						return bid // self-loop
+					}
+					bid = t.imm
+					redirected = true
+				}
+				break
+			}
+			if !redirected {
+				return bid
+			}
+		}
+		return bid
+	}
+	for bi := range o.g.blocks {
+		for ii := range o.g.blocks[bi].ins {
+			t := &o.g.blocks[bi].ins[ii]
+			if hasTarget(t.op) {
+				t.imm = target(t.imm)
+			}
+		}
+	}
+	for ti := range o.g.tables {
+		for i := range o.g.tables[ti] {
+			o.g.tables[ti][i] = uint32(target(uint64(o.g.tables[ti][i])))
+		}
+	}
+}
+
+// deadCodeElim removes pure instructions whose results are never used,
+// using global liveness over the block graph.
+func (o *optimizer) deadCodeElim() {
+	nb := len(o.g.blocks)
+	words := (o.nRegs + 63) / 64
+	liveIn := make([][]uint64, nb)
+	liveOut := make([][]uint64, nb)
+	for i := range liveIn {
+		liveIn[i] = make([]uint64, words)
+		liveOut[i] = make([]uint64, words)
+	}
+	set := func(bs []uint64, r int32) { bs[r>>6] |= 1 << (r & 63) }
+	clear := func(bs []uint64, r int32) { bs[r>>6] &^= 1 << (r & 63) }
+	get := func(bs []uint64, r int32) bool { return bs[r>>6]&(1<<(r&63)) != 0 }
+
+	// Backward fixpoint.
+	scratch := make([]uint64, words)
+	var succ []int
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			succ = o.g.successors(bi, succ[:0])
+			for w := range scratch {
+				scratch[w] = 0
+			}
+			for _, s := range succ {
+				for w := range scratch {
+					scratch[w] |= liveIn[s][w]
+				}
+			}
+			copy(liveOut[bi], scratch)
+			// live = out; walk block backwards applying use/def.
+			ins := o.g.blocks[bi].ins
+			for ii := len(ins) - 1; ii >= 0; ii-- {
+				t := &ins[ii]
+				if t.op == tNop {
+					continue
+				}
+				o.regDefs(t, func(r int32) { clear(scratch, r) })
+				o.regUses(t, func(r int32) { set(scratch, r) })
+			}
+			for w := range scratch {
+				if scratch[w] != liveIn[bi][w] {
+					liveIn[bi][w] = scratch[w]
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Removal pass: walk each block backwards with running liveness.
+	for bi := 0; bi < nb; bi++ {
+		copy(scratch, liveOut[bi])
+		ins := o.g.blocks[bi].ins
+		for ii := len(ins) - 1; ii >= 0; ii-- {
+			t := &ins[ii]
+			if t.op == tNop {
+				continue
+			}
+			kind, traps := classify(t.op)
+			removable := false
+			switch kind {
+			case kindBin, kindUn, kindConst, kindMove, kindSelect, kindLoad:
+				removable = !traps
+			}
+			if removable {
+				dead := true
+				o.regDefs(t, func(r int32) {
+					if get(scratch, r) {
+						dead = false
+					}
+				})
+				if dead {
+					*t = tin{op: tNop}
+					continue
+				}
+			}
+			o.regDefs(t, func(r int32) { clear(scratch, r) })
+			o.regUses(t, func(r int32) { set(scratch, r) })
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Linearization: blocks → final instruction stream with pc targets.
+
+func linearize(c *Code, g *graph) {
+	// Emit blocks in order, dropping nops and jumps to the next block, and
+	// record each block's start pc.
+	var out []tin
+	start := make([]int, len(g.blocks)+1)
+	for bi := range g.blocks {
+		start[bi] = len(out)
+		for _, t := range g.blocks[bi].ins {
+			if t.op == tNop || (t.op == tJump && int(t.imm) == bi+1) {
+				continue
+			}
+			out = append(out, t)
+		}
+	}
+	start[len(g.blocks)] = len(out)
+	// Rewrite block-id targets to pcs.
+	for i := range out {
+		if hasTarget(out[i].op) {
+			out[i].imm = uint64(start[out[i].imm])
+		}
+	}
+	c.tables = make([][]uint32, len(g.tables))
+	for ti, tbl := range g.tables {
+		c.tables[ti] = make([]uint32, len(tbl))
+		for i, b := range tbl {
+			c.tables[ti][i] = uint32(start[b])
+		}
+	}
+	// Guarantee the stream ends in a control transfer (lowering always emits
+	// tRet, but a trailing empty block may remain a jump target).
+	if n := len(out); n == 0 || !isUncond(out[n-1].op) {
+		out = append(out, tin{op: tRet})
+	}
+	c.ins = out
+}
+
+func isUncond(op uint16) bool {
+	_, u := isBranch(op)
+	return u
+}

@@ -1,0 +1,429 @@
+package turbofan
+
+import (
+	"math"
+	"math/bits"
+
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/wasm"
+)
+
+// Call executes the compiled function, implementing rt.Callee. All registers
+// (locals followed by stack slots) live in a frame carved from the shared
+// arena.
+func (c *Code) Call(env *rt.Env, args, res []uint64) {
+	env.Enter()
+	frame := env.Frame(c.NLocals + c.MaxStack)
+	copy(frame, args[:c.NParams])
+	c.run(env, frame)
+	copy(res, frame[c.NLocals:c.NLocals+c.NResults])
+	env.PopFrame(c.NLocals + c.MaxStack)
+	env.Exit()
+}
+
+func (c *Code) run(env *rt.Env, regs []uint64) {
+	mem := env.Mem
+	var pages [][]byte
+	if mem != nil {
+		pages = mem.PageSlice()
+	}
+	ins := c.ins
+	pc := 0
+	for {
+		t := ins[pc]
+		switch t.op {
+		case tMove:
+			regs[t.d] = regs[t.a]
+		case uint16(wasm.OpI32Const), uint16(wasm.OpI64Const),
+			uint16(wasm.OpF32Const), uint16(wasm.OpF64Const):
+			regs[t.d] = t.imm
+		case tJump:
+			pc = int(t.imm)
+			continue
+		case tJumpIfZero:
+			if regs[t.a] == 0 {
+				pc = int(t.imm)
+				continue
+			}
+		case tJumpIfNot:
+			if regs[t.a] != 0 {
+				pc = int(t.imm)
+				continue
+			}
+		case tRet:
+			return
+		case tUnreachable:
+			rt.Trap("unreachable executed")
+		case tBrTable:
+			tbl := c.tables[t.imm]
+			i := int(uint32(regs[t.a]))
+			if i >= len(tbl)-1 {
+				i = len(tbl) - 1
+			}
+			pc = int(tbl[i])
+			continue
+		case tCall:
+			np, nr := int(t.b>>16), int(t.b&0xFFFF)
+			env.Funcs[t.imm].Call(env, regs[t.a:t.a+int32(np)], regs[t.a:t.a+int32(nr)])
+			if mem != nil {
+				pages = mem.PageSlice()
+			}
+		case tCallIndirect:
+			np, nr := int(t.b>>16), int(t.b&0xFFFF)
+			ti := uint32(regs[t.a+int32(np)])
+			if ti >= uint32(len(env.Table)) {
+				rt.Trap("undefined element in call_indirect")
+			}
+			fi := env.Table[ti]
+			if fi == ^uint32(0) {
+				rt.Trap("uninitialized element in call_indirect")
+			}
+			if !env.Types[env.FuncTypes[fi]].Equal(env.Types[t.imm]) {
+				rt.Trap("indirect call type mismatch")
+			}
+			env.Funcs[fi].Call(env, regs[t.a:t.a+int32(np)], regs[t.a:t.a+int32(nr)])
+			if mem != nil {
+				pages = mem.PageSlice()
+			}
+		case tSelect:
+			if regs[t.imm] != 0 {
+				regs[t.d] = regs[t.a]
+			} else {
+				regs[t.d] = regs[t.b]
+			}
+		case tGlobalGet:
+			regs[t.d] = env.Globals[t.imm]
+		case tGlobalSet:
+			env.Globals[t.imm] = regs[t.a]
+		case tMemorySize:
+			regs[t.d] = uint64(mem.Pages())
+		case tMemoryGrow:
+			regs[t.d] = uint64(uint32(mem.Grow(uint32(regs[t.a]))))
+			pages = mem.PageSlice()
+
+		// Memory.
+		case uint16(wasm.OpI32Load):
+			regs[t.d] = uint64(rt.LdU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4)))
+		case uint16(wasm.OpI64Load):
+			regs[t.d] = rt.LdU64(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 8))
+		case uint16(wasm.OpF32Load):
+			regs[t.d] = uint64(rt.LdU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4)))
+		case uint16(wasm.OpF64Load):
+			regs[t.d] = rt.LdU64(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 8))
+		case uint16(wasm.OpI32Load8S):
+			regs[t.d] = uint64(uint32(int32(int8(rt.LdU8(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 1))))))
+		case uint16(wasm.OpI32Load8U):
+			regs[t.d] = uint64(rt.LdU8(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 1)))
+		case uint16(wasm.OpI32Load16S):
+			regs[t.d] = uint64(uint32(int32(int16(rt.LdU16(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 2))))))
+		case uint16(wasm.OpI32Load16U):
+			regs[t.d] = uint64(rt.LdU16(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 2)))
+		case uint16(wasm.OpI64Load8S):
+			regs[t.d] = uint64(int64(int8(rt.LdU8(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 1)))))
+		case uint16(wasm.OpI64Load8U):
+			regs[t.d] = uint64(rt.LdU8(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 1)))
+		case uint16(wasm.OpI64Load16S):
+			regs[t.d] = uint64(int64(int16(rt.LdU16(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 2)))))
+		case uint16(wasm.OpI64Load16U):
+			regs[t.d] = uint64(rt.LdU16(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 2)))
+		case uint16(wasm.OpI64Load32S):
+			regs[t.d] = uint64(int64(int32(rt.LdU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4)))))
+		case uint16(wasm.OpI64Load32U):
+			regs[t.d] = uint64(rt.LdU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4)))
+		case uint16(wasm.OpI32Store), uint16(wasm.OpF32Store):
+			rt.StU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4), uint32(regs[t.b]))
+		case uint16(wasm.OpI64Store), uint16(wasm.OpF64Store):
+			rt.StU64(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 8), regs[t.b])
+		case uint16(wasm.OpI32Store8), uint16(wasm.OpI64Store8):
+			rt.StU8(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 1), byte(regs[t.b]))
+		case uint16(wasm.OpI32Store16), uint16(wasm.OpI64Store16):
+			rt.StU16(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 2), uint16(regs[t.b]))
+		case uint16(wasm.OpI64Store32):
+			rt.StU32(pages, mem, rt.CheckAddr(regs[t.a], t.imm, 4), uint32(regs[t.b]))
+
+		// i32 comparisons.
+		case uint16(wasm.OpI32Eqz):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) == 0)
+		case uint16(wasm.OpI32Eq):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) == uint32(regs[t.b]))
+		case uint16(wasm.OpI32Ne):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) != uint32(regs[t.b]))
+		case uint16(wasm.OpI32LtS):
+			regs[t.d] = rt.B2i(int32(uint32(regs[t.a])) < int32(uint32(regs[t.b])))
+		case uint16(wasm.OpI32LtU):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) < uint32(regs[t.b]))
+		case uint16(wasm.OpI32GtS):
+			regs[t.d] = rt.B2i(int32(uint32(regs[t.a])) > int32(uint32(regs[t.b])))
+		case uint16(wasm.OpI32GtU):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) > uint32(regs[t.b]))
+		case uint16(wasm.OpI32LeS):
+			regs[t.d] = rt.B2i(int32(uint32(regs[t.a])) <= int32(uint32(regs[t.b])))
+		case uint16(wasm.OpI32LeU):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) <= uint32(regs[t.b]))
+		case uint16(wasm.OpI32GeS):
+			regs[t.d] = rt.B2i(int32(uint32(regs[t.a])) >= int32(uint32(regs[t.b])))
+		case uint16(wasm.OpI32GeU):
+			regs[t.d] = rt.B2i(uint32(regs[t.a]) >= uint32(regs[t.b]))
+
+		// i64 comparisons.
+		case uint16(wasm.OpI64Eqz):
+			regs[t.d] = rt.B2i(regs[t.a] == 0)
+		case uint16(wasm.OpI64Eq):
+			regs[t.d] = rt.B2i(regs[t.a] == regs[t.b])
+		case uint16(wasm.OpI64Ne):
+			regs[t.d] = rt.B2i(regs[t.a] != regs[t.b])
+		case uint16(wasm.OpI64LtS):
+			regs[t.d] = rt.B2i(int64(regs[t.a]) < int64(regs[t.b]))
+		case uint16(wasm.OpI64LtU):
+			regs[t.d] = rt.B2i(regs[t.a] < regs[t.b])
+		case uint16(wasm.OpI64GtS):
+			regs[t.d] = rt.B2i(int64(regs[t.a]) > int64(regs[t.b]))
+		case uint16(wasm.OpI64GtU):
+			regs[t.d] = rt.B2i(regs[t.a] > regs[t.b])
+		case uint16(wasm.OpI64LeS):
+			regs[t.d] = rt.B2i(int64(regs[t.a]) <= int64(regs[t.b]))
+		case uint16(wasm.OpI64LeU):
+			regs[t.d] = rt.B2i(regs[t.a] <= regs[t.b])
+		case uint16(wasm.OpI64GeS):
+			regs[t.d] = rt.B2i(int64(regs[t.a]) >= int64(regs[t.b]))
+		case uint16(wasm.OpI64GeU):
+			regs[t.d] = rt.B2i(regs[t.a] >= regs[t.b])
+
+		// Float comparisons.
+		case uint16(wasm.OpF32Eq):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) == rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Ne):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) != rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Lt):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) < rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Gt):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) > rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Le):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) <= rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Ge):
+			regs[t.d] = rt.B2i(rt.F32(regs[t.a]) >= rt.F32(regs[t.b]))
+		case uint16(wasm.OpF64Eq):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) == rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Ne):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) != rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Lt):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) < rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Gt):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) > rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Le):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) <= rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Ge):
+			regs[t.d] = rt.B2i(rt.F64(regs[t.a]) >= rt.F64(regs[t.b]))
+
+		// i32 numerics.
+		case uint16(wasm.OpI32Add):
+			regs[t.d] = uint64(uint32(regs[t.a]) + uint32(regs[t.b]))
+		case uint16(wasm.OpI32Sub):
+			regs[t.d] = uint64(uint32(regs[t.a]) - uint32(regs[t.b]))
+		case uint16(wasm.OpI32Mul):
+			regs[t.d] = uint64(uint32(regs[t.a]) * uint32(regs[t.b]))
+		case uint16(wasm.OpI32DivS):
+			regs[t.d] = rt.I32DivS(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32DivU):
+			regs[t.d] = rt.I32DivU(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32RemS):
+			regs[t.d] = rt.I32RemS(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32RemU):
+			regs[t.d] = rt.I32RemU(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32And):
+			regs[t.d] = uint64(uint32(regs[t.a]) & uint32(regs[t.b]))
+		case uint16(wasm.OpI32Or):
+			regs[t.d] = uint64(uint32(regs[t.a]) | uint32(regs[t.b]))
+		case uint16(wasm.OpI32Xor):
+			regs[t.d] = uint64(uint32(regs[t.a]) ^ uint32(regs[t.b]))
+		case uint16(wasm.OpI32Shl):
+			regs[t.d] = uint64(uint32(regs[t.a]) << (regs[t.b] & 31))
+		case uint16(wasm.OpI32ShrS):
+			regs[t.d] = uint64(uint32(int32(uint32(regs[t.a])) >> (regs[t.b] & 31)))
+		case uint16(wasm.OpI32ShrU):
+			regs[t.d] = uint64(uint32(regs[t.a]) >> (regs[t.b] & 31))
+		case uint16(wasm.OpI32Rotl):
+			regs[t.d] = rt.Rotl32(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32Rotr):
+			regs[t.d] = rt.Rotr32(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI32Clz):
+			regs[t.d] = uint64(bits.LeadingZeros32(uint32(regs[t.a])))
+		case uint16(wasm.OpI32Ctz):
+			regs[t.d] = uint64(bits.TrailingZeros32(uint32(regs[t.a])))
+		case uint16(wasm.OpI32Popcnt):
+			regs[t.d] = uint64(bits.OnesCount32(uint32(regs[t.a])))
+
+		// i64 numerics.
+		case uint16(wasm.OpI64Add):
+			regs[t.d] = regs[t.a] + regs[t.b]
+		case uint16(wasm.OpI64Sub):
+			regs[t.d] = regs[t.a] - regs[t.b]
+		case uint16(wasm.OpI64Mul):
+			regs[t.d] = regs[t.a] * regs[t.b]
+		case uint16(wasm.OpI64DivS):
+			regs[t.d] = rt.I64DivS(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64DivU):
+			regs[t.d] = rt.I64DivU(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64RemS):
+			regs[t.d] = rt.I64RemS(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64RemU):
+			regs[t.d] = rt.I64RemU(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64And):
+			regs[t.d] = regs[t.a] & regs[t.b]
+		case uint16(wasm.OpI64Or):
+			regs[t.d] = regs[t.a] | regs[t.b]
+		case uint16(wasm.OpI64Xor):
+			regs[t.d] = regs[t.a] ^ regs[t.b]
+		case uint16(wasm.OpI64Shl):
+			regs[t.d] = regs[t.a] << (regs[t.b] & 63)
+		case uint16(wasm.OpI64ShrS):
+			regs[t.d] = uint64(int64(regs[t.a]) >> (regs[t.b] & 63))
+		case uint16(wasm.OpI64ShrU):
+			regs[t.d] = regs[t.a] >> (regs[t.b] & 63)
+		case uint16(wasm.OpI64Rotl):
+			regs[t.d] = rt.Rotl64(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64Rotr):
+			regs[t.d] = rt.Rotr64(regs[t.a], regs[t.b])
+		case uint16(wasm.OpI64Clz):
+			regs[t.d] = uint64(bits.LeadingZeros64(regs[t.a]))
+		case uint16(wasm.OpI64Ctz):
+			regs[t.d] = uint64(bits.TrailingZeros64(regs[t.a]))
+		case uint16(wasm.OpI64Popcnt):
+			regs[t.d] = uint64(bits.OnesCount64(regs[t.a]))
+
+		// f32 numerics.
+		case uint16(wasm.OpF32Abs):
+			regs[t.d] = uint64(uint32(regs[t.a]) &^ 0x80000000)
+		case uint16(wasm.OpF32Neg):
+			regs[t.d] = uint64(uint32(regs[t.a]) ^ 0x80000000)
+		case uint16(wasm.OpF32Ceil):
+			regs[t.d] = rt.F32Bits(float32(math.Ceil(float64(rt.F32(regs[t.a])))))
+		case uint16(wasm.OpF32Floor):
+			regs[t.d] = rt.F32Bits(float32(math.Floor(float64(rt.F32(regs[t.a])))))
+		case uint16(wasm.OpF32Trunc):
+			regs[t.d] = rt.F32Bits(float32(math.Trunc(float64(rt.F32(regs[t.a])))))
+		case uint16(wasm.OpF32Nearest):
+			regs[t.d] = rt.F32Bits(float32(math.RoundToEven(float64(rt.F32(regs[t.a])))))
+		case uint16(wasm.OpF32Sqrt):
+			regs[t.d] = rt.F32Bits(float32(math.Sqrt(float64(rt.F32(regs[t.a])))))
+		case uint16(wasm.OpF32Add):
+			regs[t.d] = rt.F32Bits(rt.F32(regs[t.a]) + rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Sub):
+			regs[t.d] = rt.F32Bits(rt.F32(regs[t.a]) - rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Mul):
+			regs[t.d] = rt.F32Bits(rt.F32(regs[t.a]) * rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Div):
+			regs[t.d] = rt.F32Bits(rt.F32(regs[t.a]) / rt.F32(regs[t.b]))
+		case uint16(wasm.OpF32Min):
+			regs[t.d] = rt.F32Bits(rt.FMin32(rt.F32(regs[t.a]), rt.F32(regs[t.b])))
+		case uint16(wasm.OpF32Max):
+			regs[t.d] = rt.F32Bits(rt.FMax32(rt.F32(regs[t.a]), rt.F32(regs[t.b])))
+		case uint16(wasm.OpF32Copysign):
+			regs[t.d] = rt.F32Bits(float32(math.Copysign(float64(rt.F32(regs[t.a])), float64(rt.F32(regs[t.b])))))
+
+		// f64 numerics.
+		case uint16(wasm.OpF64Abs):
+			regs[t.d] = regs[t.a] &^ 0x8000000000000000
+		case uint16(wasm.OpF64Neg):
+			regs[t.d] = regs[t.a] ^ 0x8000000000000000
+		case uint16(wasm.OpF64Ceil):
+			regs[t.d] = rt.F64Bits(math.Ceil(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64Floor):
+			regs[t.d] = rt.F64Bits(math.Floor(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64Trunc):
+			regs[t.d] = rt.F64Bits(math.Trunc(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64Nearest):
+			regs[t.d] = rt.F64Bits(math.RoundToEven(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64Sqrt):
+			regs[t.d] = rt.F64Bits(math.Sqrt(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64Add):
+			regs[t.d] = rt.F64Bits(rt.F64(regs[t.a]) + rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Sub):
+			regs[t.d] = rt.F64Bits(rt.F64(regs[t.a]) - rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Mul):
+			regs[t.d] = rt.F64Bits(rt.F64(regs[t.a]) * rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Div):
+			regs[t.d] = rt.F64Bits(rt.F64(regs[t.a]) / rt.F64(regs[t.b]))
+		case uint16(wasm.OpF64Min):
+			regs[t.d] = rt.F64Bits(rt.FMin64(rt.F64(regs[t.a]), rt.F64(regs[t.b])))
+		case uint16(wasm.OpF64Max):
+			regs[t.d] = rt.F64Bits(rt.FMax64(rt.F64(regs[t.a]), rt.F64(regs[t.b])))
+		case uint16(wasm.OpF64Copysign):
+			regs[t.d] = rt.F64Bits(math.Copysign(rt.F64(regs[t.a]), rt.F64(regs[t.b])))
+
+		// Conversions.
+		case uint16(wasm.OpI32WrapI64):
+			regs[t.d] = uint64(uint32(regs[t.a]))
+		case uint16(wasm.OpI32TruncF32S):
+			regs[t.d] = rt.TruncF32ToI32S(regs[t.a])
+		case uint16(wasm.OpI32TruncF32U):
+			regs[t.d] = rt.TruncF32ToI32U(regs[t.a])
+		case uint16(wasm.OpI32TruncF64S):
+			regs[t.d] = rt.TruncF64ToI32S(regs[t.a])
+		case uint16(wasm.OpI32TruncF64U):
+			regs[t.d] = rt.TruncF64ToI32U(regs[t.a])
+		case uint16(wasm.OpI64ExtendI32S):
+			regs[t.d] = uint64(int64(int32(uint32(regs[t.a]))))
+		case uint16(wasm.OpI64ExtendI32U):
+			regs[t.d] = uint64(uint32(regs[t.a]))
+		case uint16(wasm.OpI64TruncF32S):
+			regs[t.d] = rt.TruncF32ToI64S(regs[t.a])
+		case uint16(wasm.OpI64TruncF32U):
+			regs[t.d] = rt.TruncF32ToI64U(regs[t.a])
+		case uint16(wasm.OpI64TruncF64S):
+			regs[t.d] = rt.TruncF64ToI64S(regs[t.a])
+		case uint16(wasm.OpI64TruncF64U):
+			regs[t.d] = rt.TruncF64ToI64U(regs[t.a])
+		case uint16(wasm.OpF32ConvertI32S):
+			regs[t.d] = rt.F32Bits(float32(int32(uint32(regs[t.a]))))
+		case uint16(wasm.OpF32ConvertI32U):
+			regs[t.d] = rt.F32Bits(float32(uint32(regs[t.a])))
+		case uint16(wasm.OpF32ConvertI64S):
+			regs[t.d] = rt.F32Bits(float32(int64(regs[t.a])))
+		case uint16(wasm.OpF32ConvertI64U):
+			regs[t.d] = rt.F32Bits(float32(regs[t.a]))
+		case uint16(wasm.OpF32DemoteF64):
+			regs[t.d] = rt.F32Bits(float32(rt.F64(regs[t.a])))
+		case uint16(wasm.OpF64ConvertI32S):
+			regs[t.d] = rt.F64Bits(float64(int32(uint32(regs[t.a]))))
+		case uint16(wasm.OpF64ConvertI32U):
+			regs[t.d] = rt.F64Bits(float64(uint32(regs[t.a])))
+		case uint16(wasm.OpF64ConvertI64S):
+			regs[t.d] = rt.F64Bits(float64(int64(regs[t.a])))
+		case uint16(wasm.OpF64ConvertI64U):
+			regs[t.d] = rt.F64Bits(float64(regs[t.a]))
+		case uint16(wasm.OpF64PromoteF32):
+			regs[t.d] = rt.F64Bits(float64(rt.F32(regs[t.a])))
+		case uint16(wasm.OpI32ReinterpretF32), uint16(wasm.OpI64ReinterpretF64),
+			uint16(wasm.OpF32ReinterpretI32), uint16(wasm.OpF64ReinterpretI64):
+			regs[t.d] = regs[t.a]
+		case uint16(wasm.OpI32Extend8S):
+			regs[t.d] = uint64(uint32(int32(int8(uint8(regs[t.a])))))
+		case uint16(wasm.OpI32Extend16S):
+			regs[t.d] = uint64(uint32(int32(int16(uint16(regs[t.a])))))
+		case uint16(wasm.OpI64Extend8S):
+			regs[t.d] = uint64(int64(int8(uint8(regs[t.a]))))
+		case uint16(wasm.OpI64Extend16S):
+			regs[t.d] = uint64(int64(int16(uint16(regs[t.a]))))
+		case uint16(wasm.OpI64Extend32S):
+			regs[t.d] = uint64(int64(int32(uint32(regs[t.a]))))
+
+		default:
+			// Fused compare-and-branch families.
+			if t.op >= tBrCmpBase && t.op < tBrCmpBase+numCmpKinds {
+				if evalCmp(int(t.op-tBrCmpBase), regs[t.a], regs[t.b]) {
+					pc = int(t.imm)
+					continue
+				}
+			} else if t.op >= tBrCmpNotBase && t.op < tBrCmpNotBase+numCmpKinds {
+				if !evalCmp(int(t.op-tBrCmpNotBase), regs[t.a], regs[t.b]) {
+					pc = int(t.imm)
+					continue
+				}
+			} else {
+				rt.Trap("turbofan: unknown opcode %#x", t.op)
+			}
+		}
+		pc++
+	}
+}

@@ -1,0 +1,266 @@
+// Package wmem implements the linear memory of a WebAssembly instance as a
+// page table over host byte slices.
+//
+// It is the reproduction of the paper's "rewiring" technique (§6): the paper
+// patches V8 with SetModuleMemory() and uses virtual-memory rewiring to make
+// host data structures (tables, indexes, result buffers) appear inside the
+// module's 32-bit address space without copying. Here, the same observable
+// property is obtained by aliasing Go slices: Map installs a host buffer's
+// pages directly into the page table, so guest loads read host memory
+// in place. Mapping granularity is the 64 KiB WebAssembly page, mirroring the
+// OS page granularity of mmap-based rewiring.
+package wmem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the WebAssembly page size.
+const PageSize = 64 * 1024
+
+const pageShift = 16
+const pageMask = PageSize - 1
+
+// Trap describes a memory access fault raised by guest code.
+type Trap struct {
+	Addr uint32
+	Size uint32
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("wasm trap: %s at address %#x (size %d)", t.Msg, t.Addr, t.Size)
+}
+
+// Memory is a 32-bit addressable linear memory backed by a page table.
+// Pages are either module-owned (allocated by Grow or at construction) or
+// host-mapped (installed by Map). A nil page is unmapped and traps.
+type Memory struct {
+	pages    [][]byte
+	maxPages uint32
+}
+
+// New creates a memory with min zero-initialized module-owned pages and the
+// given maximum size in pages (the paper's 4 GiB address budget corresponds
+// to maxPages = 65536; experiments shrink it to force chunked rewiring).
+func New(minPages, maxPages uint32) *Memory {
+	if maxPages > 65536 {
+		maxPages = 65536
+	}
+	if minPages > maxPages {
+		minPages = maxPages
+	}
+	m := &Memory{pages: make([][]byte, minPages), maxPages: maxPages}
+	for i := range m.pages {
+		m.pages[i] = make([]byte, PageSize)
+	}
+	return m
+}
+
+// Pages returns the current size in pages.
+func (m *Memory) Pages() uint32 { return uint32(len(m.pages)) }
+
+// PageSlice exposes the page table for the interpreters' inline fast paths
+// (see rt.LdU32 and friends). The returned slice becomes stale after Grow,
+// Map, or Unmap; callers refresh it after any operation that may mutate the
+// table.
+func (m *Memory) PageSlice() [][]byte { return m.pages }
+
+// MaxPages returns the maximum size in pages.
+func (m *Memory) MaxPages() uint32 { return m.maxPages }
+
+// Grow extends the memory by delta zero-initialized module-owned pages,
+// returning the previous size in pages, or -1 if the maximum would be
+// exceeded (the semantics of memory.grow).
+func (m *Memory) Grow(delta uint32) int32 {
+	old := uint32(len(m.pages))
+	if uint64(old)+uint64(delta) > uint64(m.maxPages) {
+		return -1
+	}
+	for i := uint32(0); i < delta; i++ {
+		m.pages = append(m.pages, make([]byte, PageSize))
+	}
+	return int32(old)
+}
+
+// Map rewires the host buffer data into the address space at addr. Both addr
+// and len(data) must be multiples of PageSize; the pages alias data, so guest
+// accesses read and write the host buffer in place and no copy occurs.
+// The mapped range must lie below the current memory size (use Grow or
+// construct with enough pages first); existing pages are replaced.
+func (m *Memory) Map(addr uint32, data []byte) error {
+	if addr&pageMask != 0 {
+		return fmt.Errorf("wmem: map address %#x not page-aligned", addr)
+	}
+	if len(data)&pageMask != 0 {
+		return fmt.Errorf("wmem: map length %d not a page multiple", len(data))
+	}
+	first := addr >> pageShift
+	n := uint32(len(data) >> pageShift)
+	if uint64(first)+uint64(n) > uint64(len(m.pages)) {
+		return fmt.Errorf("wmem: map of %d pages at %#x exceeds memory size (%d pages)", n, addr, len(m.pages))
+	}
+	for i := uint32(0); i < n; i++ {
+		m.pages[first+i] = data[i<<pageShift : (i+1)<<pageShift : (i+1)<<pageShift]
+	}
+	return nil
+}
+
+// Unmap replaces n pages starting at the page-aligned addr with fresh
+// module-owned zero pages.
+func (m *Memory) Unmap(addr uint32, n uint32) error {
+	if addr&pageMask != 0 {
+		return fmt.Errorf("wmem: unmap address %#x not page-aligned", addr)
+	}
+	first := addr >> pageShift
+	if uint64(first)+uint64(n) > uint64(len(m.pages)) {
+		return fmt.Errorf("wmem: unmap out of range")
+	}
+	for i := uint32(0); i < n; i++ {
+		m.pages[first+i] = make([]byte, PageSize)
+	}
+	return nil
+}
+
+func (m *Memory) trap(addr, size uint32) {
+	panic(&Trap{Addr: addr, Size: size, Msg: "out-of-bounds memory access"})
+}
+
+// span returns the in-page slice for a fast-path access of size bytes at
+// addr, or nil if the access is unmapped, out of bounds, or straddles a page
+// boundary (slow path).
+func (m *Memory) span(addr, size uint32) []byte {
+	p := addr >> pageShift
+	off := addr & pageMask
+	if p >= uint32(len(m.pages)) || off+size > PageSize {
+		return nil
+	}
+	pg := m.pages[p]
+	if pg == nil {
+		return nil
+	}
+	return pg[off : off+size]
+}
+
+// U8 loads a byte.
+func (m *Memory) U8(addr uint32) byte {
+	p := addr >> pageShift
+	if p >= uint32(len(m.pages)) || m.pages[p] == nil {
+		m.trap(addr, 1)
+	}
+	return m.pages[p][addr&pageMask]
+}
+
+// PutU8 stores a byte.
+func (m *Memory) PutU8(addr uint32, v byte) {
+	p := addr >> pageShift
+	if p >= uint32(len(m.pages)) || m.pages[p] == nil {
+		m.trap(addr, 1)
+	}
+	m.pages[p][addr&pageMask] = v
+}
+
+// U16 loads a little-endian 16-bit value.
+func (m *Memory) U16(addr uint32) uint16 {
+	if s := m.span(addr, 2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return uint16(m.slowLoad(addr, 2))
+}
+
+// PutU16 stores a little-endian 16-bit value.
+func (m *Memory) PutU16(addr uint32, v uint16) {
+	if s := m.span(addr, 2); s != nil {
+		binary.LittleEndian.PutUint16(s, v)
+		return
+	}
+	m.slowStore(addr, 2, uint64(v))
+}
+
+// U32 loads a little-endian 32-bit value.
+func (m *Memory) U32(addr uint32) uint32 {
+	if s := m.span(addr, 4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return uint32(m.slowLoad(addr, 4))
+}
+
+// PutU32 stores a little-endian 32-bit value.
+func (m *Memory) PutU32(addr uint32, v uint32) {
+	if s := m.span(addr, 4); s != nil {
+		binary.LittleEndian.PutUint32(s, v)
+		return
+	}
+	m.slowStore(addr, 4, uint64(v))
+}
+
+// U64 loads a little-endian 64-bit value.
+func (m *Memory) U64(addr uint32) uint64 {
+	if s := m.span(addr, 8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return m.slowLoad(addr, 8)
+}
+
+// PutU64 stores a little-endian 64-bit value.
+func (m *Memory) PutU64(addr uint32, v uint64) {
+	if s := m.span(addr, 8); s != nil {
+		binary.LittleEndian.PutUint64(s, v)
+		return
+	}
+	m.slowStore(addr, 8, v)
+}
+
+// slowLoad assembles a value that straddles a page boundary byte by byte.
+func (m *Memory) slowLoad(addr, size uint32) uint64 {
+	if uint64(addr)+uint64(size) > uint64(len(m.pages))<<pageShift {
+		m.trap(addr, size)
+	}
+	var v uint64
+	for i := uint32(0); i < size; i++ {
+		v |= uint64(m.U8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+func (m *Memory) slowStore(addr, size uint32, v uint64) {
+	if uint64(addr)+uint64(size) > uint64(len(m.pages))<<pageShift {
+		m.trap(addr, size)
+	}
+	for i := uint32(0); i < size; i++ {
+		m.PutU8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice, crossing page
+// boundaries as needed. It is the host-side accessor for result retrieval.
+func (m *Memory) ReadBytes(addr, n uint32) []byte {
+	out := make([]byte, n)
+	got := uint32(0)
+	for got < n {
+		s := m.span(addr+got, 1)
+		if s == nil {
+			m.trap(addr+got, 1)
+		}
+		pg := m.pages[(addr+got)>>pageShift]
+		off := (addr + got) & pageMask
+		c := copy(out[got:], pg[off:])
+		got += uint32(c)
+	}
+	return out
+}
+
+// WriteBytes copies b into memory at addr, crossing page boundaries.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	done := 0
+	for done < len(b) {
+		a := addr + uint32(done)
+		p := a >> pageShift
+		if p >= uint32(len(m.pages)) || m.pages[p] == nil {
+			m.trap(a, uint32(len(b)-done))
+		}
+		off := a & pageMask
+		done += copy(m.pages[p][off:], b[done:])
+	}
+}

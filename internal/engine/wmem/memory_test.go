@@ -1,0 +1,183 @@
+package wmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrowAndBounds(t *testing.T) {
+	m := New(1, 4)
+	if m.Pages() != 1 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	if got := m.Grow(2); got != 1 {
+		t.Fatalf("Grow = %d", got)
+	}
+	if m.Pages() != 3 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	if got := m.Grow(5); got != -1 {
+		t.Fatalf("over-limit Grow = %d, want -1", got)
+	}
+	// New clamps maxPages to the wasm limit.
+	big := New(1, 1<<20)
+	if big.MaxPages() != 65536 {
+		t.Fatalf("maxPages = %d", big.MaxPages())
+	}
+}
+
+func TestLoadStoreRoundtrip(t *testing.T) {
+	m := New(2, 4)
+	m.PutU8(5, 0xAB)
+	if m.U8(5) != 0xAB {
+		t.Error("u8")
+	}
+	m.PutU16(100, 0xBEEF)
+	if m.U16(100) != 0xBEEF {
+		t.Error("u16")
+	}
+	m.PutU32(200, 0xDEADBEEF)
+	if m.U32(200) != 0xDEADBEEF {
+		t.Error("u32")
+	}
+	m.PutU64(300, 0x0123456789ABCDEF)
+	if m.U64(300) != 0x0123456789ABCDEF {
+		t.Error("u64")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(2, 4)
+	// A u64 straddling the page boundary must hit the slow path and stay
+	// correct.
+	addr := uint32(PageSize - 3)
+	m.PutU64(addr, 0x1122334455667788)
+	if got := m.U64(addr); got != 0x1122334455667788 {
+		t.Fatalf("straddling u64 = %#x", got)
+	}
+	m.PutU32(PageSize-2, 0xCAFEBABE)
+	if got := m.U32(PageSize - 2); got != 0xCAFEBABE {
+		t.Fatalf("straddling u32 = %#x", got)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	m := New(1, 1)
+	cases := []func(){
+		func() { m.U8(PageSize) },
+		func() { m.U32(PageSize - 2) },
+		func() { m.U64(PageSize - 7) },
+		func() { m.PutU8(PageSize, 1) },
+		func() { m.PutU64(PageSize-1, 1) },
+		func() { m.ReadBytes(PageSize-4, 8) },
+		func() { m.WriteBytes(PageSize-4, make([]byte, 8)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("case %d: no trap", i)
+				} else if _, ok := r.(*Trap); !ok {
+					t.Errorf("case %d: wrong panic type %T", i, r)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMapAliasesHostBuffer(t *testing.T) {
+	m := New(3, 8)
+	host := make([]byte, PageSize)
+	host[0] = 42
+	host[PageSize-1] = 43
+	if err := m.Map(PageSize, host); err != nil {
+		t.Fatal(err)
+	}
+	if m.U8(PageSize) != 42 || m.U8(2*PageSize-1) != 43 {
+		t.Error("mapped data not visible")
+	}
+	// Guest writes reach the host buffer (zero copy, both directions).
+	m.PutU8(PageSize+7, 99)
+	if host[7] != 99 {
+		t.Error("guest write did not reach host buffer")
+	}
+	host[8] = 77
+	if m.U8(PageSize+8) != 77 {
+		t.Error("host write not visible to guest")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	m := New(2, 4)
+	buf := make([]byte, PageSize)
+	if err := m.Map(100, buf); err == nil {
+		t.Error("unaligned address accepted")
+	}
+	if err := m.Map(0, make([]byte, 100)); err == nil {
+		t.Error("non-page-multiple length accepted")
+	}
+	if err := m.Map(4*PageSize, buf); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+func TestUnmapRestoresZeroPages(t *testing.T) {
+	m := New(2, 4)
+	host := make([]byte, PageSize)
+	for i := range host {
+		host[i] = 0xFF
+	}
+	if err := m.Map(PageSize, host); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmap(PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.U8(PageSize) != 0 {
+		t.Error("unmap did not restore a zero page")
+	}
+	if host[0] != 0xFF {
+		t.Error("unmap corrupted the host buffer")
+	}
+}
+
+func TestRemapChunks(t *testing.T) {
+	// §6.1's chunked rewiring: the same window alternately maps different
+	// chunks of a large host buffer.
+	m := New(2, 2)
+	big := make([]byte, 4*PageSize)
+	for i := range big {
+		big[i] = byte(i / PageSize)
+	}
+	window := uint32(PageSize)
+	for chunk := 0; chunk < 4; chunk++ {
+		if err := m.Map(window, big[chunk*PageSize:(chunk+1)*PageSize]); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.U8(window); got != byte(chunk) {
+			t.Fatalf("chunk %d: got %d", chunk, got)
+		}
+	}
+}
+
+func TestReadWriteBytesRoundtrip(t *testing.T) {
+	m := New(2, 4)
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		addr := uint32(off)
+		m.WriteBytes(addr, data)
+		got := m.ReadBytes(addr, uint32(len(data)))
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package eval implements interpreted scalar evaluation of bound
+// expressions over boxed values. It is the expression engine of the Volcano
+// baseline (tuple-at-a-time interpretation with boxed values, the
+// PostgreSQL-style stand-in of §8.1) and the correctness oracle for
+// differential tests.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+)
+
+// Ctx supplies leaf values during evaluation.
+type Ctx interface {
+	Col(table, col int) types.Value
+	Key(i int) types.Value
+	Agg(i int) types.Value
+}
+
+// Eval evaluates a bound expression.
+func Eval(e sema.Expr, ctx Ctx) types.Value {
+	switch x := e.(type) {
+	case *sema.Const:
+		return x.V
+	case *sema.ColRef:
+		return ctx.Col(x.Table, x.Col)
+	case *sema.KeyRef:
+		return ctx.Key(x.Idx)
+	case *sema.AggRef:
+		return ctx.Agg(x.Idx)
+	case *sema.Binary:
+		return evalBinary(x, ctx)
+	case *sema.Not:
+		return types.NewBool(!Eval(x.E, ctx).IsTrue())
+	case *sema.Cast:
+		return EvalCast(Eval(x.E, ctx), x.To)
+	case *sema.Like:
+		v := Eval(x.E, ctx)
+		m := MatchLike(v.S, x)
+		if x.Not {
+			m = !m
+		}
+		return types.NewBool(m)
+	case *sema.Case:
+		for _, w := range x.Whens {
+			if Eval(w.Cond, ctx).IsTrue() {
+				return Eval(w.Then, ctx)
+			}
+		}
+		return Eval(x.Else, ctx)
+	case *sema.ExtractYear:
+		v := Eval(x.E, ctx)
+		return types.NewInt32(int32(types.ExtractYear(int32(v.I))))
+	}
+	panic(fmt.Sprintf("eval: unsupported expression %T", e))
+}
+
+func evalBinary(x *sema.Binary, ctx Ctx) types.Value {
+	switch x.Op {
+	case sema.OpAnd:
+		// Whole-expression evaluation (no short-circuit), matching the
+		// compiled engines so all engines do the same work.
+		l := Eval(x.L, ctx).IsTrue()
+		r := Eval(x.R, ctx).IsTrue()
+		return types.NewBool(l && r)
+	case sema.OpOr:
+		l := Eval(x.L, ctx).IsTrue()
+		r := Eval(x.R, ctx).IsTrue()
+		return types.NewBool(l || r)
+	}
+	l := Eval(x.L, ctx)
+	r := Eval(x.R, ctx)
+	if x.Op.IsComparison() {
+		return types.NewBool(compare(x.Op, l, r))
+	}
+	switch x.T.Kind {
+	case types.Int32:
+		var v int32
+		switch x.Op {
+		case sema.OpAdd:
+			v = int32(l.I) + int32(r.I)
+		case sema.OpSub:
+			v = int32(l.I) - int32(r.I)
+		case sema.OpMul:
+			v = int32(l.I) * int32(r.I)
+		}
+		return types.NewInt32(v)
+	case types.Int64:
+		var v int64
+		switch x.Op {
+		case sema.OpAdd:
+			v = l.I + r.I
+		case sema.OpSub:
+			v = l.I - r.I
+		case sema.OpMul:
+			v = l.I * r.I
+		case sema.OpMod:
+			v = l.I % r.I
+		}
+		return types.NewInt64(v)
+	case types.Decimal:
+		var v int64
+		switch x.Op {
+		case sema.OpAdd:
+			v = l.I + r.I
+		case sema.OpSub:
+			v = l.I - r.I
+		case sema.OpMul:
+			v = l.I * r.I
+		}
+		return types.NewDecimal(v, x.T.Prec, x.T.Scale)
+	case types.Float64:
+		var v float64
+		switch x.Op {
+		case sema.OpAdd:
+			v = l.F + r.F
+		case sema.OpSub:
+			v = l.F - r.F
+		case sema.OpMul:
+			v = l.F * r.F
+		case sema.OpDiv:
+			v = l.F / r.F
+		}
+		return types.NewFloat64(v)
+	}
+	panic("eval: bad arithmetic type")
+}
+
+func compare(op sema.OpKind, l, r types.Value) bool {
+	var c int
+	switch l.Type.Kind {
+	case types.Char:
+		c = comparePadded(l.S, r.S)
+	case types.Float64:
+		switch {
+		case l.F < r.F:
+			c = -1
+		case l.F > r.F:
+			c = 1
+		}
+	default:
+		switch {
+		case l.I < r.I:
+			c = -1
+		case l.I > r.I:
+			c = 1
+		}
+	}
+	switch op {
+	case sema.OpEq:
+		return c == 0
+	case sema.OpNe:
+		return c != 0
+	case sema.OpLt:
+		return c < 0
+	case sema.OpLe:
+		return c <= 0
+	case sema.OpGt:
+		return c > 0
+	case sema.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// comparePadded compares with SQL CHAR padded semantics (values arrive with
+// trailing padding already stripped, so plain compare after stripping).
+func comparePadded(a, b string) int {
+	return strings.Compare(strings.TrimRight(a, " "), strings.TrimRight(b, " "))
+}
+
+// EvalCast applies a sema.Cast conversion to a boxed value.
+func EvalCast(v types.Value, to types.Type) types.Value {
+	switch to.Kind {
+	case types.Int64:
+		return types.NewInt64(v.I)
+	case types.Int32:
+		return types.NewInt32(int32(v.I))
+	case types.Float64:
+		switch v.Type.Kind {
+		case types.Float64:
+			return v
+		case types.Decimal:
+			return types.NewFloat64(float64(v.I) / float64(types.Pow10(v.Type.Scale)))
+		default:
+			return types.NewFloat64(float64(v.I))
+		}
+	case types.Decimal:
+		switch v.Type.Kind {
+		case types.Decimal:
+			d := to.Scale - v.Type.Scale
+			raw := v.I
+			if d > 0 {
+				raw *= types.Pow10(d)
+			} else if d < 0 {
+				raw /= types.Pow10(-d)
+			}
+			return types.NewDecimal(raw, to.Prec, to.Scale)
+		default:
+			return types.NewDecimal(v.I*types.Pow10(to.Scale), to.Prec, to.Scale)
+		}
+	case types.Char:
+		return types.NewChar(v.S, to.Length)
+	}
+	return v
+}
+
+// MatchLike applies a classified LIKE pattern to a logical (stripped)
+// string.
+func MatchLike(s string, l *sema.Like) bool {
+	s = strings.TrimRight(s, " ")
+	switch l.Kind {
+	case sema.LikeExact:
+		return s == l.Needle
+	case sema.LikePrefix:
+		return strings.HasPrefix(s, l.Needle)
+	case sema.LikeSuffix:
+		return strings.HasSuffix(s, l.Needle)
+	case sema.LikeContains:
+		return strings.Contains(s, l.Needle)
+	default:
+		return globMatch(s, l.Pattern)
+	}
+}
+
+// globMatch is the classic iterative single-star-backtracking matcher for
+// SQL LIKE (% and _).
+func globMatch(s, pat string) bool {
+	si, pi := 0, 0
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			ss++
+			si = ss
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

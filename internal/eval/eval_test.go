@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"testing"
+
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+)
+
+type fixedCtx struct{}
+
+func (fixedCtx) Col(t, c int) types.Value { return types.NewInt32(int32(t*10 + c)) }
+func (fixedCtx) Key(i int) types.Value    { return types.NewInt64(int64(100 + i)) }
+func (fixedCtx) Agg(i int) types.Value    { return types.NewInt64(int64(200 + i)) }
+
+func c64(v int64) sema.Expr  { return &sema.Const{V: types.NewInt64(v)} }
+func cf(v float64) sema.Expr { return &sema.Const{V: types.NewFloat64(v)} }
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		e    sema.Expr
+		want int64
+	}{
+		{&sema.Binary{Op: sema.OpAdd, L: c64(2), R: c64(3), T: types.TInt64}, 5},
+		{&sema.Binary{Op: sema.OpSub, L: c64(2), R: c64(3), T: types.TInt64}, -1},
+		{&sema.Binary{Op: sema.OpMul, L: c64(6), R: c64(7), T: types.TInt64}, 42},
+		{&sema.Binary{Op: sema.OpMod, L: c64(17), R: c64(5), T: types.TInt64}, 2},
+	}
+	for _, c := range cases {
+		if got := Eval(c.e, fixedCtx{}); got.I != c.want {
+			t.Errorf("%s = %d, want %d", c.e, got.I, c.want)
+		}
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	lt := &sema.Binary{Op: sema.OpLt, L: c64(1), R: c64(2), T: types.TBool}
+	ge := &sema.Binary{Op: sema.OpGe, L: c64(1), R: c64(2), T: types.TBool}
+	and := &sema.Binary{Op: sema.OpAnd, L: lt, R: ge, T: types.TBool}
+	or := &sema.Binary{Op: sema.OpOr, L: lt, R: ge, T: types.TBool}
+	not := &sema.Not{E: ge}
+	if !Eval(lt, fixedCtx{}).IsTrue() || Eval(ge, fixedCtx{}).IsTrue() {
+		t.Error("comparisons")
+	}
+	if Eval(and, fixedCtx{}).IsTrue() || !Eval(or, fixedCtx{}).IsTrue() || !Eval(not, fixedCtx{}).IsTrue() {
+		t.Error("logic")
+	}
+}
+
+func TestEvalFloatAndCase(t *testing.T) {
+	div := &sema.Binary{Op: sema.OpDiv, L: cf(7), R: cf(2), T: types.TFloat64}
+	if got := Eval(div, fixedCtx{}); got.F != 3.5 {
+		t.Errorf("div = %v", got.F)
+	}
+	ce := &sema.Case{
+		Whens: []sema.When{{Cond: &sema.Binary{Op: sema.OpLt, L: c64(5), R: c64(3), T: types.TBool}, Then: c64(1)}},
+		Else:  c64(2),
+		T:     types.TInt64,
+	}
+	if got := Eval(ce, fixedCtx{}); got.I != 2 {
+		t.Errorf("case = %d", got.I)
+	}
+}
+
+func TestEvalCast(t *testing.T) {
+	// decimal(2) → float64
+	d := &sema.Const{V: types.NewDecimal(150, 10, 2)}
+	got := Eval(&sema.Cast{E: d, To: types.TFloat64}, fixedCtx{})
+	if got.F != 1.5 {
+		t.Errorf("decimal cast = %v", got.F)
+	}
+	// int → decimal(3)
+	got = Eval(&sema.Cast{E: c64(7), To: types.TDecimal(10, 3)}, fixedCtx{})
+	if got.I != 7000 {
+		t.Errorf("int→decimal = %d", got.I)
+	}
+	// decimal(2) → decimal(4)
+	got = Eval(&sema.Cast{E: d, To: types.TDecimal(10, 4)}, fixedCtx{})
+	if got.I != 15000 {
+		t.Errorf("rescale = %d", got.I)
+	}
+}
+
+func TestEvalRefs(t *testing.T) {
+	col := &sema.ColRef{Table: 1, Col: 2, T: types.TInt32}
+	if Eval(col, fixedCtx{}).I != 12 {
+		t.Error("colref")
+	}
+	if Eval(&sema.KeyRef{Idx: 1, T: types.TInt64}, fixedCtx{}).I != 101 {
+		t.Error("keyref")
+	}
+	if Eval(&sema.AggRef{Idx: 3, T: types.TInt64}, fixedCtx{}).I != 203 {
+		t.Error("aggref")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_go", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "a%b%c", true},
+		{"axxbyyc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"aaa", "a%a", true},
+		{"mississippi", "m%iss%ppi", true},
+		{"mississippi", "m%iss%ppx", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.s, c.pat); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v", c.s, c.pat, got)
+		}
+	}
+}
+
+func TestMatchLikeKinds(t *testing.T) {
+	mk := func(pat string) *sema.Like {
+		k, needle := sema.ClassifyLike(pat)
+		return &sema.Like{Pattern: pat, Kind: k, Needle: needle}
+	}
+	if !MatchLike("PROMO TIN", mk("PROMO%")) {
+		t.Error("prefix")
+	}
+	if !MatchLike("padded   ", mk("%ed")) {
+		t.Error("suffix with padding")
+	}
+	if MatchLike("other", mk("PROMO%")) {
+		t.Error("prefix false positive")
+	}
+}

@@ -1,0 +1,140 @@
+// Package harness provides the measurement and reporting machinery the
+// benchmark driver (cmd/bench) uses to regenerate the paper's tables and
+// figures: repeated timed runs with median selection, parameter sweeps, and
+// aligned text/CSV output of one series per system.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Reps is the default number of repetitions per measurement (the paper uses
+// five and reports the median).
+const Reps = 3
+
+// Median runs fn reps times and returns the median duration.
+func Median(reps int, fn func() time.Duration) time.Duration {
+	if reps <= 0 {
+		reps = Reps
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		ds[i] = fn()
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// Series is one line of a figure: a system measured across the sweep.
+type Series struct {
+	System string
+	Points []time.Duration
+}
+
+// Figure accumulates sweep results and renders them.
+type Figure struct {
+	Title  string
+	XLabel string
+	XTicks []string
+	Series []*Series
+}
+
+// NewFigure creates a figure for the given sweep ticks.
+func NewFigure(title, xlabel string, ticks ...string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, XTicks: ticks}
+}
+
+// Add appends a measurement to the named system's series.
+func (f *Figure) Add(system string, d time.Duration) {
+	for _, s := range f.Series {
+		if s.System == system {
+			s.Points = append(s.Points, d)
+			return
+		}
+	}
+	f.Series = append(f.Series, &Series{System: system, Points: []time.Duration{d}})
+}
+
+// Render writes the figure as an aligned table (milliseconds).
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", f.Title)
+	width := len(f.XLabel)
+	for _, t := range f.XTicks {
+		if len(t) > width {
+			width = len(t)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", width+2, f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%14s", s.System)
+	}
+	fmt.Fprintln(w)
+	for i, tick := range f.XTicks {
+		fmt.Fprintf(w, "%-*s", width+2, tick)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%12.3fms", float64(s.Points[i].Microseconds())/1000)
+			} else {
+				fmt.Fprintf(w, "%14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderCSV writes the figure as CSV for plotting.
+func (f *Figure) RenderCSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.System)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for i, tick := range f.XTicks {
+		row := []string{tick}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.3f", float64(s.Points[i].Microseconds())/1000))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Shape assertions used by EXPERIMENTS.md verification and tests.
+
+// PeakIndex returns the index of the maximum point of a series.
+func PeakIndex(s *Series) int {
+	best := 0
+	for i, p := range s.Points {
+		if p > s.Points[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Flatness returns max/min of a series (1.0 = perfectly flat).
+func Flatness(s *Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min, max := s.Points[0], s.Points[0]
+	for _, p := range s.Points {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	vals := []time.Duration{5, 1, 9}
+	i := 0
+	got := Median(3, func() time.Duration {
+		d := vals[i]
+		i++
+		return d
+	})
+	if got != 5 {
+		t.Errorf("median = %v", got)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("demo", "x", "a", "b")
+	f.Add("sys1", time.Millisecond)
+	f.Add("sys2", 2*time.Millisecond)
+	f.Add("sys1", 3*time.Millisecond)
+	f.Add("sys2", 4*time.Millisecond)
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "sys1", "sys2", "1.000ms", "4.000ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	f.RenderCSV(&csv)
+	if !strings.HasPrefix(csv.String(), "x,sys1,sys2") {
+		t.Errorf("csv header: %s", csv.String())
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := &Series{Points: []time.Duration{10, 30, 20}}
+	if PeakIndex(s) != 1 {
+		t.Error("peak")
+	}
+	if Flatness(s) != 3 {
+		t.Errorf("flatness = %v", Flatness(s))
+	}
+	flat := &Series{Points: []time.Duration{10, 10, 10}}
+	if Flatness(flat) != 1 {
+		t.Error("flat series")
+	}
+}

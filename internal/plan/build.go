@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"fmt"
+
+	"wasmdb/internal/sema"
+)
+
+// Build turns a bound query into a physical plan.
+func Build(q *sema.Query) (Node, error) {
+	b := &builder{q: q}
+	root, err := b.joinTree()
+	if err != nil {
+		return nil, err
+	}
+	if q.Grouped {
+		est := root.Rows() / 10
+		if len(q.GroupBy) == 0 {
+			est = 1
+		}
+		if est < 1 {
+			est = 1
+		}
+		root = &Group{Input: root, Keys: q.GroupBy, Aggs: q.Aggs, est: est}
+	}
+	if len(q.OrderBy) > 0 {
+		root = &Sort{Input: root, Keys: q.OrderBy}
+	}
+	if q.Limit >= 0 {
+		root = &Limit{Input: root, N: q.Limit}
+	}
+	return &Project{Input: root, Cols: q.Select}, nil
+}
+
+type builder struct {
+	q *sema.Query
+}
+
+// conjunct bookkeeping during join-tree construction.
+type pendingConjunct struct {
+	expr   sema.Expr
+	tables map[int]bool
+}
+
+func (b *builder) joinTree() (Node, error) {
+	n := len(b.q.Tables)
+
+	// Distribute conjuncts: single-table ones push into scans, the rest are
+	// kept pending and placed at the first join covering their tables.
+	scanFilters := make([][]sema.Expr, n)
+	var pending []pendingConjunct
+	for _, c := range b.q.Conjuncts {
+		ts := map[int]bool{}
+		sema.TablesUsed(c, ts)
+		if len(ts) == 1 {
+			for t := range ts {
+				scanFilters[t] = append(scanFilters[t], c)
+			}
+		} else if len(ts) == 0 {
+			// Constant predicate: attach to table 0's scan.
+			scanFilters[0] = append(scanFilters[0], c)
+		} else {
+			pending = append(pending, pendingConjunct{expr: c, tables: ts})
+		}
+	}
+
+	nodes := make([]Node, n)
+	for i, tr := range b.q.Tables {
+		est := float64(tr.Table.Rows())
+		for range scanFilters[i] {
+			est *= 0.5 // crude selectivity guess per conjunct
+		}
+		if est < 1 {
+			est = 1
+		}
+		nodes[i] = &Scan{TableIdx: i, Table: tr.Table, Filter: scanFilters[i], est: est}
+	}
+	if n == 1 {
+		return nodes[0], nil
+	}
+
+	// Greedy join ordering: start from the smallest scan, repeatedly join
+	// the smallest table connected through an equi predicate.
+	remaining := map[int]Node{}
+	for i, nd := range nodes {
+		remaining[i] = nd
+	}
+	// Pick the smallest estimated scan as the seed.
+	seed := -1
+	for i := range remaining {
+		if seed < 0 || nodes[i].Rows() < nodes[seed].Rows() {
+			seed = i
+		}
+	}
+	cur := remaining[seed]
+	delete(remaining, seed)
+
+	for len(remaining) > 0 {
+		curTables := cur.Tables()
+		// Find candidate joins: equi conjuncts with one side fully in cur
+		// and the other fully in a single remaining subtree.
+		type cand struct {
+			other              int
+			buildKey, probeKey sema.Expr
+		}
+		var candidates []cand
+		for _, pc := range pending {
+			eq, ok := pc.expr.(*sema.Binary)
+			if !ok || eq.Op != sema.OpEq {
+				continue
+			}
+			lt, rt := map[int]bool{}, map[int]bool{}
+			sema.TablesUsed(eq.L, lt)
+			sema.TablesUsed(eq.R, rt)
+			if len(lt) == 0 || len(rt) == 0 {
+				continue
+			}
+			lIn, rIn := subset(lt, curTables), subset(rt, curTables)
+			switch {
+			case lIn && !rIn:
+				if o := singleOwner(rt, remaining); o >= 0 {
+					candidates = append(candidates, cand{other: o, buildKey: eq.L, probeKey: eq.R})
+				}
+			case rIn && !lIn:
+				if o := singleOwner(lt, remaining); o >= 0 {
+					candidates = append(candidates, cand{other: o, buildKey: eq.R, probeKey: eq.L})
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("plan: query requires a cross product or a non-equi join between table groups; only equi joins are supported")
+		}
+		// Choose the candidate whose other side is smallest.
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if remaining[c.other].Rows() < remaining[best.other].Rows() {
+				best = c
+			}
+		}
+		other := remaining[best.other]
+		delete(remaining, best.other)
+
+		// Gather every pending conjunct now fully covered.
+		joined := map[int]bool{}
+		for t := range curTables {
+			joined[t] = true
+		}
+		for t := range other.Tables() {
+			joined[t] = true
+		}
+		var buildKeys, probeKeys []sema.Expr
+		var residual []sema.Expr
+		var still []pendingConjunct
+		for _, pc := range pending {
+			if !subset(pc.tables, joined) {
+				still = append(still, pc)
+				continue
+			}
+			if eq, ok := pc.expr.(*sema.Binary); ok && eq.Op == sema.OpEq {
+				lt, rt := map[int]bool{}, map[int]bool{}
+				sema.TablesUsed(eq.L, lt)
+				sema.TablesUsed(eq.R, rt)
+				// Key pair if each side belongs entirely to one input.
+				switch {
+				case len(lt) > 0 && len(rt) > 0 && subset(lt, curTables) && subset(rt, other.Tables()):
+					probeKeys = append(probeKeys, eq.L)
+					buildKeys = append(buildKeys, eq.R)
+					continue
+				case len(lt) > 0 && len(rt) > 0 && subset(rt, curTables) && subset(lt, other.Tables()):
+					probeKeys = append(probeKeys, eq.R)
+					buildKeys = append(buildKeys, eq.L)
+					continue
+				}
+			}
+			residual = append(residual, pc.expr)
+		}
+		pending = still
+
+		// Build on the smaller input; probe with the larger.
+		build, probe := other, cur
+		if build.Rows() > probe.Rows() {
+			build, probe = cur, other
+			buildKeys, probeKeys = probeKeys, buildKeys
+		}
+		est := probe.Rows() * maxf(build.Rows()/10, 1)
+		if est > probe.Rows()*build.Rows() {
+			est = probe.Rows() * build.Rows()
+		}
+		cur = &HashJoin{
+			Build:     build,
+			Probe:     probe,
+			BuildKeys: buildKeys,
+			ProbeKeys: probeKeys,
+			Residual:  residual,
+			est:       est,
+		}
+	}
+	if len(pending) > 0 {
+		// Should not happen: all tables joined means all conjuncts covered.
+		return nil, fmt.Errorf("plan: internal error: %d unplaced conjuncts", len(pending))
+	}
+	return cur, nil
+}
+
+func subset(a, b map[int]bool) bool {
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// singleOwner returns the remaining-subtree id whose tables cover ts, if
+// exactly one does.
+func singleOwner(ts map[int]bool, remaining map[int]Node) int {
+	for id, nd := range remaining {
+		if subset(ts, nd.Tables()) {
+			return id
+		}
+	}
+	return -1
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package plan
+
+import "fmt"
+
+// Pipeline describes one pipeline of the QEP: a linear sequence of operators
+// between materialization points (§4.1). Pipelines are listed in topological
+// order — the order in which they must execute.
+type Pipeline struct {
+	// Source names what the pipeline iterates over (a table scan or a
+	// materialized structure produced by an earlier pipeline).
+	Source string
+	// Ops names the operators the tuples flow through.
+	Ops []string
+	// Sink names the materialization terminating the pipeline.
+	Sink string
+}
+
+func (p Pipeline) String() string {
+	s := p.Source
+	for _, op := range p.Ops {
+		s += " → " + op
+	}
+	return s + " ⇒ " + p.Sink
+}
+
+// Pipelines dissects the plan into its pipelines in topological order.
+func Pipelines(root Node) []Pipeline {
+	d := &dissector{}
+	d.walk(root, nil, "result")
+	return d.out
+}
+
+type dissector struct {
+	out []Pipeline
+}
+
+// walk processes node n; downstream collects the operator labels applied to
+// this node's tuples on their way to the pipeline's sink.
+func (d *dissector) walk(n Node, downstream []string, sink string) {
+	switch x := n.(type) {
+	case *Project:
+		d.walk(x.Input, append([]string{"project"}, downstream...), sink)
+	case *Limit:
+		d.walk(x.Input, append([]string{fmt.Sprintf("limit %d", x.N)}, downstream...), sink)
+	case *Sort:
+		d.walk(x.Input, nil, "sort array")
+		d.out = append(d.out, Pipeline{
+			Source: "sorted array (generated quicksort)",
+			Ops:    downstream,
+			Sink:   sink,
+		})
+	case *Group:
+		d.walk(x.Input, []string{"aggregate"}, "group hash table (generated)")
+		d.out = append(d.out, Pipeline{
+			Source: "scan groups",
+			Ops:    downstream,
+			Sink:   sink,
+		})
+	case *HashJoin:
+		d.walk(x.Build, nil, "join hash table (generated)")
+		d.walk(x.Probe, append([]string{"probe join hash table"}, downstream...), sink)
+	case *Scan:
+		var ops []string
+		if len(x.Filter) > 0 {
+			ops = append(ops, "select")
+		}
+		ops = append(ops, downstream...)
+		d.out = append(d.out, Pipeline{Source: "scan " + x.Table.Name, Ops: ops, Sink: sink})
+	}
+}

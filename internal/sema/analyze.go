@@ -1,0 +1,830 @@
+package sema
+
+import (
+	"fmt"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/storage"
+	"wasmdb/internal/types"
+)
+
+// TableRef is one bound table occurrence.
+type TableRef struct {
+	Table *storage.Table
+	Alias string
+}
+
+// OutputCol is one result column.
+type OutputCol struct {
+	Name string
+	Expr Expr
+}
+
+// OrderKey is one bound ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is the bound form of a SELECT. If Grouped, Select and OrderBy
+// expressions are in the post-aggregation domain (KeyRef/AggRef/Const and
+// scalar operations over them); otherwise they are in the scan domain
+// (ColRef etc.).
+type Query struct {
+	Tables    []TableRef
+	Conjuncts []Expr
+	GroupBy   []Expr
+	Aggs      []Aggregate
+	Grouped   bool
+	Select    []OutputCol
+	OrderBy   []OrderKey
+	Limit     int64
+}
+
+// Analyze binds a parsed SELECT against the catalog.
+func Analyze(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Query, error) {
+	b := &binder{cat: cat, q: &Query{Limit: stmt.Limit}}
+	// Tables and join conditions.
+	seen := map[string]bool{}
+	for _, fi := range stmt.From {
+		tbl, err := cat.Table(fi.Table)
+		if err != nil {
+			return nil, err
+		}
+		if seen[fi.Alias] {
+			return nil, fmt.Errorf("sema: duplicate table alias %q", fi.Alias)
+		}
+		seen[fi.Alias] = true
+		b.q.Tables = append(b.q.Tables, TableRef{Table: tbl, Alias: fi.Alias})
+	}
+	for _, fi := range stmt.From {
+		if fi.On == nil {
+			continue
+		}
+		cond, err := b.bindScalar(fi.On)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type().Kind != types.Bool {
+			return nil, fmt.Errorf("sema: JOIN condition is not boolean")
+		}
+		b.addConjuncts(cond)
+	}
+	if stmt.Where != nil {
+		cond, err := b.bindScalar(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type().Kind != types.Bool {
+			return nil, fmt.Errorf("sema: WHERE clause is not boolean")
+		}
+		b.addConjuncts(cond)
+	}
+	for _, g := range stmt.GroupBy {
+		e, err := b.bindScalar(g)
+		if err != nil {
+			return nil, err
+		}
+		b.q.GroupBy = append(b.q.GroupBy, e)
+	}
+
+	// Detect aggregation: any aggregate in SELECT/ORDER BY, or GROUP BY.
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, oi := range stmt.OrderBy {
+		if containsAggregate(oi.Expr) {
+			hasAgg = true
+		}
+	}
+	b.q.Grouped = hasAgg
+
+	// Select list.
+	aliases := map[string]Expr{}
+	for i, it := range stmt.Items {
+		if it.Star {
+			if hasAgg {
+				return nil, fmt.Errorf("sema: SELECT * cannot be combined with aggregation")
+			}
+			for ti, tr := range b.q.Tables {
+				for ci, col := range tr.Table.Columns {
+					b.q.Select = append(b.q.Select, OutputCol{
+						Name: col.Name,
+						Expr: &ColRef{Table: ti, Col: ci, T: col.Type, Name: col.Name},
+					})
+				}
+			}
+			continue
+		}
+		e, err := b.bindMaybeAgg(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		b.q.Select = append(b.q.Select, OutputCol{Name: name, Expr: e})
+		if it.Alias != "" {
+			aliases[it.Alias] = e
+		}
+	}
+
+	// ORDER BY, with select-alias resolution.
+	for _, oi := range stmt.OrderBy {
+		if cr, ok := oi.Expr.(*sql.ColumnRef); ok && cr.Table == "" {
+			if bound, ok := aliases[cr.Name]; ok {
+				b.q.OrderBy = append(b.q.OrderBy, OrderKey{Expr: bound, Desc: oi.Desc})
+				continue
+			}
+		}
+		e, err := b.bindMaybeAgg(oi.Expr)
+		if err != nil {
+			return nil, err
+		}
+		b.q.OrderBy = append(b.q.OrderBy, OrderKey{Expr: e, Desc: oi.Desc})
+	}
+	return b.q, nil
+}
+
+func containsAggregate(e sql.Expr) bool {
+	switch x := e.(type) {
+	case *sql.FuncCall:
+		switch x.Name {
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.BinaryExpr:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case *sql.UnaryExpr:
+		return containsAggregate(x.E)
+	case *sql.BetweenExpr:
+		return containsAggregate(x.E) || containsAggregate(x.Lo) || containsAggregate(x.Hi)
+	case *sql.InExpr:
+		if containsAggregate(x.E) {
+			return true
+		}
+		for _, a := range x.List {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.LikeExpr:
+		return containsAggregate(x.E)
+	case *sql.CaseExpr:
+		for _, w := range x.Whens {
+			if containsAggregate(w.Cond) || containsAggregate(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return containsAggregate(x.Else)
+		}
+	}
+	return false
+}
+
+type binder struct {
+	cat *catalog.Catalog
+	q   *Query
+}
+
+// addConjuncts flattens a boolean expression's top-level AND chain.
+func (b *binder) addConjuncts(e Expr) {
+	if bin, ok := e.(*Binary); ok && bin.Op == OpAnd {
+		b.addConjuncts(bin.L)
+		b.addConjuncts(bin.R)
+		return
+	}
+	b.q.Conjuncts = append(b.q.Conjuncts, e)
+}
+
+// bindScalar binds an expression in which aggregates are not allowed.
+func (b *binder) bindScalar(e sql.Expr) (Expr, error) {
+	if containsAggregate(e) {
+		return nil, fmt.Errorf("sema: aggregate not allowed here")
+	}
+	return b.bind(e)
+}
+
+// bindMaybeAgg binds a SELECT/ORDER BY expression. Under aggregation, the
+// result is rewritten into the post-aggregation domain: aggregate calls
+// become AggRef, group-key subexpressions become KeyRef, and any remaining
+// column reference is an error.
+func (b *binder) bindMaybeAgg(e sql.Expr) (Expr, error) {
+	bound, err := b.bind(e)
+	if err != nil {
+		return nil, err
+	}
+	if !b.q.Grouped {
+		return bound, nil
+	}
+	rewritten := b.rewritePostAgg(bound)
+	if err := checkNoColumns(rewritten); err != nil {
+		return nil, fmt.Errorf("sema: %s must appear in GROUP BY", err)
+	}
+	return rewritten, nil
+}
+
+// rewritePostAgg replaces group-key-equal subtrees with KeyRef. AggRef nodes
+// are already produced during bind.
+func (b *binder) rewritePostAgg(e Expr) Expr {
+	for i, g := range b.q.GroupBy {
+		if Equal(e, g) {
+			return &KeyRef{Idx: i, T: g.Type()}
+		}
+	}
+	switch x := e.(type) {
+	case *Binary:
+		return &Binary{Op: x.Op, L: b.rewritePostAgg(x.L), R: b.rewritePostAgg(x.R), T: x.T}
+	case *Not:
+		return &Not{E: b.rewritePostAgg(x.E)}
+	case *Cast:
+		return &Cast{E: b.rewritePostAgg(x.E), To: x.To}
+	case *Like:
+		y := *x
+		y.E = b.rewritePostAgg(x.E)
+		return &y
+	case *Case:
+		y := &Case{Else: b.rewritePostAgg(x.Else), T: x.T}
+		for _, w := range x.Whens {
+			y.Whens = append(y.Whens, When{Cond: b.rewritePostAgg(w.Cond), Then: b.rewritePostAgg(w.Then)})
+		}
+		return y
+	case *ExtractYear:
+		return &ExtractYear{E: b.rewritePostAgg(x.E)}
+	}
+	return e
+}
+
+func checkNoColumns(e Expr) error {
+	cols := map[[2]int]bool{}
+	ColumnsUsed(e, cols)
+	if len(cols) > 0 {
+		return fmt.Errorf("column reference %s", e)
+	}
+	return nil
+}
+
+// internAgg adds an aggregate (deduplicated structurally) and returns a
+// reference to it.
+func (b *binder) internAgg(a Aggregate) *AggRef {
+	for i, ex := range b.q.Aggs {
+		if ex.Func == a.Func {
+			if ex.Arg == nil && a.Arg == nil {
+				return &AggRef{Idx: i, T: ex.T}
+			}
+			if ex.Arg != nil && a.Arg != nil && Equal(ex.Arg, a.Arg) {
+				return &AggRef{Idx: i, T: ex.T}
+			}
+		}
+	}
+	b.q.Aggs = append(b.q.Aggs, a)
+	return &AggRef{Idx: len(b.q.Aggs) - 1, T: a.T}
+}
+
+func (b *binder) bind(e sql.Expr) (Expr, error) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		return b.bindColumn(x)
+	case *sql.IntLit:
+		return &Const{V: types.NewInt64(x.V)}, nil
+	case *sql.FloatLit:
+		return &Const{V: types.NewFloat64(x.V)}, nil
+	case *sql.NumericLit:
+		text := x.Text
+		scale := 0
+		if dot := indexByte(text, '.'); dot >= 0 {
+			scale = len(text) - dot - 1
+		}
+		raw, err := types.ParseDecimal(text, scale)
+		if err != nil {
+			return nil, err
+		}
+		return &Const{V: types.NewDecimal(raw, len(text), scale)}, nil
+	case *sql.StringLit:
+		return &Const{V: types.NewChar(x.V, len(x.V))}, nil
+	case *sql.BoolLit:
+		return &Const{V: types.NewBool(x.V)}, nil
+	case *sql.DateLit:
+		return &Const{V: types.NewDate(x.Days)}, nil
+	case *sql.IntervalLit:
+		return nil, fmt.Errorf("sema: INTERVAL is only valid in date arithmetic")
+	case *sql.BinaryExpr:
+		return b.bindBinary(x)
+	case *sql.UnaryExpr:
+		inner, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			if inner.Type().Kind != types.Bool {
+				return nil, fmt.Errorf("sema: NOT requires a boolean")
+			}
+			return &Not{E: inner}, nil
+		}
+		// Unary minus: 0 - e.
+		zero := &Const{V: types.NewInt64(0)}
+		return b.arith(OpSub, zero, inner)
+	case *sql.BetweenExpr:
+		v, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bind(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bind(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		ge, err := b.compare(OpGe, v, lo)
+		if err != nil {
+			return nil, err
+		}
+		le, err := b.compare(OpLe, v, hi)
+		if err != nil {
+			return nil, err
+		}
+		var out Expr = &Binary{Op: OpAnd, L: ge, R: le, T: types.TBool}
+		if x.Not {
+			out = &Not{E: out}
+		}
+		return out, nil
+	case *sql.InExpr:
+		v, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		var out Expr
+		for _, item := range x.List {
+			it, err := b.bind(item)
+			if err != nil {
+				return nil, err
+			}
+			eq, err := b.compare(OpEq, v, it)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = eq
+			} else {
+				out = &Binary{Op: OpOr, L: out, R: eq, T: types.TBool}
+			}
+		}
+		if x.Not {
+			out = &Not{E: out}
+		}
+		return out, nil
+	case *sql.LikeExpr:
+		v, err := b.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if v.Type().Kind != types.Char {
+			return nil, fmt.Errorf("sema: LIKE requires a CHAR operand")
+		}
+		kind, needle := ClassifyLike(x.Pattern)
+		return &Like{E: v, Pattern: x.Pattern, Kind: kind, Needle: needle, Not: x.Not}, nil
+	case *sql.CaseExpr:
+		return b.bindCase(x)
+	case *sql.FuncCall:
+		return b.bindFunc(x)
+	}
+	return nil, fmt.Errorf("sema: unsupported expression %T", e)
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *binder) bindColumn(cr *sql.ColumnRef) (Expr, error) {
+	found := -1
+	col := -1
+	for ti, tr := range b.q.Tables {
+		if cr.Table != "" && tr.Alias != cr.Table {
+			continue
+		}
+		ci := tr.Table.ColumnIndex(cr.Name)
+		if ci < 0 {
+			continue
+		}
+		if found >= 0 {
+			return nil, fmt.Errorf("sema: ambiguous column %q", cr.Name)
+		}
+		found, col = ti, ci
+	}
+	if found < 0 {
+		if cr.Table != "" {
+			return nil, fmt.Errorf("sema: unknown column %s.%s", cr.Table, cr.Name)
+		}
+		return nil, fmt.Errorf("sema: unknown column %q", cr.Name)
+	}
+	c := b.q.Tables[found].Table.Columns[col]
+	return &ColRef{Table: found, Col: col, T: c.Type, Name: c.Name}, nil
+}
+
+func (b *binder) bindBinary(x *sql.BinaryExpr) (Expr, error) {
+	// Date ± interval folds to a date constant when the date side is
+	// constant (TPC-H style literals).
+	if iv, ok := x.R.(*sql.IntervalLit); ok && (x.Op == "+" || x.Op == "-") {
+		l, err := b.bind(x.L)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := l.(*Const)
+		if !ok || c.V.Type.Kind != types.Date {
+			return nil, fmt.Errorf("sema: date arithmetic requires a constant date operand")
+		}
+		n := iv.N
+		if x.Op == "-" {
+			n = -n
+		}
+		days, err := types.AddDateInterval(int32(c.V.I), n, iv.Unit)
+		if err != nil {
+			return nil, err
+		}
+		return &Const{V: types.NewDate(days)}, nil
+	}
+
+	l, err := b.bind(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.bind(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "AND", "OR":
+		if l.Type().Kind != types.Bool || r.Type().Kind != types.Bool {
+			return nil, fmt.Errorf("sema: %s requires boolean operands", x.Op)
+		}
+		op := OpAnd
+		if x.Op == "OR" {
+			op = OpOr
+		}
+		return &Binary{Op: op, L: l, R: r, T: types.TBool}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		ops := map[string]OpKind{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+		return b.compare(ops[x.Op], l, r)
+	case "+", "-", "*", "/", "%":
+		ops := map[string]OpKind{"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod}
+		return b.arith(ops[x.Op], l, r)
+	}
+	return nil, fmt.Errorf("sema: unknown operator %q", x.Op)
+}
+
+// compare coerces operands to a common type and builds a comparison.
+func (b *binder) compare(op OpKind, l, r Expr) (Expr, error) {
+	lk, rk := l.Type().Kind, r.Type().Kind
+	switch {
+	case lk == types.Char && rk == types.Char:
+		// Pad the shorter side's width semantics at execution; widths may
+		// differ between literal and column.
+	case lk == types.Date && rk == types.Date:
+	case lk == types.Bool && rk == types.Bool:
+		if op != OpEq && op != OpNe {
+			return nil, fmt.Errorf("sema: booleans only support = and <>")
+		}
+	case l.Type().Numeric() && r.Type().Numeric():
+		var err error
+		l, r, _, err = b.numericAlign(l, r, false)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sema: cannot compare %s with %s", l.Type(), r.Type())
+	}
+	return &Binary{Op: op, L: l, R: r, T: types.TBool}, nil
+}
+
+// arith coerces operands and builds an arithmetic node.
+func (b *binder) arith(op OpKind, l, r Expr) (Expr, error) {
+	if !l.Type().Numeric() || !r.Type().Numeric() {
+		return nil, fmt.Errorf("sema: arithmetic requires numeric operands, got %s and %s", l.Type(), r.Type())
+	}
+	if op == OpMod {
+		li, ri := isIntKind(l.Type().Kind), isIntKind(r.Type().Kind)
+		if !li || !ri {
+			return nil, fmt.Errorf("sema: %% requires integer operands")
+		}
+		l, r = mkCast(l, types.TInt64), mkCast(r, types.TInt64)
+		return &Binary{Op: OpMod, L: l, R: r, T: types.TInt64}, nil
+	}
+	if op == OpDiv {
+		// Division always computes in floating point (ratios, averages).
+		return &Binary{Op: OpDiv, L: mkCast(l, types.TFloat64), R: mkCast(r, types.TFloat64), T: types.TFloat64}, nil
+	}
+	var err error
+	var t types.Type
+	l, r, t, err = b.numericAlign(l, r, op == OpMul)
+	if err != nil {
+		return nil, err
+	}
+	if op == OpMul && t.Kind == types.Decimal {
+		// Multiplication adds scales; numericAlign left operand scales
+		// untouched for mul.
+		ls, rs := l.Type().Scale, r.Type().Scale
+		t = types.TDecimal(min(l.Type().Prec+r.Type().Prec, 38), ls+rs)
+	}
+	return &Binary{Op: op, L: l, R: r, T: t}, nil
+}
+
+// numericAlign casts two numeric operands to a common representation.
+// For multiplication of decimals the scales are left unequal (scales add);
+// for everything else decimal scales are aligned to the maximum.
+func (b *binder) numericAlign(l, r Expr, forMul bool) (Expr, Expr, types.Type, error) {
+	lt, rt := l.Type(), r.Type()
+	if lt.Kind == types.Float64 || rt.Kind == types.Float64 {
+		return mkCast(l, types.TFloat64), mkCast(r, types.TFloat64), types.TFloat64, nil
+	}
+	if lt.Kind == types.Decimal || rt.Kind == types.Decimal {
+		ls, rs := 0, 0
+		lp, rp := 19, 19
+		if lt.Kind == types.Decimal {
+			ls, lp = lt.Scale, lt.Prec
+		}
+		if rt.Kind == types.Decimal {
+			rs, rp = rt.Scale, rt.Prec
+		}
+		if forMul {
+			return mkCast(l, types.TDecimal(lp, ls)), mkCast(r, types.TDecimal(rp, rs)), types.TDecimal(min(lp+rp, 38), ls+rs), nil
+		}
+		s := max(ls, rs)
+		p := min(max(lp, rp)+1, 38)
+		t := types.TDecimal(p, s)
+		return mkCast(l, t), mkCast(r, t), t, nil
+	}
+	// Integers: preserve int32 when both sides are (or fit) int32, so that
+	// generated code stays in 32-bit operations; otherwise widen to int64.
+	if lt.Kind == types.Int32 && rt.Kind == types.Int32 {
+		return l, r, types.TInt32, nil
+	}
+	if lt.Kind == types.Int32 {
+		if c, ok := r.(*Const); ok && c.V.Type.Kind == types.Int64 && fitsInt32(c.V.I) {
+			return l, &Const{V: types.NewInt32(int32(c.V.I))}, types.TInt32, nil
+		}
+	}
+	if rt.Kind == types.Int32 {
+		if c, ok := l.(*Const); ok && c.V.Type.Kind == types.Int64 && fitsInt32(c.V.I) {
+			return &Const{V: types.NewInt32(int32(c.V.I))}, r, types.TInt32, nil
+		}
+	}
+	return mkCast(l, types.TInt64), mkCast(r, types.TInt64), types.TInt64, nil
+}
+
+func fitsInt32(v int64) bool { return v >= -(1<<31) && v < 1<<31 }
+
+func isIntKind(k types.Kind) bool { return k == types.Int32 || k == types.Int64 }
+
+// mkCast wraps e in a Cast unless it already has the target type; constant
+// operands are folded immediately.
+func mkCast(e Expr, to types.Type) Expr {
+	from := e.Type()
+	if from == to {
+		return e
+	}
+	if from.Kind == to.Kind && from.Kind == types.Decimal && from.Scale == to.Scale {
+		return e // precision-only difference is representationally free
+	}
+	if c, ok := e.(*Const); ok {
+		if v, ok := foldCast(c.V, to); ok {
+			return &Const{V: v}
+		}
+	}
+	return &Cast{E: e, To: to}
+}
+
+func foldCast(v types.Value, to types.Type) (types.Value, bool) {
+	switch to.Kind {
+	case types.Int64:
+		if isIntKind(v.Type.Kind) {
+			return types.NewInt64(v.I), true
+		}
+	case types.Float64:
+		switch v.Type.Kind {
+		case types.Int32, types.Int64:
+			return types.NewFloat64(float64(v.I)), true
+		case types.Float64:
+			return v, true
+		case types.Decimal:
+			return types.NewFloat64(float64(v.I) / float64(types.Pow10(v.Type.Scale))), true
+		}
+	case types.Decimal:
+		switch v.Type.Kind {
+		case types.Int32, types.Int64:
+			return types.NewDecimal(v.I*types.Pow10(to.Scale), to.Prec, to.Scale), true
+		case types.Decimal:
+			if to.Scale >= v.Type.Scale {
+				return types.NewDecimal(v.I*types.Pow10(to.Scale-v.Type.Scale), to.Prec, to.Scale), true
+			}
+		}
+	}
+	return types.Value{}, false
+}
+
+func (b *binder) bindCase(x *sql.CaseExpr) (Expr, error) {
+	out := &Case{}
+	var arms []Expr
+	for _, w := range x.Whens {
+		cond, err := b.bind(w.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type().Kind != types.Bool {
+			return nil, fmt.Errorf("sema: CASE WHEN condition is not boolean")
+		}
+		then, err := b.bind(w.Then)
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, When{Cond: cond, Then: then})
+		arms = append(arms, then)
+	}
+	if x.Else != nil {
+		els, err := b.bind(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		out.Else = els
+		arms = append(arms, els)
+	}
+	// Find the common result type by pairwise alignment.
+	t := arms[0].Type()
+	for _, a := range arms[1:] {
+		l, _, tt, err := b.numericAlignOrSame(arms[0], a, t)
+		if err != nil {
+			return nil, err
+		}
+		_ = l
+		t = tt
+	}
+	for i := range out.Whens {
+		out.Whens[i].Then = mkCast(out.Whens[i].Then, t)
+	}
+	if out.Else == nil {
+		z, err := zeroValue(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Else = &Const{V: z}
+	} else {
+		out.Else = mkCast(out.Else, t)
+	}
+	out.T = t
+	return out, nil
+}
+
+// numericAlignOrSame aligns numerics or verifies identical non-numeric types.
+func (b *binder) numericAlignOrSame(l, r Expr, cur types.Type) (Expr, Expr, types.Type, error) {
+	if l.Type().Numeric() && r.Type().Numeric() {
+		// Result type grows to cover both.
+		_, _, t, err := b.numericAlign(&typed{cur}, r, false)
+		return l, r, t, err
+	}
+	if cur.Kind != r.Type().Kind {
+		return nil, nil, types.Type{}, fmt.Errorf("sema: CASE arms have incompatible types %s and %s", cur, r.Type())
+	}
+	if cur.Kind == types.Char && r.Type().Length > cur.Length {
+		cur = r.Type()
+	}
+	return l, r, cur, nil
+}
+
+// typed is a placeholder expression carrying only a type, used for type
+// computations.
+type typed struct{ t types.Type }
+
+func (t *typed) Type() types.Type { return t.t }
+func (t *typed) String() string   { return "?" }
+
+func zeroValue(t types.Type) (types.Value, error) {
+	switch t.Kind {
+	case types.Bool:
+		return types.NewBool(false), nil
+	case types.Int32:
+		return types.NewInt32(0), nil
+	case types.Int64:
+		return types.NewInt64(0), nil
+	case types.Float64:
+		return types.NewFloat64(0), nil
+	case types.Decimal:
+		return types.NewDecimal(0, t.Prec, t.Scale), nil
+	case types.Date:
+		return types.NewDate(0), nil
+	case types.Char:
+		return types.NewChar("", t.Length), nil
+	}
+	return types.Value{}, fmt.Errorf("sema: no zero value for %s", t)
+}
+
+func (b *binder) bindFunc(x *sql.FuncCall) (Expr, error) {
+	switch x.Name {
+	case "EXTRACT_YEAR":
+		arg, err := b.bind(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if arg.Type().Kind != types.Date {
+			return nil, fmt.Errorf("sema: EXTRACT(YEAR ...) requires a DATE")
+		}
+		if c, ok := arg.(*Const); ok {
+			return &Const{V: types.NewInt32(int32(types.ExtractYear(int32(c.V.I))))}, nil
+		}
+		return &ExtractYear{E: arg}, nil
+	case "COUNT":
+		if x.Star {
+			return b.internAgg(Aggregate{Func: AggCountStar, T: types.TInt64}), nil
+		}
+		arg, err := b.bindScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return b.internAgg(Aggregate{Func: AggCount, Arg: arg, T: types.TInt64}), nil
+	case "SUM", "MIN", "MAX":
+		arg, err := b.bindScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		t := arg.Type()
+		if x.Name == "SUM" {
+			switch t.Kind {
+			case types.Int32:
+				t = types.TInt64
+				arg = mkCast(arg, t)
+			case types.Int64, types.Float64:
+			case types.Decimal:
+				t = types.TDecimal(38, t.Scale)
+			default:
+				return nil, fmt.Errorf("sema: SUM requires a numeric argument")
+			}
+			return b.internAgg(Aggregate{Func: AggSum, Arg: arg, T: t}), nil
+		}
+		f := AggMin
+		if x.Name == "MAX" {
+			f = AggMax
+		}
+		return b.internAgg(Aggregate{Func: f, Arg: arg, T: t}), nil
+	case "AVG":
+		arg, err := b.bindScalar(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !arg.Type().Numeric() {
+			return nil, fmt.Errorf("sema: AVG requires a numeric argument")
+		}
+		// AVG(x) desugars to SUM(x)/COUNT(*), computed in floating point.
+		sumT := arg.Type()
+		sumArg := arg
+		switch sumT.Kind {
+		case types.Int32:
+			sumT = types.TInt64
+			sumArg = mkCast(arg, sumT)
+		case types.Decimal:
+			sumT = types.TDecimal(38, sumT.Scale)
+		}
+		sum := b.internAgg(Aggregate{Func: AggSum, Arg: sumArg, T: sumT})
+		cnt := b.internAgg(Aggregate{Func: AggCountStar, T: types.TInt64})
+		return &Binary{
+			Op: OpDiv,
+			L:  mkCast(sum, types.TFloat64),
+			R:  mkCast(cnt, types.TFloat64),
+			T:  types.TFloat64,
+		}, nil
+	}
+	return nil, fmt.Errorf("sema: unknown function %s", x.Name)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

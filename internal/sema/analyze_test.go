@@ -1,0 +1,302 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	_, err := cat.Create("r", []catalog.ColumnDef{
+		{Name: "id", Type: types.TInt32},
+		{Name: "x", Type: types.TInt32},
+		{Name: "y", Type: types.TFloat64},
+		{Name: "d", Type: types.TDate},
+		{Name: "price", Type: types.TDecimal(12, 2)},
+		{Name: "name", Type: types.TChar(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.Create("s", []catalog.ColumnDef{
+		{Name: "rid", Type: types.TInt32},
+		{Name: "v", Type: types.TInt64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func analyze(t *testing.T, cat *catalog.Catalog, q string) *Query {
+	t.Helper()
+	stmt, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	bound, err := Analyze(stmt, cat)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", q, err)
+	}
+	return bound
+}
+
+func TestBindSimple(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x, y FROM r WHERE x < 42")
+	if len(q.Tables) != 1 || q.Grouped {
+		t.Fatalf("shape: %+v", q)
+	}
+	if len(q.Conjuncts) != 1 {
+		t.Fatalf("conjuncts: %v", q.Conjuncts)
+	}
+	cmp := q.Conjuncts[0].(*Binary)
+	if cmp.Op != OpLt {
+		t.Errorf("op: %v", cmp.Op)
+	}
+	// int32 column vs small literal must stay int32.
+	if cmp.L.Type() != types.TInt32 || cmp.R.Type() != types.TInt32 {
+		t.Errorf("comparison types: %s vs %s", cmp.L.Type(), cmp.R.Type())
+	}
+}
+
+func TestBindConjunctSplit(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x FROM r WHERE x < 10 AND y > 0.5 AND name = 'ab'")
+	if len(q.Conjuncts) != 3 {
+		t.Fatalf("conjuncts: %d", len(q.Conjuncts))
+	}
+}
+
+func TestBindJoinCondition(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT r.x FROM r JOIN s ON r.id = s.rid WHERE s.v > 7")
+	if len(q.Tables) != 2 || len(q.Conjuncts) != 2 {
+		t.Fatalf("shape: %d tables, %d conjuncts", len(q.Tables), len(q.Conjuncts))
+	}
+}
+
+func TestBindAmbiguousAndUnknown(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []string{
+		"SELECT nope FROM r",
+		"SELECT r.nope FROM r",
+		"SELECT v FROM r",                    // column of s
+		"SELECT id FROM r, s WHERE rid = id", // rid unambiguous, but...
+		"SELECT x FROM r, r",                 // duplicate alias
+	}
+	// "id" exists only in r, "rid" only in s — make a real ambiguous case:
+	cat2 := catalog.New()
+	cat2.Create("a", []catalog.ColumnDef{{Name: "k", Type: types.TInt32}})
+	cat2.Create("b", []catalog.ColumnDef{{Name: "k", Type: types.TInt32}})
+	if _, err := sqlAnalyze(cat2, "SELECT k FROM a, b"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+	for _, src := range cases[:3] {
+		if _, err := sqlAnalyze(cat, src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+	if _, err := sqlAnalyze(cat, cases[4]); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+}
+
+func sqlAnalyze(cat *catalog.Catalog, q string) (*Query, error) {
+	stmt, err := sql.ParseSelect(q)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(stmt, cat)
+}
+
+func TestBindAggregates(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x, COUNT(*), SUM(price), AVG(y) FROM r GROUP BY x")
+	if !q.Grouped || len(q.GroupBy) != 1 {
+		t.Fatalf("grouping: %+v", q)
+	}
+	// COUNT(*), SUM(price), SUM(y) [from AVG], and AVG reuses COUNT(*).
+	if len(q.Aggs) != 3 {
+		t.Fatalf("aggs: %v", q.Aggs)
+	}
+	if q.Aggs[0].Func != AggCountStar || q.Aggs[1].Func != AggSum || q.Aggs[2].Func != AggSum {
+		t.Errorf("agg funcs: %v", q.Aggs)
+	}
+	// SUM over DECIMAL(12,2) keeps scale 2.
+	if q.Aggs[1].T.Kind != types.Decimal || q.Aggs[1].T.Scale != 2 {
+		t.Errorf("sum type: %v", q.Aggs[1].T)
+	}
+	// First select item is the group key.
+	if _, ok := q.Select[0].Expr.(*KeyRef); !ok {
+		t.Errorf("select[0]: %T", q.Select[0].Expr)
+	}
+	// AVG desugars to a float division.
+	div, ok := q.Select[3].Expr.(*Binary)
+	if !ok || div.Op != OpDiv || div.T != types.TFloat64 {
+		t.Errorf("avg: %v", q.Select[3].Expr)
+	}
+}
+
+func TestBindGroupByValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := sqlAnalyze(cat, "SELECT y, COUNT(*) FROM r GROUP BY x"); err == nil {
+		t.Error("non-grouped column in select accepted")
+	}
+	if _, err := sqlAnalyze(cat, "SELECT x + 1, COUNT(*) FROM r GROUP BY x + 1"); err != nil {
+		t.Errorf("group-by expression rejected: %v", err)
+	}
+	if _, err := sqlAnalyze(cat, "SELECT COUNT(*) FROM r WHERE COUNT(*) > 1"); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+}
+
+func TestBindDateArithmeticFolds(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x FROM r WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY")
+	cmp := q.Conjuncts[0].(*Binary)
+	c, ok := cmp.R.(*Const)
+	if !ok || c.V.Type.Kind != types.Date {
+		t.Fatalf("rhs: %v", cmp.R)
+	}
+	if types.FormatDate(int32(c.V.I)) != "1998-09-02" {
+		t.Errorf("folded date: %s", types.FormatDate(int32(c.V.I)))
+	}
+}
+
+func TestBindDesugarings(t *testing.T) {
+	cat := testCatalog(t)
+	// BETWEEN → conjunction of comparisons.
+	q := analyze(t, cat, "SELECT x FROM r WHERE x BETWEEN 5 AND 10")
+	if len(q.Conjuncts) != 2 {
+		t.Errorf("between: %v", q.Conjuncts)
+	}
+	// IN → disjunction of equalities.
+	q = analyze(t, cat, "SELECT x FROM r WHERE name IN ('a', 'b', 'c')")
+	or := q.Conjuncts[0].(*Binary)
+	if or.Op != OpOr {
+		t.Errorf("in: %v", q.Conjuncts[0])
+	}
+	// NOT BETWEEN wraps in Not.
+	q = analyze(t, cat, "SELECT x FROM r WHERE x NOT BETWEEN 5 AND 10")
+	if _, ok := q.Conjuncts[0].(*Not); !ok {
+		t.Errorf("not between: %v", q.Conjuncts[0])
+	}
+}
+
+func TestBindLikeClassification(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		pat    string
+		kind   LikeKind
+		needle string
+	}{
+		{"PROMO%", LikePrefix, "PROMO"},
+		{"%BRASS", LikeSuffix, "BRASS"},
+		{"%green%", LikeContains, "green"},
+		{"exact", LikeExact, "exact"},
+		{"a%b", LikeComplex, ""},
+		{"a_c", LikeComplex, ""},
+	}
+	for _, c := range cases {
+		q := analyze(t, cat, "SELECT x FROM r WHERE name LIKE '"+c.pat+"'")
+		like := q.Conjuncts[0].(*Like)
+		if like.Kind != c.kind || like.Needle != c.needle {
+			t.Errorf("pattern %q: kind=%v needle=%q", c.pat, like.Kind, like.Needle)
+		}
+	}
+}
+
+func TestBindCaseTyping(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT SUM(CASE WHEN name LIKE 'P%' THEN price ELSE 0 END) FROM r")
+	agg := q.Aggs[0]
+	ce, ok := agg.Arg.(*Case)
+	if !ok {
+		t.Fatalf("agg arg: %T", agg.Arg)
+	}
+	if ce.T.Kind != types.Decimal || ce.T.Scale != 2 {
+		t.Errorf("case type: %v", ce.T)
+	}
+	// ELSE 0 must be a decimal(…,2) zero.
+	els := ce.Else.(*Const)
+	if els.V.Type.Kind != types.Decimal || els.V.I != 0 {
+		t.Errorf("else: %v", els.V)
+	}
+}
+
+func TestBindDecimalArithmetic(t *testing.T) {
+	cat := testCatalog(t)
+	// price * (1 - 0.05): mul adds scales.
+	q := analyze(t, cat, "SELECT price * (1 - 0.05) FROM r")
+	e := q.Select[0].Expr.(*Binary)
+	if e.Op != OpMul || e.T.Kind != types.Decimal {
+		t.Fatalf("expr: %v %v", e.Op, e.T)
+	}
+	if e.T.Scale != 4 {
+		t.Errorf("mul scale = %d, want 4", e.T.Scale)
+	}
+	// The (1 - 0.05) side folds scales correctly: scale 2.
+	if e.R.Type().Scale != 2 {
+		t.Errorf("rhs scale = %d, want 2", e.R.Type().Scale)
+	}
+}
+
+func TestBindDivisionIsFloat(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT price / x FROM r")
+	e := q.Select[0].Expr.(*Binary)
+	if e.Op != OpDiv || e.T != types.TFloat64 {
+		t.Errorf("div: %v %v", e.Op, e.T)
+	}
+}
+
+func TestBindStar(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT * FROM r")
+	if len(q.Select) != 6 {
+		t.Errorf("star expansion: %d columns", len(q.Select))
+	}
+	if q.Select[5].Name != "name" {
+		t.Errorf("order: %v", q.Select[5].Name)
+	}
+}
+
+func TestBindOrderByAlias(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT SUM(price) AS revenue FROM r GROUP BY x ORDER BY revenue DESC")
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Fatalf("order: %+v", q.OrderBy)
+	}
+	if _, ok := q.OrderBy[0].Expr.(*AggRef); !ok {
+		t.Errorf("order expr: %T", q.OrderBy[0].Expr)
+	}
+}
+
+func TestBindExtractYear(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT EXTRACT(YEAR FROM d) FROM r")
+	if _, ok := q.Select[0].Expr.(*ExtractYear); !ok {
+		t.Errorf("extract: %T", q.Select[0].Expr)
+	}
+	// Constant folding.
+	q = analyze(t, cat, "SELECT EXTRACT(YEAR FROM DATE '1995-03-04') FROM r")
+	c := q.Select[0].Expr.(*Const)
+	if c.V.I != 1995 {
+		t.Errorf("folded year: %v", c.V)
+	}
+}
+
+func TestExprStringIsReadable(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x FROM r WHERE x < 42 AND name LIKE 'a%'")
+	s := q.Conjuncts[0].String() + " " + q.Conjuncts[1].String()
+	if !strings.Contains(s, "<") || !strings.Contains(s, "LIKE") {
+		t.Errorf("unreadable: %s", s)
+	}
+}

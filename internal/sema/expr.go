@@ -1,0 +1,320 @@
+// Package sema performs semantic analysis: it binds a parsed SELECT against
+// the catalog and produces a typed, desugared query representation shared by
+// every execution engine (the Wasm compiler and the three baselines).
+//
+// Desugaring keeps downstream engines small: BETWEEN becomes a conjunction,
+// IN becomes a disjunction of equalities, AVG becomes SUM/COUNT, date ±
+// interval folds into date literals, and all implicit numeric coercions
+// become explicit Cast nodes with precise decimal scale bookkeeping.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"wasmdb/internal/types"
+)
+
+// Expr is a bound, typed expression.
+type Expr interface {
+	Type() types.Type
+	String() string
+}
+
+// OpKind enumerates primitive binary operators.
+type OpKind int
+
+// Binary operator kinds.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var opNames = [...]string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+
+func (op OpKind) String() string { return opNames[op] }
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (op OpKind) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// ColRef references column Col of the query's table Table (by position in
+// Query.Tables).
+type ColRef struct {
+	Table int
+	Col   int
+	T     types.Type
+	// Name retains the source column name for display.
+	Name string
+}
+
+// Type implements Expr.
+func (c *ColRef) Type() types.Type { return c.T }
+func (c *ColRef) String() string   { return fmt.Sprintf("#%d.%s", c.Table, c.Name) }
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// Type implements Expr.
+func (c *Const) Type() types.Type { return c.V.Type }
+func (c *Const) String() string   { return c.V.String() }
+
+// Binary is a primitive binary operation over same-typed operands (casts
+// have been inserted).
+type Binary struct {
+	Op   OpKind
+	L, R Expr
+	T    types.Type
+}
+
+// Type implements Expr.
+func (b *Binary) Type() types.Type { return b.T }
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean.
+type Not struct{ E Expr }
+
+// Type implements Expr.
+func (n *Not) Type() types.Type { return types.TBool }
+func (n *Not) String() string   { return "NOT " + n.E.String() }
+
+// Cast converts between numeric representations. The pairs that occur are
+// int32→int64, int64→float64, int32→float64, int→decimal, decimal→float64,
+// decimal(s1)→decimal(s2) with s2 ≥ s1, and date→int32.
+type Cast struct {
+	E  Expr
+	To types.Type
+}
+
+// Type implements Expr.
+func (c *Cast) Type() types.Type { return c.To }
+func (c *Cast) String() string   { return fmt.Sprintf("CAST(%s AS %s)", c.E.String(), c.To) }
+
+// LikeKind classifies a LIKE pattern for specialized code generation.
+type LikeKind int
+
+// Pattern classes.
+const (
+	LikeExact    LikeKind = iota // no wildcards
+	LikePrefix                   // abc%
+	LikeSuffix                   // %abc
+	LikeContains                 // %abc%
+	LikeComplex                  // anything else (general matcher)
+)
+
+// Like matches a CHAR expression against a pattern.
+type Like struct {
+	E       Expr
+	Pattern string
+	Kind    LikeKind
+	// Needle is the literal part for Exact/Prefix/Suffix/Contains.
+	Needle string
+	Not    bool
+}
+
+// Type implements Expr.
+func (l *Like) Type() types.Type { return types.TBool }
+func (l *Like) String() string {
+	not := ""
+	if l.Not {
+		not = " NOT"
+	}
+	return l.E.String() + not + " LIKE '" + l.Pattern + "'"
+}
+
+// ClassifyLike analyzes a LIKE pattern.
+func ClassifyLike(pat string) (LikeKind, string) {
+	if !strings.ContainsAny(pat, "%_") {
+		return LikeExact, pat
+	}
+	if strings.Contains(pat, "_") {
+		return LikeComplex, ""
+	}
+	inner := strings.Trim(pat, "%")
+	if strings.Contains(inner, "%") {
+		return LikeComplex, ""
+	}
+	pre := strings.HasPrefix(pat, "%")
+	suf := strings.HasSuffix(pat, "%")
+	switch {
+	case pre && suf:
+		return LikeContains, inner
+	case suf:
+		return LikePrefix, inner
+	case pre:
+		return LikeSuffix, inner
+	default:
+		return LikeComplex, "" // a % in the middle
+	}
+}
+
+// When is one arm of a Case.
+type When struct{ Cond, Then Expr }
+
+// Case is a searched CASE with an ELSE (sema supplies a zero-value ELSE when
+// the query omits it).
+type Case struct {
+	Whens []When
+	Else  Expr
+	T     types.Type
+}
+
+// Type implements Expr.
+func (c *Case) Type() types.Type { return c.T }
+func (c *Case) String() string {
+	s := "CASE"
+	for _, w := range c.Whens {
+		s += " WHEN " + w.Cond.String() + " THEN " + w.Then.String()
+	}
+	return s + " ELSE " + c.Else.String() + " END"
+}
+
+// ExtractYear extracts the year of a DATE as an INT.
+type ExtractYear struct{ E Expr }
+
+// Type implements Expr.
+func (e *ExtractYear) Type() types.Type { return types.TInt32 }
+func (e *ExtractYear) String() string   { return "EXTRACT(YEAR FROM " + e.E.String() + ")" }
+
+// AggFunc enumerates aggregate functions after desugaring (AVG is gone).
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCountStar AggFunc = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"COUNT(*)", "COUNT", "SUM", "MIN", "MAX"}[f]
+}
+
+// Aggregate is one aggregate computation over the pre-aggregation tuple.
+type Aggregate struct {
+	Func AggFunc
+	// Arg is nil for COUNT(*).
+	Arg Expr
+	T   types.Type
+}
+
+func (a Aggregate) String() string {
+	if a.Arg == nil {
+		return a.Func.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}
+
+// AggRef references Query.Aggs[Idx] in post-aggregation expressions.
+type AggRef struct {
+	Idx int
+	T   types.Type
+}
+
+// Type implements Expr.
+func (a *AggRef) Type() types.Type { return a.T }
+func (a *AggRef) String() string   { return fmt.Sprintf("agg%d", a.Idx) }
+
+// KeyRef references Query.GroupBy[Idx] in post-aggregation expressions.
+type KeyRef struct {
+	Idx int
+	T   types.Type
+}
+
+// Type implements Expr.
+func (k *KeyRef) Type() types.Type { return k.T }
+func (k *KeyRef) String() string   { return fmt.Sprintf("key%d", k.Idx) }
+
+// Equal reports structural equality of two bound expressions.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.Table == y.Table && x.Col == y.Col
+	case *Const:
+		y, ok := b.(*Const)
+		return ok && x.V.Type == y.V.Type && types.Compare(x.V, y.V) == 0 && x.V.S == y.V.S
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && x.T == y.T && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.E, y.E)
+	case *Cast:
+		y, ok := b.(*Cast)
+		return ok && x.To == y.To && Equal(x.E, y.E)
+	case *Like:
+		y, ok := b.(*Like)
+		return ok && x.Pattern == y.Pattern && x.Not == y.Not && Equal(x.E, y.E)
+	case *Case:
+		y, ok := b.(*Case)
+		if !ok || len(x.Whens) != len(y.Whens) || x.T != y.T {
+			return false
+		}
+		for i := range x.Whens {
+			if !Equal(x.Whens[i].Cond, y.Whens[i].Cond) || !Equal(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		return Equal(x.Else, y.Else)
+	case *ExtractYear:
+		y, ok := b.(*ExtractYear)
+		return ok && Equal(x.E, y.E)
+	case *AggRef:
+		y, ok := b.(*AggRef)
+		return ok && x.Idx == y.Idx
+	case *KeyRef:
+		y, ok := b.(*KeyRef)
+		return ok && x.Idx == y.Idx
+	}
+	return false
+}
+
+// ColumnsUsed appends every distinct (table, column) pair referenced by e.
+func ColumnsUsed(e Expr, seen map[[2]int]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		seen[[2]int{x.Table, x.Col}] = true
+	case *Binary:
+		ColumnsUsed(x.L, seen)
+		ColumnsUsed(x.R, seen)
+	case *Not:
+		ColumnsUsed(x.E, seen)
+	case *Cast:
+		ColumnsUsed(x.E, seen)
+	case *Like:
+		ColumnsUsed(x.E, seen)
+	case *Case:
+		for _, w := range x.Whens {
+			ColumnsUsed(w.Cond, seen)
+			ColumnsUsed(w.Then, seen)
+		}
+		ColumnsUsed(x.Else, seen)
+	case *ExtractYear:
+		ColumnsUsed(x.E, seen)
+	}
+}
+
+// TablesUsed reports the set of table indices referenced by e.
+func TablesUsed(e Expr, set map[int]bool) {
+	cols := map[[2]int]bool{}
+	ColumnsUsed(e, cols)
+	for k := range cols {
+		set[k[0]] = true
+	}
+}

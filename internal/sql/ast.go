@@ -1,0 +1,167 @@
+package sql
+
+import "wasmdb/internal/types"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a single-block SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr
+	GroupBy []Expr
+	OrderBy []OrderItem
+	// Limit is -1 when absent.
+	Limit int64
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection; Star represents "*".
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// FromItem is one table reference. For explicit JOIN ... ON syntax, On holds
+// the join condition; comma-separated references leave On nil (conditions
+// live in WHERE).
+type FromItem struct {
+	Table string
+	Alias string
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is a column declaration in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type types.Type
+}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// ColumnRef is a possibly qualified column reference.
+type ColumnRef struct {
+	Table string // "" if unqualified
+	Name  string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// NumericLit is an exact numeric literal with a decimal point, e.g. 0.05.
+// It carries the source text so semantic analysis can choose a decimal
+// scale without floating-point rounding.
+type NumericLit struct {
+	Text string
+}
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// DateLit is DATE 'YYYY-MM-DD', already converted to a day number.
+type DateLit struct{ Days int32 }
+
+// IntervalLit is INTERVAL 'n' unit.
+type IntervalLit struct {
+	N    int
+	Unit string // "day", "month", "year"
+}
+
+// BinaryExpr is a binary operation: arithmetic (+ - * / %), comparison
+// (= <> < <= > >=), or logical (AND OR).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+// BetweenExpr is E [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// InExpr is E [NOT] IN (list).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// LikeExpr is E [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Not     bool
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is one WHEN ... THEN ... arm.
+type WhenClause struct {
+	Cond, Then Expr
+}
+
+// FuncCall is an aggregate or builtin call. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-case: COUNT, SUM, MIN, MAX, AVG, EXTRACT_YEAR
+	Args []Expr
+	Star bool
+}
+
+func (*ColumnRef) expr()   {}
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*NumericLit) expr()  {}
+func (*StringLit) expr()   {}
+func (*BoolLit) expr()     {}
+func (*DateLit) expr()     {}
+func (*IntervalLit) expr() {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*BetweenExpr) expr() {}
+func (*InExpr) expr()      {}
+func (*LikeExpr) expr()    {}
+func (*CaseExpr) expr()    {}
+func (*FuncCall) expr()    {}

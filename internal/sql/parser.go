@@ -1,0 +1,745 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wasmdb/internal/types"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.selectStmt()
+	case p.peekKeyword("CREATE"):
+		stmt, err = p.createStmt()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.insertStmt()
+	default:
+		return nil, fmt.Errorf("sql: expected SELECT, CREATE, or INSERT")
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: not a SELECT statement")
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s near %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.cur()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("sql: expected %q near %q", op, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier near %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	for {
+		if p.acceptOp("*") {
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.cur().kind == tokIdent {
+				item.Alias = p.next().text
+			}
+			s.Items = append(s.Items, item)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	first, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, first)
+	for {
+		if p.acceptOp(",") {
+			fi, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, fi)
+			continue
+		}
+		joined := false
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			joined = true
+		} else if p.acceptKeyword("JOIN") {
+			joined = true
+		}
+		if !joined {
+			break
+		}
+		jf, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		jf.On = cond
+		s.From = append(s.From, jf)
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.peekKeyword("HAVING") {
+		return nil, fmt.Errorf("sql: HAVING is not supported")
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokInt {
+			return nil, fmt.Errorf("sql: expected integer after LIMIT")
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+// tableRef parses a table name with an optional alias (with or without AS).
+func (p *parser) tableRef() (FromItem, error) {
+	name, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: name, Alias: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = a
+	} else if p.cur().kind == tokIdent {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+func (p *parser) createStmt() (*CreateTableStmt, error) {
+	p.pos++ // CREATE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name}
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, ColumnDef{Name: cname, Type: ct})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) typeName() (types.Type, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return types.Type{}, fmt.Errorf("sql: expected type name near %q", t.text)
+	}
+	p.pos++
+	switch t.text {
+	case "INT", "INTEGER":
+		return types.TInt32, nil
+	case "BIGINT":
+		return types.TInt64, nil
+	case "DOUBLE":
+		return types.TFloat64, nil
+	case "BOOLEAN":
+		return types.TBool, nil
+	case "DATE":
+		return types.TDate, nil
+	case "DECIMAL":
+		prec, scale := 18, 2
+		if p.acceptOp("(") {
+			n1 := p.cur()
+			if n1.kind != tokInt {
+				return types.Type{}, fmt.Errorf("sql: expected precision")
+			}
+			p.pos++
+			prec, _ = strconv.Atoi(n1.text)
+			if p.acceptOp(",") {
+				n2 := p.cur()
+				if n2.kind != tokInt {
+					return types.Type{}, fmt.Errorf("sql: expected scale")
+				}
+				p.pos++
+				scale, _ = strconv.Atoi(n2.text)
+			} else {
+				scale = 0
+			}
+			if err := p.expectOp(")"); err != nil {
+				return types.Type{}, err
+			}
+		}
+		return types.TDecimal(prec, scale), nil
+	case "CHAR", "VARCHAR":
+		n := 1
+		if p.acceptOp("(") {
+			nt := p.cur()
+			if nt.kind != tokInt {
+				return types.Type{}, fmt.Errorf("sql: expected length")
+			}
+			p.pos++
+			n, _ = strconv.Atoi(nt.text)
+			if err := p.expectOp(")"); err != nil {
+				return types.Type{}, err
+			}
+		}
+		return types.TChar(n), nil
+	}
+	return types.Type{}, fmt.Errorf("sql: unknown type %s", t.text)
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr     := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= additive [cmpOp additive | BETWEEN .. AND .. | IN (..) | LIKE s]
+//	additive := multiplicative ((+|-) multiplicative)*
+//	multiplicative := unary ((*|/|%) unary)*
+//	unary    := - unary | primary
+func (p *parser) expr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.acceptOp(op) {
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	not := false
+	if p.peekKeyword("NOT") {
+		// lookahead for NOT BETWEEN / NOT IN / NOT LIKE
+		save := p.pos
+		p.pos++
+		if !(p.peekKeyword("BETWEEN") || p.peekKeyword("IN") || p.peekKeyword("LIKE")) {
+			p.pos = save
+			return l, nil
+		}
+		not = true
+	}
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sql: LIKE requires a string literal pattern")
+		}
+		p.pos++
+		return &LikeExpr{E: l, Pattern: t.text, Not: not}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("+"):
+			op = "+"
+		case p.acceptOp("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := e.(type) {
+		case *IntLit:
+			return &IntLit{V: -lit.V}, nil
+		case *FloatLit:
+			return &FloatLit{V: -lit.V}, nil
+		case *NumericLit:
+			return &NumericLit{Text: "-" + lit.Text}, nil
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: invalid integer %q", t.text)
+		}
+		return &IntLit{V: v}, nil
+	case tokFloat:
+		p.pos++
+		if !strings.ContainsAny(t.text, "eE") {
+			return &NumericLit{Text: t.text}, nil
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: invalid number %q", t.text)
+		}
+		return &FloatLit{V: v}, nil
+	case tokString:
+		p.pos++
+		return &StringLit{V: t.text}, nil
+	case tokIdent:
+		p.pos++
+		if p.acceptOp(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Name: col}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &BoolLit{V: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{V: false}, nil
+		case "DATE":
+			p.pos++
+			st := p.cur()
+			if st.kind != tokString {
+				return nil, fmt.Errorf("sql: DATE requires a string literal")
+			}
+			p.pos++
+			days, err := types.ParseDate(st.text)
+			if err != nil {
+				return nil, err
+			}
+			return &DateLit{Days: days}, nil
+		case "INTERVAL":
+			p.pos++
+			st := p.cur()
+			var n int
+			switch st.kind {
+			case tokString:
+				v, err := strconv.Atoi(strings.TrimSpace(st.text))
+				if err != nil {
+					return nil, fmt.Errorf("sql: invalid interval %q", st.text)
+				}
+				n = v
+			case tokInt:
+				n, _ = strconv.Atoi(st.text)
+			default:
+				return nil, fmt.Errorf("sql: INTERVAL requires a count")
+			}
+			p.pos++
+			unit := p.cur()
+			if unit.kind != tokKeyword || (unit.text != "DAY" && unit.text != "MONTH" && unit.text != "YEAR") {
+				return nil, fmt.Errorf("sql: INTERVAL requires DAY, MONTH, or YEAR")
+			}
+			p.pos++
+			return &IntervalLit{N: n, Unit: strings.ToLower(unit.text)}, nil
+		case "CASE":
+			return p.caseExpr()
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			fc := &FuncCall{Name: t.text}
+			if t.text == "COUNT" && p.acceptOp("*") {
+				fc.Star = true
+			} else {
+				if p.acceptKeyword("DISTINCT") {
+					return nil, fmt.Errorf("sql: DISTINCT aggregates are not supported")
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = []Expr{arg}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		case "EXTRACT":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("YEAR"); err != nil {
+				return nil, fmt.Errorf("sql: only EXTRACT(YEAR FROM ...) is supported")
+			}
+			if err := p.expectKeyword("FROM"); err != nil {
+				return nil, err
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: "EXTRACT_YEAR", Args: []Expr{arg}}, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	p.pos++ // CASE
+	ce := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, fmt.Errorf("sql: CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,245 @@
+package sql
+
+import (
+	"testing"
+
+	"wasmdb/internal/types"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	s, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT x, y AS z FROM r WHERE x < 42")
+	if len(s.Items) != 2 || s.Items[1].Alias != "z" {
+		t.Errorf("items: %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Table != "r" {
+		t.Errorf("from: %+v", s.From)
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != "<" {
+		t.Fatalf("where: %+v", s.Where)
+	}
+	if lit, ok := be.R.(*IntLit); !ok || lit.V != 42 {
+		t.Errorf("rhs: %+v", be.R)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM r LIMIT 10")
+	if !s.Items[0].Star {
+		t.Error("star not parsed")
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT a + b * c FROM r")
+	add := s.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op %q", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("inner op %q", mul.Op)
+	}
+
+	s = mustSelect(t, "SELECT 1 FROM r WHERE a OR b AND NOT c")
+	or := s.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top %q", or.Op)
+	}
+	and := or.R.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("rhs %q", and.Op)
+	}
+	if _, ok := and.R.(*UnaryExpr); !ok {
+		t.Error("NOT missing")
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	s := mustSelect(t, "SELECT r.x FROM r JOIN s ON r.id = s.rid JOIN u ON s.id = u.sid")
+	if len(s.From) != 3 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	if s.From[1].On == nil || s.From[2].On == nil {
+		t.Error("missing ON conditions")
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM r, s WHERE r.id = s.rid")
+	if len(s.From) != 2 || s.From[1].On != nil {
+		t.Errorf("from: %+v", s.From)
+	}
+}
+
+func TestParseGroupOrder(t *testing.T) {
+	s := mustSelect(t, `SELECT x, COUNT(*), SUM(y) FROM r GROUP BY x ORDER BY x DESC, y ASC`)
+	if len(s.GroupBy) != 1 {
+		t.Errorf("group by: %+v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order by: %+v", s.OrderBy)
+	}
+	fc := s.Items[1].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("count(*): %+v", fc)
+	}
+}
+
+func TestParseTPCHQ1Shape(t *testing.T) {
+	q := `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+	s := mustSelect(t, q)
+	if len(s.Items) != 7 || len(s.GroupBy) != 2 || len(s.OrderBy) != 2 {
+		t.Errorf("shape: %d items, %d group, %d order", len(s.Items), len(s.GroupBy), len(s.OrderBy))
+	}
+	be := s.Where.(*BinaryExpr)
+	sub := be.R.(*BinaryExpr)
+	if _, ok := sub.L.(*DateLit); !ok {
+		t.Errorf("date literal: %+v", sub.L)
+	}
+	if iv, ok := sub.R.(*IntervalLit); !ok || iv.N != 90 || iv.Unit != "day" {
+		t.Errorf("interval: %+v", sub.R)
+	}
+}
+
+func TestParseCaseBetweenInLike(t *testing.T) {
+	q := `
+SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice ELSE 0 END)
+FROM lineitem, part
+WHERE l_shipdate BETWEEN DATE '1995-09-01' AND DATE '1995-09-30'
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_quantity NOT BETWEEN 5 AND 10
+  AND p_type NOT LIKE '%BRASS'
+  AND l_partkey NOT IN (1, 2, 3)`
+	s := mustSelect(t, q)
+	fc := s.Items[0].Expr.(*FuncCall)
+	ce := fc.Args[0].(*CaseExpr)
+	if len(ce.Whens) != 1 || ce.Else == nil {
+		t.Errorf("case: %+v", ce)
+	}
+	if _, ok := ce.Whens[0].Cond.(*LikeExpr); !ok {
+		t.Error("LIKE not parsed in CASE")
+	}
+	// Walk the WHERE conjunction and count predicate kinds.
+	var betweens, ins, likes int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *BetweenExpr:
+			betweens++
+		case *InExpr:
+			ins++
+		case *LikeExpr:
+			likes++
+		}
+	}
+	walk(s.Where)
+	if betweens != 2 || ins != 2 || likes != 1 {
+		t.Errorf("predicates: %d between, %d in, %d like", betweens, ins, likes)
+	}
+}
+
+func TestParseNumericLiteral(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM r WHERE d BETWEEN 0.05 AND 0.07")
+	b := s.Where.(*BetweenExpr)
+	if lo, ok := b.Lo.(*NumericLit); !ok || lo.Text != "0.05" {
+		t.Errorf("lo: %#v", b.Lo)
+	}
+	s = mustSelect(t, "SELECT 1 FROM r WHERE x < 1.5e3")
+	be := s.Where.(*BinaryExpr)
+	if f, ok := be.R.(*FloatLit); !ok || f.V != 1500 {
+		t.Errorf("exponent literal: %#v", be.R)
+	}
+}
+
+func TestParseCreateInsert(t *testing.T) {
+	st, err := Parse(`CREATE TABLE r (id INT, name CHAR(10), price DECIMAL(12,2), d DATE, f DOUBLE, big BIGINT, ok BOOLEAN)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "r" || len(ct.Columns) != 7 {
+		t.Fatalf("create: %+v", ct)
+	}
+	if ct.Columns[1].Type != types.TChar(10) {
+		t.Errorf("char type: %v", ct.Columns[1].Type)
+	}
+	if ct.Columns[2].Type != types.TDecimal(12, 2) {
+		t.Errorf("decimal type: %v", ct.Columns[2].Type)
+	}
+
+	st, err = Parse(`INSERT INTO r VALUES (1, 'a', 1.50, DATE '2020-01-01', 0.5, 9, TRUE), (2, 'b', 2.50, DATE '2020-01-02', 1.5, 10, FALSE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "r" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 7 {
+		t.Fatalf("insert: %+v", ins)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT 1",      // missing FROM
+		"SELECT 1 FROM", // missing table
+		"SELECT 1 FROM r WHERE",
+		"SELECT 1 FROM r GROUP x",
+		"SELECT 1 FROM r LIMIT x",
+		"SELECT COUNT(DISTINCT x) FROM r",
+		"SELECT 1 FROM r HAVING x > 1",
+		"SELECT 1 FROM r; SELECT 2 FROM s",
+		"SELECT CASE END FROM r",
+		"SELECT 1 FROM r WHERE x LIKE y",
+		"SELECT 1 FROM r WHERE x IN ()",
+		"DELETE FROM r",
+		"SELECT 'unterminated FROM r",
+		"SELECT 1 FROM r WHERE x ! 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid SQL: %q", src)
+		}
+	}
+}
+
+func TestParseQuotedStringEscape(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM r WHERE name = 'O''Brien'")
+	be := s.Where.(*BinaryExpr)
+	if lit := be.R.(*StringLit); lit.V != "O'Brien" {
+		t.Errorf("escape: %q", lit.V)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 -- the answer\nFROM r -- table\n")
+	if len(s.Items) != 1 {
+		t.Error("comment handling broken")
+	}
+}

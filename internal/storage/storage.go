@@ -1,0 +1,241 @@
+// Package storage implements in-memory columnar table storage.
+//
+// Column data lives in little-endian byte buffers whose capacity is always a
+// multiple of the 64 KiB WebAssembly page, so a column can be rewired into a
+// module's linear memory verbatim (wmem.Map) with zero copying — the storage
+// layout is the guest layout. All execution engines, compiled and
+// interpreted alike, read columns through the same accessors, so no engine
+// gets an unfair substrate advantage in the benchmarks.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wasmdb/internal/types"
+)
+
+// PageSize is the alignment unit for column buffers (one wasm page).
+const PageSize = 64 * 1024
+
+// Column is a single typed column.
+type Column struct {
+	Name string
+	Type types.Type
+	data []byte
+	rows int
+}
+
+// NewColumn creates an empty column.
+func NewColumn(name string, t types.Type) *Column {
+	return &Column{Name: name, Type: t}
+}
+
+// Rows returns the number of values in the column.
+func (c *Column) Rows() int { return c.rows }
+
+// Data returns the raw little-endian buffer, padded to a page multiple —
+// ready for wmem.Map.
+func (c *Column) Data() []byte {
+	need := pageCeil(c.rows * c.Type.Size())
+	if cap(c.data) < need {
+		grown := make([]byte, need)
+		copy(grown, c.data)
+		c.data = grown
+	}
+	return c.data[:need]
+}
+
+// MappedBytes returns the size of Data() in bytes.
+func (c *Column) MappedBytes() int { return pageCeil(c.rows * c.Type.Size()) }
+
+func pageCeil(n int) int { return (n + PageSize - 1) &^ (PageSize - 1) }
+
+func (c *Column) grow(n int) []byte {
+	sz := c.Type.Size()
+	need := (c.rows + n) * sz
+	if need > len(c.data) {
+		newCap := pageCeil(need*2 + PageSize)
+		grown := make([]byte, newCap)
+		copy(grown, c.data)
+		c.data = grown
+	}
+	off := c.rows * sz
+	c.rows += n
+	return c.data[off : off+n*sz]
+}
+
+// Reserve pre-allocates capacity for n additional rows.
+func (c *Column) Reserve(n int) {
+	sz := c.Type.Size()
+	need := (c.rows + n) * sz
+	if need > len(c.data) {
+		grown := make([]byte, pageCeil(need))
+		copy(grown, c.data)
+		c.data = grown
+	}
+}
+
+// AppendInt32 appends an INT or DATE value.
+func (c *Column) AppendInt32(v int32) {
+	binary.LittleEndian.PutUint32(c.grow(1), uint32(v))
+}
+
+// AppendInt64 appends a BIGINT or DECIMAL raw value.
+func (c *Column) AppendInt64(v int64) {
+	binary.LittleEndian.PutUint64(c.grow(1), uint64(v))
+}
+
+// AppendFloat64 appends a DOUBLE value via its bit pattern.
+func (c *Column) AppendFloat64(v float64) {
+	binary.LittleEndian.PutUint64(c.grow(1), math.Float64bits(v))
+}
+
+// AppendBool appends a BOOLEAN value.
+func (c *Column) AppendBool(v bool) {
+	b := c.grow(1)
+	if v {
+		b[0] = 1
+	} else {
+		b[0] = 0
+	}
+}
+
+// AppendChar appends a CHAR(n) value, space-padded or truncated to width.
+func (c *Column) AppendChar(s string) {
+	b := c.grow(1)
+	n := copy(b, s)
+	for i := n; i < len(b); i++ {
+		b[i] = ' '
+	}
+}
+
+// AppendValue appends a generic value of the column's type.
+func (c *Column) AppendValue(v types.Value) {
+	switch c.Type.Kind {
+	case types.Bool:
+		c.AppendBool(v.I != 0)
+	case types.Int32, types.Date:
+		c.AppendInt32(int32(v.I))
+	case types.Int64, types.Decimal:
+		c.AppendInt64(v.I)
+	case types.Float64:
+		c.AppendFloat64(v.F)
+	case types.Char:
+		c.AppendChar(v.S)
+	}
+}
+
+// I32At reads an INT or DATE value.
+func (c *Column) I32At(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(c.data[i*4:]))
+}
+
+// I64At reads a BIGINT or DECIMAL raw value.
+func (c *Column) I64At(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(c.data[i*8:]))
+}
+
+// F64At reads a DOUBLE value.
+func (c *Column) F64At(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.data[i*8:]))
+}
+
+// BoolAt reads a BOOLEAN value.
+func (c *Column) BoolAt(i int) bool { return c.data[i] != 0 }
+
+// CharAt reads a CHAR value with trailing padding stripped.
+func (c *Column) CharAt(i int) string {
+	n := c.Type.Length
+	b := c.data[i*n : (i+1)*n]
+	end := n
+	for end > 0 && b[end-1] == ' ' {
+		end--
+	}
+	return string(b[:end])
+}
+
+// CharBytesAt returns the raw fixed-width bytes of a CHAR value.
+func (c *Column) CharBytesAt(i int) []byte {
+	n := c.Type.Length
+	return c.data[i*n : (i+1)*n]
+}
+
+// ValueAt reads a generic value.
+func (c *Column) ValueAt(i int) types.Value {
+	switch c.Type.Kind {
+	case types.Bool:
+		return types.NewBool(c.BoolAt(i))
+	case types.Int32:
+		return types.NewInt32(c.I32At(i))
+	case types.Date:
+		return types.NewDate(c.I32At(i))
+	case types.Int64:
+		return types.NewInt64(c.I64At(i))
+	case types.Decimal:
+		return types.NewDecimal(c.I64At(i), c.Type.Prec, c.Type.Scale)
+	case types.Float64:
+		return types.NewFloat64(c.F64At(i))
+	case types.Char:
+		return types.Value{Type: c.Type, S: c.CharAt(i)}
+	}
+	panic("storage: unknown kind")
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name    string
+	Columns []*Column
+}
+
+// NewTable creates a table with the given column names and types.
+func NewTable(name string, cols []string, ts []types.Type) *Table {
+	if len(cols) != len(ts) {
+		panic("storage: column/type count mismatch")
+	}
+	t := &Table{Name: name}
+	for i := range cols {
+		t.Columns = append(t.Columns, NewColumn(cols[i], ts[i]))
+	}
+	return t
+}
+
+// Rows returns the table's row count.
+func (t *Table) Rows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].rows
+}
+
+// Column returns the column with the given name.
+func (t *Table) Column(name string) (*Column, error) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: table %s has no column %q", t.Name, name)
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AppendRow appends one row of values in column order.
+func (t *Table) AppendRow(vals ...types.Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, len(t.Columns), len(vals))
+	}
+	for i, v := range vals {
+		t.Columns[i].AppendValue(v)
+	}
+	return nil
+}

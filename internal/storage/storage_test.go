@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wasmdb/internal/types"
+)
+
+func TestColumnAppendRead(t *testing.T) {
+	c := NewColumn("x", types.TInt32)
+	for i := 0; i < 1000; i++ {
+		c.AppendInt32(int32(i * 3))
+	}
+	if c.Rows() != 1000 {
+		t.Fatalf("rows = %d", c.Rows())
+	}
+	for i := 0; i < 1000; i++ {
+		if c.I32At(i) != int32(i*3) {
+			t.Fatalf("row %d = %d", i, c.I32At(i))
+		}
+	}
+}
+
+func TestColumnTypesRoundtrip(t *testing.T) {
+	tbl := NewTable("t",
+		[]string{"b", "i", "big", "f", "d", "dec", "s"},
+		[]types.Type{types.TBool, types.TInt32, types.TInt64, types.TFloat64,
+			types.TDate, types.TDecimal(10, 2), types.TChar(6)})
+	rows := [][]types.Value{
+		{types.NewBool(true), types.NewInt32(-5), types.NewInt64(1 << 40),
+			types.NewFloat64(3.25), types.NewDate(12345), types.NewDecimal(-995, 10, 2),
+			types.NewChar("hello", 6)},
+		{types.NewBool(false), types.NewInt32(7), types.NewInt64(-9),
+			types.NewFloat64(-0.5), types.NewDate(-1), types.NewDecimal(0, 10, 2),
+			types.NewChar("", 6)},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ri, r := range rows {
+		for ci, want := range r {
+			got := tbl.Columns[ci].ValueAt(ri)
+			if got.String() != want.String() {
+				t.Errorf("(%d,%d): %s != %s", ri, ci, got, want)
+			}
+		}
+	}
+}
+
+func TestCharPaddingAndTruncation(t *testing.T) {
+	c := NewColumn("s", types.TChar(4))
+	c.AppendChar("ab")
+	c.AppendChar("abcdef") // truncated to width
+	if got := c.CharAt(0); got != "ab" {
+		t.Errorf("padded read: %q", got)
+	}
+	if got := string(c.CharBytesAt(0)); got != "ab  " {
+		t.Errorf("raw bytes: %q", got)
+	}
+	if got := c.CharAt(1); got != "abcd" {
+		t.Errorf("truncated read: %q", got)
+	}
+}
+
+func TestDataIsPageAligned(t *testing.T) {
+	c := NewColumn("x", types.TInt64)
+	for i := 0; i < 10; i++ {
+		c.AppendInt64(int64(i))
+	}
+	d := c.Data()
+	if len(d)%PageSize != 0 {
+		t.Errorf("Data length %d not page-aligned", len(d))
+	}
+	if c.MappedBytes() != len(d) {
+		t.Errorf("MappedBytes %d != len(Data) %d", c.MappedBytes(), len(d))
+	}
+	// Values still readable through the padded buffer.
+	if c.I64At(9) != 9 {
+		t.Error("value lost after padding")
+	}
+}
+
+func TestDataSurvivesGrowth(t *testing.T) {
+	c := NewColumn("x", types.TInt32)
+	f := func(vals []int32) bool {
+		c2 := NewColumn("y", types.TInt32)
+		for _, v := range vals {
+			c2.AppendInt32(v)
+		}
+		for i, v := range vals {
+			if c2.I32At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = c
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := NewTable("t", []string{"a", "b"}, []types.Type{types.TInt32, types.TInt32})
+	if tbl.ColumnIndex("b") != 1 || tbl.ColumnIndex("z") != -1 {
+		t.Error("ColumnIndex")
+	}
+	if _, err := tbl.Column("a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := tbl.Column("nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+	if err := tbl.AppendRow(types.NewInt32(1)); err == nil {
+		t.Error("short row accepted")
+	}
+	if tbl.Rows() != 0 {
+		t.Error("failed append changed row count")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	c := NewColumn("x", types.TFloat64)
+	c.Reserve(100000)
+	for i := 0; i < 100000; i++ {
+		c.AppendFloat64(float64(i))
+	}
+	if c.F64At(99999) != 99999 {
+		t.Error("reserve broke appends")
+	}
+}

@@ -1,0 +1,151 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"wasmdb/internal/types"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, _ := a.Table("lineitem")
+	lb, _ := b.Table("lineitem")
+	if la.Rows() != lb.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", la.Rows(), lb.Rows())
+	}
+	for _, col := range []string{"l_orderkey", "l_shipdate", "l_extendedprice", "l_shipmode"} {
+		ca, _ := la.Column(col)
+		cb, _ := lb.Column(col)
+		for i := 0; i < la.Rows(); i += 97 {
+			if ca.ValueAt(i).String() != cb.ValueAt(i).String() {
+				t.Fatalf("%s row %d differs", col, i)
+			}
+		}
+	}
+}
+
+func TestRowCountsScale(t *testing.T) {
+	cat, err := Generate(0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]int{
+		"region": 5, "nation": 25, "supplier": 100,
+		"customer": 1500, "part": 2000, "partsupp": 8000, "orders": 15000,
+	}
+	for name, want := range expect {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Rows() != want {
+			t.Errorf("%s: %d rows, want %d", name, tbl.Rows(), want)
+		}
+	}
+	li, _ := cat.Table("lineitem")
+	// 1..7 lines per order, expect roughly 4×orders.
+	if li.Rows() < 15000 || li.Rows() > 7*15000 {
+		t.Errorf("lineitem rows out of range: %d", li.Rows())
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	cat, _ := Generate(0.005, 42)
+	li, _ := cat.Table("lineitem")
+	disc, _ := li.Column("l_discount")
+	qty, _ := li.Column("l_quantity")
+	tax, _ := li.Column("l_tax")
+	ship, _ := li.Column("l_shipdate")
+	commit, _ := li.Column("l_commitdate")
+	receipt, _ := li.Column("l_receiptdate")
+	mode, _ := li.Column("l_shipmode")
+	rf, _ := li.Column("l_returnflag")
+	modes := map[string]bool{}
+	for i := 0; i < li.Rows(); i++ {
+		if d := disc.I64At(i); d < 0 || d > 10 {
+			t.Fatalf("discount out of domain: %d", d)
+		}
+		if q := qty.I64At(i); q < 100 || q > 5000 {
+			t.Fatalf("quantity out of domain: %d", q)
+		}
+		if x := tax.I64At(i); x < 0 || x > 8 {
+			t.Fatalf("tax out of domain: %d", x)
+		}
+		if receipt.I32At(i) <= ship.I32At(i) {
+			t.Fatalf("receiptdate not after shipdate at %d", i)
+		}
+		_ = commit
+		modes[mode.CharAt(i)] = true
+		switch rf.CharAt(i) {
+		case "R", "A", "N":
+		default:
+			t.Fatalf("bad returnflag %q", rf.CharAt(i))
+		}
+	}
+	if len(modes) != len(shipModes) {
+		t.Errorf("ship modes seen: %d, want %d", len(modes), len(shipModes))
+	}
+	// PROMO parts should be about 1/6 of p_type.
+	part, _ := cat.Table("part")
+	pt, _ := part.Column("p_type")
+	promo := 0
+	for i := 0; i < part.Rows(); i++ {
+		if strings.HasPrefix(pt.CharAt(i), "PROMO") {
+			promo++
+		}
+	}
+	frac := float64(promo) / float64(part.Rows())
+	if frac < 0.08 || frac > 0.28 {
+		t.Errorf("PROMO fraction %.3f outside plausible range", frac)
+	}
+}
+
+func TestQuerySelectivities(t *testing.T) {
+	// Q6's predicate should select a few percent of lineitem; Q1's nearly
+	// everything. These bounds guard the generator's distributions.
+	cat, _ := Generate(0.01, 42)
+	li, _ := cat.Table("lineitem")
+	ship, _ := li.Column("l_shipdate")
+	disc, _ := li.Column("l_discount")
+	qty, _ := li.Column("l_quantity")
+	lo, _ := types.ParseDate("1994-01-01")
+	hi, _ := types.ParseDate("1995-01-01")
+	cut, _ := types.ParseDate("1998-09-02")
+	q6, q1 := 0, 0
+	for i := 0; i < li.Rows(); i++ {
+		if ship.I32At(i) >= lo && ship.I32At(i) < hi &&
+			disc.I64At(i) >= 5 && disc.I64At(i) <= 7 && qty.I64At(i) < 2400 {
+			q6++
+		}
+		if ship.I32At(i) <= cut {
+			q1++
+		}
+	}
+	q6frac := float64(q6) / float64(li.Rows())
+	q1frac := float64(q1) / float64(li.Rows())
+	if q6frac < 0.005 || q6frac > 0.06 {
+		t.Errorf("Q6 selectivity %.4f outside plausible range", q6frac)
+	}
+	if q1frac < 0.95 {
+		t.Errorf("Q1 selectivity %.4f too low", q1frac)
+	}
+}
+
+func TestQueriesParseable(t *testing.T) {
+	for id, src := range Queries {
+		if !strings.Contains(src, "SELECT") {
+			t.Errorf("%s: no SELECT", id)
+		}
+	}
+	if len(QueryIDs) != 5 {
+		t.Errorf("expected 5 queries, got %d", len(QueryIDs))
+	}
+}

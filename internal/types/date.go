@@ -1,0 +1,125 @@
+package types
+
+import "fmt"
+
+// DATE values are day numbers relative to the Unix epoch (1970-01-01),
+// stored as i32. The civil-date conversions below use Howard Hinnant's
+// proleptic Gregorian algorithms, exact over the whole i32 range.
+
+// DateFromYMD returns the day number of the given civil date.
+func DateFromYMD(y, m, d int) int32 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	mm := int64(m)
+	var doy int64
+	if m > 2 {
+		doy = (153*(mm-3)+2)/5 + int64(d) - 1
+	} else {
+		doy = (153*(mm+9)+2)/5 + int64(d) - 1
+	}
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int32(era*146097 + doe - 719468)
+}
+
+// YMDFromDate returns the civil date of a day number.
+func YMDFromDate(days int32) (y, m, d int) {
+	z := int64(days) + 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// FormatDate renders a day number as YYYY-MM-DD.
+func FormatDate(days int32) string {
+	y, m, d := YMDFromDate(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// ParseDate parses YYYY-MM-DD into a day number.
+func ParseDate(s string) (int32, error) {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		return 0, fmt.Errorf("types: invalid date %q", s)
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("types: invalid date %q", s)
+	}
+	return DateFromYMD(y, m, d), nil
+}
+
+// AddDateInterval adds an interval to a day number. Unit is one of "day",
+// "month", "year"; months and years clamp the day of month to the target
+// month's length, as SQL requires.
+func AddDateInterval(days int32, n int, unit string) (int32, error) {
+	switch unit {
+	case "day":
+		return days + int32(n), nil
+	case "month":
+		y, m, d := YMDFromDate(days)
+		tm := y*12 + (m - 1) + n
+		ny, nm := tm/12, tm%12+1
+		if tm < 0 && tm%12 != 0 {
+			ny, nm = (tm-11)/12, ((tm%12)+12)%12+1
+		}
+		if dim := DaysInMonth(ny, nm); d > dim {
+			d = dim
+		}
+		return DateFromYMD(ny, nm, d), nil
+	case "year":
+		y, m, d := YMDFromDate(days)
+		if dim := DaysInMonth(y+n, m); d > dim {
+			d = dim
+		}
+		return DateFromYMD(y+n, m, d), nil
+	}
+	return 0, fmt.Errorf("types: unknown interval unit %q", unit)
+}
+
+// DaysInMonth returns the number of days in the given month.
+func DaysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if y%4 == 0 && (y%100 != 0 || y%400 == 0) {
+			return 29
+		}
+		return 28
+	}
+	return 0
+}
+
+// ExtractYear returns the year of a day number.
+func ExtractYear(days int32) int {
+	y, _, _ := YMDFromDate(days)
+	return y
+}

@@ -1,0 +1,272 @@
+// Package types defines the SQL type system and value representation shared
+// by the catalog, the planner, all execution engines, and the result API.
+//
+// The representation is chosen for a main-memory columnar system compiled to
+// a 32/64-bit virtual ISA: integers are i32/i64, DOUBLE is f64, DECIMAL(p,s)
+// is a scaled i64, DATE is days since the Unix epoch as i32, BOOLEAN is an
+// i32 0/1, and CHAR(n) is a fixed-width space-padded byte string. All of
+// these map directly onto WebAssembly value types or byte sequences in
+// linear memory, which is what makes monomorphic code generation (§5)
+// straightforward.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the SQL types.
+type Kind byte
+
+// Supported kinds.
+const (
+	Bool Kind = iota
+	Int32
+	Int64
+	Float64
+	Decimal
+	Date
+	Char
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Bool:
+		return "BOOLEAN"
+	case Int32:
+		return "INT"
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case Decimal:
+		return "DECIMAL"
+	case Date:
+		return "DATE"
+	case Char:
+		return "CHAR"
+	}
+	return "?"
+}
+
+// Type is a complete SQL type.
+type Type struct {
+	Kind Kind
+	// Prec and Scale apply to Decimal.
+	Prec, Scale int
+	// Length applies to Char.
+	Length int
+}
+
+// Convenience constructors.
+var (
+	TBool    = Type{Kind: Bool}
+	TInt32   = Type{Kind: Int32}
+	TInt64   = Type{Kind: Int64}
+	TFloat64 = Type{Kind: Float64}
+	TDate    = Type{Kind: Date}
+)
+
+// TDecimal returns a DECIMAL(p, s) type.
+func TDecimal(p, s int) Type { return Type{Kind: Decimal, Prec: p, Scale: s} }
+
+// TChar returns a CHAR(n) type.
+func TChar(n int) Type { return Type{Kind: Char, Length: n} }
+
+func (t Type) String() string {
+	switch t.Kind {
+	case Decimal:
+		return fmt.Sprintf("DECIMAL(%d,%d)", t.Prec, t.Scale)
+	case Char:
+		return fmt.Sprintf("CHAR(%d)", t.Length)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Size returns the byte width of one value in columnar storage and in wasm
+// linear memory.
+func (t Type) Size() int {
+	switch t.Kind {
+	case Bool:
+		return 1
+	case Int32, Date:
+		return 4
+	case Int64, Float64, Decimal:
+		return 8
+	case Char:
+		return t.Length
+	}
+	panic("types: unknown kind")
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool {
+	switch t.Kind {
+	case Int32, Int64, Float64, Decimal:
+		return true
+	}
+	return false
+}
+
+// Value is a single SQL value. I holds integers, decimal raw values, date
+// day numbers, and booleans (0/1); F holds doubles; S holds char strings
+// (trailing padding stripped).
+type Value struct {
+	Type Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// Convenience constructors.
+
+// NewInt32 builds an INT value.
+func NewInt32(v int32) Value { return Value{Type: TInt32, I: int64(v)} }
+
+// NewInt64 builds a BIGINT value.
+func NewInt64(v int64) Value { return Value{Type: TInt64, I: v} }
+
+// NewFloat64 builds a DOUBLE value.
+func NewFloat64(v float64) Value { return Value{Type: TFloat64, F: v} }
+
+// NewBool builds a BOOLEAN value.
+func NewBool(b bool) Value {
+	v := Value{Type: TBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// NewDate builds a DATE value from a day number.
+func NewDate(days int32) Value { return Value{Type: TDate, I: int64(days)} }
+
+// NewDecimal builds a DECIMAL value from a raw scaled integer.
+func NewDecimal(raw int64, p, s int) Value { return Value{Type: TDecimal(p, s), I: raw} }
+
+// NewChar builds a CHAR value.
+func NewChar(s string, n int) Value { return Value{Type: TChar(n), S: s} }
+
+// IsTrue reports whether a BOOLEAN value is true.
+func (v Value) IsTrue() bool { return v.I != 0 }
+
+// String formats the value as SQL output text.
+func (v Value) String() string {
+	switch v.Type.Kind {
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case Int32, Int64:
+		return fmt.Sprintf("%d", v.I)
+	case Float64:
+		return fmt.Sprintf("%g", v.F)
+	case Decimal:
+		return FormatDecimal(v.I, v.Type.Scale)
+	case Date:
+		return FormatDate(int32(v.I))
+	case Char:
+		return v.S
+	}
+	return "?"
+}
+
+// Compare orders two values of the same kind: -1, 0, or +1. Decimal values
+// are compared after rescaling to the larger scale.
+func Compare(a, b Value) int {
+	switch a.Type.Kind {
+	case Float64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case Char:
+		return strings.Compare(a.S, b.S)
+	case Decimal:
+		x, y := a.I, b.I
+		if a.Type.Scale < b.Type.Scale {
+			x *= Pow10(b.Type.Scale - a.Type.Scale)
+		} else if b.Type.Scale < a.Type.Scale {
+			y *= Pow10(a.Type.Scale - b.Type.Scale)
+		}
+		return cmpI64(x, y)
+	default:
+		return cmpI64(a.I, b.I)
+	}
+}
+
+func cmpI64(x, y int64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// Pow10 returns 10^n for small non-negative n.
+func Pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// FormatDecimal renders a raw scaled integer with the given scale.
+func FormatDecimal(raw int64, scale int) string {
+	if scale == 0 {
+		return fmt.Sprintf("%d", raw)
+	}
+	sign := ""
+	if raw < 0 {
+		sign = "-"
+		raw = -raw
+	}
+	p := Pow10(scale)
+	return fmt.Sprintf("%s%d.%0*d", sign, raw/p, scale, raw%p)
+}
+
+// ParseDecimal parses a literal like "-12.345" into a raw value at the given
+// scale, truncating extra fractional digits.
+func ParseDecimal(s string, scale int) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	intPart, fracPart, _ := strings.Cut(s, ".")
+	if intPart == "" && fracPart == "" {
+		return 0, fmt.Errorf("types: invalid decimal %q", s)
+	}
+	var raw int64
+	for _, c := range intPart {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("types: invalid decimal %q", s)
+		}
+		raw = raw*10 + int64(c-'0')
+	}
+	for i := 0; i < scale; i++ {
+		d := int64(0)
+		if i < len(fracPart) {
+			c := fracPart[i]
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("types: invalid decimal %q", s)
+			}
+			d = int64(c - '0')
+		}
+		raw = raw*10 + d
+	}
+	if neg {
+		raw = -raw
+	}
+	return raw, nil
+}

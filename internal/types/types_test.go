@@ -1,0 +1,174 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDateRoundtrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		days int32
+	}{
+		{"1970-01-01", 0},
+		{"1970-01-02", 1},
+		{"1969-12-31", -1},
+		{"2000-02-29", 11016},
+		{"1998-12-01", 10561},
+		{"1994-01-01", 8766},
+	}
+	for _, c := range cases {
+		got, err := ParseDate(c.s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", c.s, err)
+		}
+		if got != c.days {
+			t.Errorf("ParseDate(%q) = %d, want %d", c.s, got, c.days)
+		}
+		if s := FormatDate(c.days); s != c.s {
+			t.Errorf("FormatDate(%d) = %q, want %q", c.days, s, c.s)
+		}
+	}
+}
+
+func TestDateYMDRoundtripProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		days := raw % 3_000_000 // stay within sane civil years
+		y, m, d := YMDFromDate(days)
+		return DateFromYMD(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDateInterval(t *testing.T) {
+	d, _ := ParseDate("1998-12-01")
+	got, err := AddDateInterval(d, -90, "day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(got) != "1998-09-02" {
+		t.Errorf("1998-12-01 - 90 days = %s, want 1998-09-02", FormatDate(got))
+	}
+
+	d, _ = ParseDate("1995-01-31")
+	got, _ = AddDateInterval(d, 1, "month")
+	if FormatDate(got) != "1995-02-28" {
+		t.Errorf("1995-01-31 + 1 month = %s", FormatDate(got))
+	}
+	got, _ = AddDateInterval(d, 3, "month")
+	if FormatDate(got) != "1995-04-30" {
+		t.Errorf("1995-01-31 + 3 months = %s", FormatDate(got))
+	}
+
+	d, _ = ParseDate("1996-02-29")
+	got, _ = AddDateInterval(d, 1, "year")
+	if FormatDate(got) != "1997-02-28" {
+		t.Errorf("1996-02-29 + 1 year = %s", FormatDate(got))
+	}
+
+	if _, err := AddDateInterval(0, 1, "fortnight"); err == nil {
+		t.Error("unknown unit accepted")
+	}
+}
+
+func TestDecimalParseFormat(t *testing.T) {
+	cases := []struct {
+		in    string
+		scale int
+		raw   int64
+		out   string
+	}{
+		{"0", 2, 0, "0.00"},
+		{"1.5", 2, 150, "1.50"},
+		{"-1.5", 2, -150, "-1.50"},
+		{"123.456", 2, 12345, "123.45"},
+		{"0.07", 2, 7, "0.07"},
+		{"42", 0, 42, "42"},
+		{"-0.01", 2, -1, "-0.01"},
+	}
+	for _, c := range cases {
+		raw, err := ParseDecimal(c.in, c.scale)
+		if err != nil {
+			t.Fatalf("ParseDecimal(%q): %v", c.in, err)
+		}
+		if raw != c.raw {
+			t.Errorf("ParseDecimal(%q, %d) = %d, want %d", c.in, c.scale, raw, c.raw)
+		}
+		if s := FormatDecimal(raw, c.scale); s != c.out {
+			t.Errorf("FormatDecimal(%d, %d) = %q, want %q", raw, c.scale, s, c.out)
+		}
+	}
+	for _, bad := range []string{"", ".", "abc", "1.2.3", "1x"} {
+		if _, err := ParseDecimal(bad, 2); err == nil {
+			t.Errorf("ParseDecimal(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecimalRoundtripProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		raw %= 1_000_000_000_000
+		s := FormatDecimal(raw, 2)
+		back, err := ParseDecimal(s, 2)
+		return err == nil && back == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(NewInt64(1), NewInt64(2)) != -1 {
+		t.Error("int compare")
+	}
+	if Compare(NewFloat64(2.5), NewFloat64(2.5)) != 0 {
+		t.Error("float compare")
+	}
+	if Compare(NewChar("abc", 10), NewChar("abd", 10)) != -1 {
+		t.Error("char compare")
+	}
+	// Cross-scale decimal comparison: 1.50 (s=2) == 1.500 (s=3).
+	a := NewDecimal(150, 10, 2)
+	b := NewDecimal(1500, 10, 3)
+	if Compare(a, b) != 0 {
+		t.Error("decimal rescale compare")
+	}
+	if Compare(NewDecimal(151, 10, 2), b) != 1 {
+		t.Error("decimal rescale compare gt")
+	}
+}
+
+func TestTypeSize(t *testing.T) {
+	if TInt32.Size() != 4 || TInt64.Size() != 8 || TFloat64.Size() != 8 ||
+		TDate.Size() != 4 || TBool.Size() != 1 {
+		t.Error("scalar sizes wrong")
+	}
+	if TChar(25).Size() != 25 {
+		t.Error("char size wrong")
+	}
+	if TDecimal(12, 2).Size() != 8 {
+		t.Error("decimal size wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt32(-7), "-7"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewFloat64(0.5), "0.5"},
+		{NewDecimal(12345, 10, 2), "123.45"},
+		{NewDate(0), "1970-01-01"},
+		{NewChar("hi", 10), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

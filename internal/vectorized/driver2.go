@@ -1,0 +1,433 @@
+package vectorized
+
+import (
+	"fmt"
+
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+)
+
+// exec walks the plan, pushing batches to emit.
+func (r *Runner) exec(n plan.Node, emit func(*batch) error) error {
+	switch x := n.(type) {
+	case *plan.Project, *plan.Limit:
+		panic("vectorized: project/limit handled at top level")
+	case *plan.Scan:
+		return r.execScan(x, emit)
+	case *plan.HashJoin:
+		return r.execJoin(x, emit)
+	case *plan.Group:
+		return r.execGroup(x, emit)
+	case *plan.Sort:
+		return r.execSort(x, emit)
+	}
+	return fmt.Errorf("vectorized: unsupported node %T", n)
+}
+
+func (r *Runner) execScan(s *plan.Scan, emit func(*batch) error) error {
+	total := s.Table.Rows()
+	for start := 0; start < total; start += BatchSize {
+		end := start + BatchSize
+		if end > total {
+			end = total
+		}
+		r.resetScratch()
+		b := &batch{n: end - start, sel: r.selA, start: start}
+		b.selN = int(int32(r.call("sel_seq", uint64(r.selA), 0, uint64(end-start))))
+		// One kernel sweep per conjunct: the selection vector is refined
+		// condition by condition (Listing 2).
+		for _, f := range s.Filter {
+			if err := r.applyPred(b, f); err != nil {
+				return err
+			}
+			if b.selN == 0 {
+				break
+			}
+		}
+		if b.selN == 0 {
+			continue
+		}
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPred refines b.sel in place.
+func (r *Runner) applyPred(b *batch, e sema.Expr) error {
+	out := r.selB
+	if b.sel == r.selB {
+		out = r.selA
+	}
+	// Fast paths.
+	switch x := e.(type) {
+	case *sema.Binary:
+		if x.Op == sema.OpAnd {
+			if err := r.applyPred(b, x.L); err != nil {
+				return err
+			}
+			return r.applyPred(b, x.R)
+		}
+		if x.Op.IsComparison() {
+			// column ⟨op⟩ const on a directly accessible column.
+			if cr, ok := x.L.(*sema.ColRef); ok && b.start >= 0 {
+				if c, ok2 := x.R.(*sema.Const); ok2 {
+					if elem, ok3 := elemOf(cr.T); ok3 && elem != elemU8 {
+						if base, ok4 := r.colBase[[2]int{cr.Table, cr.Col}]; ok4 {
+							imm := uint64(c.V.I)
+							if elem == elemF64 {
+								imm = f64bits(c.V.F)
+							}
+							name := fmt.Sprintf("sel_%s_%s", cmpNames[cmpCode(x.Op)], elemNames[elem])
+							b.selN = int(int32(r.call(name, uint64(b.sel), uint64(b.selN),
+								uint64(base), uint64(b.start), imm, uint64(out))))
+							b.sel = out
+							return nil
+						}
+					}
+					// CHAR equality fast path.
+					if cr.T.Kind == types.Char && (x.Op == sema.OpEq || x.Op == sema.OpNe) {
+						if cb, ok4 := r.leafChar(b, cr); ok4 {
+							neg := uint64(0)
+							if x.Op == sema.OpNe {
+								neg = 1
+							}
+							addr := r.intern(c.V.S)
+							b.selN = int(int32(r.call("sel_eqchar", uint64(b.sel), uint64(b.selN),
+								uint64(cb.addr), uint64(cb.width), uint64(cb.start),
+								uint64(addr), uint64(len(c.V.S)), neg, uint64(out))))
+							b.sel = out
+							return nil
+						}
+					}
+				}
+			}
+		}
+	case *sema.Like:
+		if cb, ok := r.leafChar(b, x.E); ok && !x.Not {
+			addr := r.intern(x.Pattern)
+			b.selN = int(int32(r.call("sel_like", uint64(b.sel), uint64(b.selN),
+				uint64(cb.addr), uint64(cb.width), uint64(cb.start),
+				uint64(addr), uint64(len(x.Pattern)), uint64(out))))
+			b.sel = out
+			return nil
+		}
+	}
+	// General path: compute a 0/1 vector, filter non-zeros.
+	v, err := r.evalVec(b, e)
+	if err != nil {
+		return err
+	}
+	b.selN = int(int32(r.call("sel_nonzero", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(out))))
+	b.sel = out
+	return nil
+}
+
+func cmpCode(op sema.OpKind) int {
+	switch op {
+	case sema.OpEq:
+		return cmpEq
+	case sema.OpNe:
+		return cmpNe
+	case sema.OpLt:
+		return cmpLt
+	case sema.OpLe:
+		return cmpLe
+	case sema.OpGt:
+		return cmpGt
+	case sema.OpGe:
+		return cmpGe
+	}
+	panic("vectorized: not a comparison")
+}
+
+func f64bits(f float64) uint64 {
+	return uint64(mathFloat64bits(f))
+}
+
+// evalVec computes an expression into a positional value vector (raw i64 or
+// f64 bits; booleans as 0/1).
+func (r *Runner) evalVec(b *batch, e sema.Expr) (vec, error) {
+	if v, ok := r.leafVec(b, e); ok {
+		return v, nil
+	}
+	switch x := e.(type) {
+	case *sema.ColRef:
+		if b.start < 0 {
+			return vec{}, fmt.Errorf("vectorized: unmaterialized column %s in compact batch", x)
+		}
+		base, ok := r.colBase[[2]int{x.Table, x.Col}]
+		if !ok {
+			return vec{}, fmt.Errorf("vectorized: unmapped column %s", x)
+		}
+		elem, ok := elemOf(x.T)
+		if !ok {
+			return vec{}, fmt.Errorf("vectorized: cannot gather %s", x.T)
+		}
+		out := r.newVec()
+		r.call("gather_"+elemNames[elem], uint64(b.sel), uint64(b.selN),
+			uint64(base), uint64(b.start), uint64(out.addr))
+		return out, nil
+	case *sema.Const:
+		out := r.newVec()
+		var imm uint64
+		if x.V.Type.Kind == types.Float64 {
+			imm = f64bits(x.V.F)
+		} else {
+			imm = uint64(x.V.I)
+		}
+		r.call("fill", uint64(b.sel), uint64(b.selN), imm, uint64(out.addr))
+		return out, nil
+	case *sema.Binary:
+		return r.evalBinaryVec(b, x)
+	case *sema.Not:
+		v, err := r.evalVec(b, x.E)
+		if err != nil {
+			return vec{}, err
+		}
+		out := r.newVec()
+		r.call("map_not", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(out.addr))
+		return out, nil
+	case *sema.Cast:
+		return r.evalCastVec(b, x)
+	case *sema.Like:
+		cb, ok := r.leafChar(b, x.E)
+		if !ok {
+			return vec{}, fmt.Errorf("vectorized: LIKE over non-leaf char %s", x.E)
+		}
+		addr := r.intern(x.Pattern)
+		out := r.newVec()
+		r.call("val_like", uint64(b.sel), uint64(b.selN), uint64(cb.addr), uint64(cb.width),
+			uint64(cb.start), uint64(addr), uint64(len(x.Pattern)), uint64(out.addr))
+		if x.Not {
+			inv := r.newVec()
+			r.call("map_not", uint64(b.sel), uint64(b.selN), uint64(out.addr), uint64(inv.addr))
+			return inv, nil
+		}
+		return out, nil
+	case *sema.Case:
+		// Compute the else arm, then blend arms from last to first.
+		acc, err := r.evalVec(b, x.Else)
+		if err != nil {
+			return vec{}, err
+		}
+		for i := len(x.Whens) - 1; i >= 0; i-- {
+			cond, err := r.evalVec(b, x.Whens[i].Cond)
+			if err != nil {
+				return vec{}, err
+			}
+			then, err := r.evalVec(b, x.Whens[i].Then)
+			if err != nil {
+				return vec{}, err
+			}
+			out := r.newVec()
+			r.call("map_blend", uint64(b.sel), uint64(b.selN),
+				uint64(cond.addr), uint64(then.addr), uint64(acc.addr), uint64(out.addr))
+			acc = out
+		}
+		return acc, nil
+	case *sema.ExtractYear:
+		v, err := r.evalVec(b, x.E)
+		if err != nil {
+			return vec{}, err
+		}
+		out := r.newVec()
+		r.call("map_year", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(out.addr))
+		return out, nil
+	}
+	return vec{}, fmt.Errorf("vectorized: unsupported expression %T", e)
+}
+
+func (r *Runner) evalBinaryVec(b *batch, x *sema.Binary) (vec, error) {
+	// CHAR comparisons in value position: equality only.
+	if x.Op.IsComparison() && x.L.Type().Kind == types.Char {
+		if x.Op != sema.OpEq && x.Op != sema.OpNe {
+			return vec{}, fmt.Errorf("vectorized: char ordering comparisons are only supported as predicates")
+		}
+		cb, ok := r.leafChar(b, x.L)
+		c, ok2 := x.R.(*sema.Const)
+		if !ok || !ok2 {
+			return vec{}, fmt.Errorf("vectorized: unsupported char comparison form")
+		}
+		addr := r.intern(c.V.S)
+		out := r.newVec()
+		r.call("val_eqchar", uint64(b.sel), uint64(b.selN), uint64(cb.addr), uint64(cb.width),
+			uint64(cb.start), uint64(addr), uint64(len(c.V.S)), uint64(out.addr))
+		if x.Op == sema.OpNe {
+			inv := r.newVec()
+			r.call("map_not", uint64(b.sel), uint64(b.selN), uint64(out.addr), uint64(inv.addr))
+			return inv, nil
+		}
+		return out, nil
+	}
+
+	opT := x.L.Type()
+	isF := opT.Kind == types.Float64
+	var name string
+	switch {
+	case x.Op == sema.OpAnd:
+		name = "map_and"
+	case x.Op == sema.OpOr:
+		name = "map_or"
+	case x.Op.IsComparison():
+		suffix := "_i64"
+		if isF {
+			suffix = "_f64"
+		}
+		name = "map_" + cmpNames[cmpCode(x.Op)] + suffix
+	default:
+		arith := map[sema.OpKind]string{
+			sema.OpAdd: "add", sema.OpSub: "sub", sema.OpMul: "mul",
+			sema.OpDiv: "div", sema.OpMod: "mod",
+		}[x.Op]
+		if x.T.Kind == types.Float64 {
+			name = "map_" + arith + "_f64"
+		} else {
+			name = "map_" + arith + "_i64"
+		}
+	}
+
+	l, err := r.evalVec(b, x.L)
+	if err != nil {
+		return vec{}, err
+	}
+	out := r.newVec()
+	if c, ok := x.R.(*sema.Const); ok {
+		imm := uint64(c.V.I)
+		if c.V.Type.Kind == types.Float64 {
+			imm = f64bits(c.V.F)
+		}
+		r.call(name+"_vi", uint64(b.sel), uint64(b.selN), uint64(l.addr), imm, uint64(out.addr))
+	} else {
+		rr, err := r.evalVec(b, x.R)
+		if err != nil {
+			return vec{}, err
+		}
+		r.call(name+"_vv", uint64(b.sel), uint64(b.selN), uint64(l.addr), uint64(rr.addr), uint64(out.addr))
+	}
+	// Preserve 32-bit wraparound semantics for INT results.
+	if x.T.Kind == types.Int32 && !x.Op.IsComparison() && x.Op != sema.OpAnd && x.Op != sema.OpOr {
+		w := r.newVec()
+		r.call("map_wrap32", uint64(b.sel), uint64(b.selN), uint64(out.addr), uint64(w.addr))
+		return w, nil
+	}
+	return out, nil
+}
+
+func (r *Runner) evalCastVec(b *batch, x *sema.Cast) (vec, error) {
+	v, err := r.evalVec(b, x.E)
+	if err != nil {
+		return vec{}, err
+	}
+	from, to := x.E.Type(), x.To
+	switch {
+	case from.Kind == types.Int32 && to.Kind == types.Int64:
+		return v, nil // vectors are sign-extended already
+	case (from.Kind == types.Int32 || from.Kind == types.Int64) && to.Kind == types.Float64:
+		out := r.newVec()
+		r.call("map_i64_to_f64", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(out.addr))
+		return out, nil
+	case from.Kind == types.Decimal && to.Kind == types.Float64:
+		out := r.newVec()
+		r.call("map_scale_to_f64", uint64(b.sel), uint64(b.selN), uint64(v.addr),
+			f64bits(float64(types.Pow10(from.Scale))), uint64(out.addr))
+		return out, nil
+	case (from.Kind == types.Int32 || from.Kind == types.Int64) && to.Kind == types.Decimal:
+		out := r.newVec()
+		r.call("map_mul_i64_vi", uint64(b.sel), uint64(b.selN), uint64(v.addr),
+			uint64(types.Pow10(to.Scale)), uint64(out.addr))
+		return out, nil
+	case from.Kind == types.Decimal && to.Kind == types.Decimal:
+		d := to.Scale - from.Scale
+		if d == 0 {
+			return v, nil
+		}
+		out := r.newVec()
+		if d > 0 {
+			r.call("map_mul_i64_vi", uint64(b.sel), uint64(b.selN), uint64(v.addr),
+				uint64(types.Pow10(d)), uint64(out.addr))
+		} else {
+			return vec{}, fmt.Errorf("vectorized: narrowing decimal cast")
+		}
+		return out, nil
+	case from.Kind == types.Date && to.Kind == types.Int32:
+		return v, nil
+	case from.Kind == to.Kind:
+		return v, nil
+	}
+	return vec{}, fmt.Errorf("vectorized: unsupported cast %s → %s", from, to)
+}
+
+// projectBatch evaluates the output expressions and boxes the selected rows.
+func (r *Runner) projectBatch(b *batch, cols []sema.OutputCol) ([][]types.Value, error) {
+	type outCol struct {
+		v   vec
+		cb  charBuf
+		chr bool
+		t   types.Type
+	}
+	outs := make([]outCol, len(cols))
+	for i, oc := range cols {
+		t := oc.Expr.Type()
+		if t.Kind == types.Char {
+			cb, ok := r.leafChar(b, oc.Expr)
+			if !ok {
+				return nil, fmt.Errorf("vectorized: char output %s not materialized", oc.Expr)
+			}
+			outs[i] = outCol{cb: cb, chr: true, t: t}
+			continue
+		}
+		v, err := r.evalVec(b, oc.Expr)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = outCol{v: v, t: t}
+	}
+	// Read the selection vector and decode rows.
+	selBytes := r.mem.ReadBytes(b.sel, uint32(b.selN*4))
+	rows := make([][]types.Value, b.selN)
+	for i := 0; i < b.selN; i++ {
+		row := int(int32(le32(selBytes[i*4:])))
+		vals := make([]types.Value, len(cols))
+		for c, oc := range outs {
+			if oc.chr {
+				addr := oc.cb.addr + uint32((oc.cb.start+row)*oc.cb.width)
+				raw := r.mem.ReadBytes(addr, uint32(oc.cb.width))
+				end := len(raw)
+				for end > 0 && raw[end-1] == ' ' {
+					end--
+				}
+				vals[c] = types.NewChar(string(raw[:end]), oc.t.Length)
+				continue
+			}
+			bits := r.mem.U64(oc.v.addr + uint32(row)*8)
+			vals[c] = valueFromBits(bits, oc.t)
+		}
+		rows[i] = vals
+	}
+	return rows, nil
+}
+
+func valueFromBits(bits uint64, t types.Type) types.Value {
+	switch t.Kind {
+	case types.Bool:
+		return types.NewBool(bits != 0)
+	case types.Int32:
+		return types.NewInt32(int32(int64(bits)))
+	case types.Date:
+		return types.NewDate(int32(int64(bits)))
+	case types.Int64:
+		return types.NewInt64(int64(bits))
+	case types.Decimal:
+		return types.NewDecimal(int64(bits), t.Prec, t.Scale)
+	case types.Float64:
+		return types.NewFloat64(mathFloat64frombits(bits))
+	}
+	return types.Value{Type: t}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,10 @@
+package vectorized
+
+import "testing"
+
+func TestKernelModuleCompiles(t *testing.T) {
+	if _, err := kernelModule(); err != nil {
+		t.Fatalf("kernel module: %v", err)
+	}
+	t.Logf("kernel module: %d bytes", len(kernelBin))
+}

@@ -1,0 +1,120 @@
+package volcano
+
+import (
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/types"
+)
+
+func run(t *testing.T, cat *catalog.Catalog, src string) [][]types.Value {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := Run(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func smallCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	r, _ := cat.Create("r", []catalog.ColumnDef{
+		{Name: "id", Type: types.TInt32},
+		{Name: "g", Type: types.TInt32},
+		{Name: "v", Type: types.TInt64},
+	})
+	for i := 0; i < 100; i++ {
+		r.AppendRow(types.NewInt32(int32(i)), types.NewInt32(int32(i%5)), types.NewInt64(int64(i*i)))
+	}
+	s, _ := cat.Create("s", []catalog.ColumnDef{
+		{Name: "rid", Type: types.TInt32},
+		{Name: "w", Type: types.TInt32},
+	})
+	for i := 0; i < 300; i++ {
+		s.AppendRow(types.NewInt32(int32(i%100)), types.NewInt32(int32(i)))
+	}
+	return cat
+}
+
+func TestVolcanoScanFilterProject(t *testing.T) {
+	cat := smallCatalog(t)
+	rows := run(t, cat, "SELECT id, v FROM r WHERE id < 3")
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i, row := range rows {
+		if row[0].I != int64(i) || row[1].I != int64(i*i) {
+			t.Errorf("row %d: %v", i, row)
+		}
+	}
+}
+
+func TestVolcanoGroup(t *testing.T) {
+	cat := smallCatalog(t)
+	rows := run(t, cat, "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g ORDER BY g")
+	if len(rows) != 5 {
+		t.Fatalf("groups: %d", len(rows))
+	}
+	for gi, row := range rows {
+		var n, sum int64
+		for i := 0; i < 100; i++ {
+			if i%5 == gi {
+				n++
+				sum += int64(i * i)
+			}
+		}
+		if row[1].I != n || row[2].I != sum {
+			t.Errorf("group %d: %v want (%d,%d)", gi, row, n, sum)
+		}
+	}
+}
+
+func TestVolcanoJoinResidual(t *testing.T) {
+	cat := smallCatalog(t)
+	rows := run(t, cat, "SELECT COUNT(*) FROM r, s WHERE r.id = s.rid AND r.v < s.w")
+	var want int64
+	for i := 0; i < 300; i++ {
+		rid := i % 100
+		if int64(rid*rid) < int64(i) {
+			want++
+		}
+	}
+	if rows[0][0].I != want {
+		t.Errorf("count = %d, want %d", rows[0][0].I, want)
+	}
+}
+
+func TestVolcanoSortLimit(t *testing.T) {
+	cat := smallCatalog(t)
+	rows := run(t, cat, "SELECT id FROM r ORDER BY v DESC LIMIT 4")
+	want := []int64{99, 98, 97, 96}
+	for i, row := range rows {
+		if row[0].I != want[i] {
+			t.Errorf("row %d: %d want %d", i, row[0].I, want[i])
+		}
+	}
+}
+
+func TestVolcanoEmptyGlobalAgg(t *testing.T) {
+	cat := smallCatalog(t)
+	rows := run(t, cat, "SELECT COUNT(*), SUM(v) FROM r WHERE id < 0")
+	if len(rows) != 1 || rows[0][0].I != 0 || rows[0][1].I != 0 {
+		t.Fatalf("empty agg: %v", rows)
+	}
+}

@@ -1,0 +1,684 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decode parses a binary WebAssembly module. It accepts the subset of the
+// core MVP emitted by this package (one memory, one funcref table, active
+// segments, constant initializers) and rejects everything else with an error.
+func Decode(buf []byte) (*Module, error) {
+	d := &decoder{buf: buf}
+	return d.module()
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+var errUnexpectedEOF = errors.New("wasm: unexpected end of module")
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, errUnexpectedEOF
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, errUnexpectedEOF
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) uleb(maxBits uint) (uint64, error) {
+	v, n, err := ReadUleb(d.buf[d.pos:], maxBits)
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) sleb(maxBits uint) (int64, error) {
+	v, n, err := ReadSleb(d.buf[d.pos:], maxBits)
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	v, err := d.uleb(32)
+	return uint32(v), err
+}
+
+func (d *decoder) name() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *decoder) limits() (Limits, error) {
+	flag, err := d.byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	var l Limits
+	l.Min, err = d.u32()
+	if err != nil {
+		return Limits{}, err
+	}
+	switch flag {
+	case 0x00:
+	case 0x01:
+		l.HasMax = true
+		l.Max, err = d.u32()
+		if err != nil {
+			return Limits{}, err
+		}
+	default:
+		return Limits{}, fmt.Errorf("wasm: invalid limits flag 0x%02x", flag)
+	}
+	return l, nil
+}
+
+func (d *decoder) valType() (ValType, error) {
+	b, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	t := ValType(b)
+	if !t.Valid() {
+		return 0, fmt.Errorf("wasm: invalid value type 0x%02x", b)
+	}
+	return t, nil
+}
+
+// constExpr decodes a constant initializer expression and returns the raw
+// value bits.
+func (d *decoder) constExpr(want ValType) (uint64, error) {
+	op, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	switch Opcode(op) {
+	case OpI32Const:
+		if want != I32 {
+			return 0, fmt.Errorf("wasm: initializer type mismatch")
+		}
+		x, err := d.sleb(32)
+		if err != nil {
+			return 0, err
+		}
+		v = uint64(uint32(int32(x)))
+	case OpI64Const:
+		if want != I64 {
+			return 0, fmt.Errorf("wasm: initializer type mismatch")
+		}
+		x, err := d.sleb(64)
+		if err != nil {
+			return 0, err
+		}
+		v = uint64(x)
+	case OpF32Const:
+		if want != F32 {
+			return 0, fmt.Errorf("wasm: initializer type mismatch")
+		}
+		b, err := d.take(4)
+		if err != nil {
+			return 0, err
+		}
+		v = uint64(binary.LittleEndian.Uint32(b))
+	case OpF64Const:
+		if want != F64 {
+			return 0, fmt.Errorf("wasm: initializer type mismatch")
+		}
+		b, err := d.take(8)
+		if err != nil {
+			return 0, err
+		}
+		v = binary.LittleEndian.Uint64(b)
+	default:
+		return 0, fmt.Errorf("wasm: unsupported initializer opcode 0x%02x", op)
+	}
+	end, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	if Opcode(end) != OpEnd {
+		return 0, fmt.Errorf("wasm: initializer not terminated by end")
+	}
+	return v, nil
+}
+
+func (d *decoder) module() (*Module, error) {
+	hdr, err := d.take(8)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range magic {
+		if hdr[i] != b {
+			return nil, errors.New("wasm: bad magic or version")
+		}
+	}
+	m := &Module{Start: -1}
+	var funcTypes []uint32
+	lastSec := -1
+	for d.remaining() > 0 {
+		id, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := d.take(int(size))
+		if err != nil {
+			return nil, err
+		}
+		if id != secCustom {
+			if int(id) <= lastSec {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSec = int(id)
+		}
+		sd := &decoder{buf: body}
+		switch id {
+		case secCustom:
+			// Skipped (names are debug-only).
+		case secType:
+			if err := sd.typeSection(m); err != nil {
+				return nil, err
+			}
+		case secImport:
+			if err := sd.importSection(m); err != nil {
+				return nil, err
+			}
+		case secFunction:
+			n, err := sd.u32()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint32(0); i < n; i++ {
+				ti, err := sd.u32()
+				if err != nil {
+					return nil, err
+				}
+				funcTypes = append(funcTypes, ti)
+			}
+		case secTable:
+			n, err := sd.u32()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1 {
+				return nil, errors.New("wasm: at most one table supported")
+			}
+			if n == 1 {
+				et, err := sd.byte()
+				if err != nil {
+					return nil, err
+				}
+				if et != 0x70 {
+					return nil, errors.New("wasm: only funcref tables supported")
+				}
+				l, err := sd.limits()
+				if err != nil {
+					return nil, err
+				}
+				m.HasTable = true
+				m.TableMin = l.Min
+			}
+		case secMemory:
+			n, err := sd.u32()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1 {
+				return nil, errors.New("wasm: at most one memory supported")
+			}
+			if n == 1 {
+				l, err := sd.limits()
+				if err != nil {
+					return nil, err
+				}
+				m.Memory = l
+				m.HasMemory = true
+			}
+		case secGlobal:
+			if err := sd.globalSection(m); err != nil {
+				return nil, err
+			}
+		case secExport:
+			if err := sd.exportSection(m); err != nil {
+				return nil, err
+			}
+		case secStart:
+			s, err := sd.u32()
+			if err != nil {
+				return nil, err
+			}
+			m.Start = int32(s)
+		case secElem:
+			if err := sd.elemSection(m); err != nil {
+				return nil, err
+			}
+		case secCode:
+			if err := sd.codeSection(m, funcTypes); err != nil {
+				return nil, err
+			}
+		case secData:
+			if err := sd.dataSection(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+		}
+	}
+	if len(funcTypes) != len(m.Funcs) {
+		return nil, fmt.Errorf("wasm: function section declares %d functions, code section has %d", len(funcTypes), len(m.Funcs))
+	}
+	return m, nil
+}
+
+func (d *decoder) typeSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		form, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("wasm: invalid func type form 0x%02x", form)
+		}
+		var ft FuncType
+		np, err := d.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < np; j++ {
+			t, err := d.valType()
+			if err != nil {
+				return err
+			}
+			ft.Params = append(ft.Params, t)
+		}
+		nr, err := d.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nr; j++ {
+			t, err := d.valType()
+			if err != nil {
+				return err
+			}
+			ft.Results = append(ft.Results, t)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func (d *decoder) importSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		var im Import
+		if im.Module, err = d.name(); err != nil {
+			return err
+		}
+		if im.Name, err = d.name(); err != nil {
+			return err
+		}
+		kind, err := d.byte()
+		if err != nil {
+			return err
+		}
+		im.Kind = ExternKind(kind)
+		switch im.Kind {
+		case ExternFunc:
+			if im.Type, err = d.u32(); err != nil {
+				return err
+			}
+		case ExternMemory:
+			if im.Mem, err = d.limits(); err != nil {
+				return err
+			}
+		case ExternGlobal:
+			t, err := d.valType()
+			if err != nil {
+				return err
+			}
+			mut, err := d.byte()
+			if err != nil {
+				return err
+			}
+			im.Global = GlobalType{Type: t, Mutable: mut == 1}
+		case ExternTable:
+			et, err := d.byte()
+			if err != nil {
+				return err
+			}
+			if et != 0x70 {
+				return errors.New("wasm: only funcref tables supported")
+			}
+			if im.Table, err = d.limits(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("wasm: invalid import kind 0x%02x", kind)
+		}
+		m.Imports = append(m.Imports, im)
+	}
+	return nil
+}
+
+func (d *decoder) globalSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		t, err := d.valType()
+		if err != nil {
+			return err
+		}
+		mut, err := d.byte()
+		if err != nil {
+			return err
+		}
+		init, err := d.constExpr(t)
+		if err != nil {
+			return err
+		}
+		m.Globals = append(m.Globals, Global{Type: GlobalType{Type: t, Mutable: mut == 1}, Init: init})
+	}
+	return nil
+}
+
+func (d *decoder) exportSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, n)
+	for i := uint32(0); i < n; i++ {
+		var e Export
+		if e.Name, err = d.name(); err != nil {
+			return err
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("wasm: duplicate export %q", e.Name)
+		}
+		seen[e.Name] = true
+		kind, err := d.byte()
+		if err != nil {
+			return err
+		}
+		e.Kind = ExternKind(kind)
+		if e.Index, err = d.u32(); err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, e)
+	}
+	return nil
+}
+
+func (d *decoder) elemSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return errors.New("wasm: only active element segments for table 0 supported")
+		}
+		off, err := d.constExpr(I32)
+		if err != nil {
+			return err
+		}
+		cnt, err := d.u32()
+		if err != nil {
+			return err
+		}
+		seg := ElemSegment{Offset: uint32(off)}
+		for j := uint32(0); j < cnt; j++ {
+			fi, err := d.u32()
+			if err != nil {
+				return err
+			}
+			seg.Funcs = append(seg.Funcs, fi)
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func (d *decoder) dataSection(m *Module) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return errors.New("wasm: only active data segments for memory 0 supported")
+		}
+		off, err := d.constExpr(I32)
+		if err != nil {
+			return err
+		}
+		cnt, err := d.u32()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(cnt))
+		if err != nil {
+			return err
+		}
+		m.Data = append(m.Data, DataSegment{Offset: uint32(off), Bytes: append([]byte(nil), b...)})
+	}
+	return nil
+}
+
+func (d *decoder) codeSection(m *Module, funcTypes []uint32) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(funcTypes) {
+		return fmt.Errorf("wasm: code count %d does not match function count %d", n, len(funcTypes))
+	}
+	for i := uint32(0); i < n; i++ {
+		size, err := d.u32()
+		if err != nil {
+			return err
+		}
+		body, err := d.take(int(size))
+		if err != nil {
+			return err
+		}
+		fn := Func{Type: funcTypes[i]}
+		bd := &decoder{buf: body}
+		nRuns, err := bd.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nRuns; j++ {
+			cnt, err := bd.u32()
+			if err != nil {
+				return err
+			}
+			t, err := bd.valType()
+			if err != nil {
+				return err
+			}
+			if len(fn.Locals)+int(cnt) > 1<<20 {
+				return errors.New("wasm: too many locals")
+			}
+			for k := uint32(0); k < cnt; k++ {
+				fn.Locals = append(fn.Locals, t)
+			}
+		}
+		if fn.Body, err = bd.instrs(); err != nil {
+			return fmt.Errorf("wasm: function %d: %w", i, err)
+		}
+		if bd.remaining() != 0 {
+			return fmt.Errorf("wasm: function %d: trailing bytes after body", i)
+		}
+		m.Funcs = append(m.Funcs, fn)
+	}
+	return nil
+}
+
+// instrs decodes an instruction sequence up to and including the final end
+// that closes the function body.
+func (d *decoder) instrs() ([]Instr, error) {
+	var out []Instr
+	depth := 0
+	for {
+		opb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		op := Opcode(opb)
+		if !op.Known() {
+			return nil, fmt.Errorf("unknown opcode 0x%02x", opb)
+		}
+		in := Instr{Op: op}
+		switch op.Imm() {
+		case ImmNone:
+		case ImmBlockType:
+			bt, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if BlockType(bt) != BlockVoid && !ValType(bt).Valid() {
+				return nil, fmt.Errorf("invalid block type 0x%02x", bt)
+			}
+			in.A = uint64(bt)
+		case ImmLabel, ImmFuncIdx, ImmLocalIdx, ImmGlobalIdx:
+			v, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(v)
+		case ImmBrTable:
+			cnt, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(cnt) > d.remaining() {
+				return nil, errUnexpectedEOF
+			}
+			in.Table = make([]uint32, cnt)
+			for j := range in.Table {
+				if in.Table[j], err = d.u32(); err != nil {
+					return nil, err
+				}
+			}
+			def, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(def)
+		case ImmTypeIdx:
+			v, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(v)
+			tb, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if tb != 0x00 {
+				return nil, errors.New("call_indirect: non-zero table index")
+			}
+		case ImmMemArg:
+			align, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			offset, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.A, in.B = uint64(offset), uint64(align)
+		case ImmMemIdx:
+			mb, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if mb != 0x00 {
+				return nil, errors.New("memory instruction: non-zero memory index")
+			}
+		case ImmI32:
+			v, err := d.sleb(32)
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(uint32(int32(v)))
+		case ImmI64:
+			v, err := d.sleb(64)
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(v)
+		case ImmF32:
+			b, err := d.take(4)
+			if err != nil {
+				return nil, err
+			}
+			in.A = uint64(binary.LittleEndian.Uint32(b))
+		case ImmF64:
+			b, err := d.take(8)
+			if err != nil {
+				return nil, err
+			}
+			in.A = binary.LittleEndian.Uint64(b)
+		}
+		out = append(out, in)
+		switch op {
+		case OpBlock, OpLoop, OpIf:
+			depth++
+		case OpEnd:
+			if depth == 0 {
+				return out, nil
+			}
+			depth--
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package wasm
+
+// InOut returns the operand counts (popped, pushed) for instructions with a
+// fixed signature. It reports ok=false for control, call, and parametric
+// instructions whose effect depends on context; compilers handle those
+// explicitly.
+func (op Opcode) InOut() (in, out int, ok bool) {
+	s, ok := simpleSigs[op]
+	if !ok {
+		return 0, 0, false
+	}
+	return len(s.in), len(s.out), true
+}
+
+// ResultType returns the type an instruction with a fixed signature pushes,
+// if it pushes exactly one value.
+func (op Opcode) ResultType() (ValType, bool) {
+	s, ok := simpleSigs[op]
+	if !ok || len(s.out) != 1 {
+		return 0, false
+	}
+	return s.out[0], true
+}

@@ -1,0 +1,70 @@
+package wasm
+
+import "errors"
+
+// LEB128 encoding/decoding, the variable-length integer format used
+// throughout the WebAssembly binary format.
+
+var errLEB = errors.New("wasm: malformed LEB128 integer")
+
+// AppendUleb appends the unsigned LEB128 encoding of v to dst.
+func AppendUleb(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			dst = append(dst, b|0x80)
+		} else {
+			return append(dst, b)
+		}
+	}
+}
+
+// AppendSleb appends the signed LEB128 encoding of v to dst.
+func AppendSleb(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// ReadUleb decodes an unsigned LEB128 integer of at most maxBits bits from
+// buf, returning the value and the number of bytes consumed.
+func ReadUleb(buf []byte, maxBits uint) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	maxBytes := int((maxBits + 6) / 7)
+	for i := 0; i < len(buf) && i < maxBytes; i++ {
+		b := buf[i]
+		v |= uint64(b&0x7F) << shift
+		if b&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, errLEB
+}
+
+// ReadSleb decodes a signed LEB128 integer of at most maxBits bits from buf,
+// returning the value and the number of bytes consumed.
+func ReadSleb(buf []byte, maxBits uint) (int64, int, error) {
+	var v int64
+	var shift uint
+	maxBytes := int((maxBits + 6) / 7)
+	for i := 0; i < len(buf) && i < maxBytes; i++ {
+		b := buf[i]
+		v |= int64(b&0x7F) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, errLEB
+}

@@ -1,0 +1,109 @@
+package wasm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUlebRoundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendUleb(nil, v)
+		got, n, err := ReadUleb(enc, 64)
+		return err == nil && n == len(enc) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlebRoundtrip(t *testing.T) {
+	f := func(v int64) bool {
+		enc := AppendSleb(nil, v)
+		got, n, err := ReadSleb(enc, 64)
+		return err == nil && n == len(enc) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUleb32Roundtrip(t *testing.T) {
+	f := func(v uint32) bool {
+		enc := AppendUleb(nil, uint64(v))
+		got, n, err := ReadUleb(enc, 32)
+		return err == nil && n == len(enc) && got == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSleb32Roundtrip(t *testing.T) {
+	f := func(v int32) bool {
+		enc := AppendSleb(nil, int64(v))
+		got, n, err := ReadSleb(enc, 32)
+		return err == nil && n == len(enc) && got == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUlebKnownEncodings(t *testing.T) {
+	cases := []struct {
+		v   uint64
+		enc []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{127, []byte{0x7F}},
+		{128, []byte{0x80, 0x01}},
+		{624485, []byte{0xE5, 0x8E, 0x26}},
+	}
+	for _, c := range cases {
+		got := AppendUleb(nil, c.v)
+		if string(got) != string(c.enc) {
+			t.Errorf("AppendUleb(%d) = %x, want %x", c.v, got, c.enc)
+		}
+	}
+}
+
+func TestSlebKnownEncodings(t *testing.T) {
+	cases := []struct {
+		v   int64
+		enc []byte
+	}{
+		{0, []byte{0x00}},
+		{-1, []byte{0x7F}},
+		{63, []byte{0x3F}},
+		{64, []byte{0xC0, 0x00}},
+		{-64, []byte{0x40}},
+		{-65, []byte{0xBF, 0x7F}},
+		{-123456, []byte{0xC0, 0xBB, 0x78}},
+	}
+	for _, c := range cases {
+		got := AppendSleb(nil, c.v)
+		if string(got) != string(c.enc) {
+			t.Errorf("AppendSleb(%d) = %x, want %x", c.v, got, c.enc)
+		}
+	}
+}
+
+func TestUlebTruncated(t *testing.T) {
+	if _, _, err := ReadUleb([]byte{0x80}, 32); err == nil {
+		t.Error("truncated uleb accepted")
+	}
+	if _, _, err := ReadUleb(nil, 32); err == nil {
+		t.Error("empty uleb accepted")
+	}
+	// 6 continuation bytes exceed the 32-bit budget of 5.
+	if _, _, err := ReadUleb([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 32); err == nil {
+		t.Error("overlong uleb32 accepted")
+	}
+}
+
+func TestSlebTruncated(t *testing.T) {
+	if _, _, err := ReadSleb([]byte{0xFF}, 64); err == nil {
+		t.Error("truncated sleb accepted")
+	}
+}

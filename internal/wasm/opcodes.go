@@ -1,0 +1,494 @@
+package wasm
+
+// Opcode is a single-byte WebAssembly MVP opcode.
+type Opcode byte
+
+// Control instructions.
+const (
+	OpUnreachable  Opcode = 0x00
+	OpNop          Opcode = 0x01
+	OpBlock        Opcode = 0x02
+	OpLoop         Opcode = 0x03
+	OpIf           Opcode = 0x04
+	OpElse         Opcode = 0x05
+	OpEnd          Opcode = 0x0B
+	OpBr           Opcode = 0x0C
+	OpBrIf         Opcode = 0x0D
+	OpBrTable      Opcode = 0x0E
+	OpReturn       Opcode = 0x0F
+	OpCall         Opcode = 0x10
+	OpCallIndirect Opcode = 0x11
+)
+
+// Parametric instructions.
+const (
+	OpDrop   Opcode = 0x1A
+	OpSelect Opcode = 0x1B
+)
+
+// Variable instructions.
+const (
+	OpLocalGet  Opcode = 0x20
+	OpLocalSet  Opcode = 0x21
+	OpLocalTee  Opcode = 0x22
+	OpGlobalGet Opcode = 0x23
+	OpGlobalSet Opcode = 0x24
+)
+
+// Memory instructions.
+const (
+	OpI32Load    Opcode = 0x28
+	OpI64Load    Opcode = 0x29
+	OpF32Load    Opcode = 0x2A
+	OpF64Load    Opcode = 0x2B
+	OpI32Load8S  Opcode = 0x2C
+	OpI32Load8U  Opcode = 0x2D
+	OpI32Load16S Opcode = 0x2E
+	OpI32Load16U Opcode = 0x2F
+	OpI64Load8S  Opcode = 0x30
+	OpI64Load8U  Opcode = 0x31
+	OpI64Load16S Opcode = 0x32
+	OpI64Load16U Opcode = 0x33
+	OpI64Load32S Opcode = 0x34
+	OpI64Load32U Opcode = 0x35
+	OpI32Store   Opcode = 0x36
+	OpI64Store   Opcode = 0x37
+	OpF32Store   Opcode = 0x38
+	OpF64Store   Opcode = 0x39
+	OpI32Store8  Opcode = 0x3A
+	OpI32Store16 Opcode = 0x3B
+	OpI64Store8  Opcode = 0x3C
+	OpI64Store16 Opcode = 0x3D
+	OpI64Store32 Opcode = 0x3E
+	OpMemorySize Opcode = 0x3F
+	OpMemoryGrow Opcode = 0x40
+)
+
+// Constant instructions.
+const (
+	OpI32Const Opcode = 0x41
+	OpI64Const Opcode = 0x42
+	OpF32Const Opcode = 0x43
+	OpF64Const Opcode = 0x44
+)
+
+// i32 comparison instructions.
+const (
+	OpI32Eqz Opcode = 0x45
+	OpI32Eq  Opcode = 0x46
+	OpI32Ne  Opcode = 0x47
+	OpI32LtS Opcode = 0x48
+	OpI32LtU Opcode = 0x49
+	OpI32GtS Opcode = 0x4A
+	OpI32GtU Opcode = 0x4B
+	OpI32LeS Opcode = 0x4C
+	OpI32LeU Opcode = 0x4D
+	OpI32GeS Opcode = 0x4E
+	OpI32GeU Opcode = 0x4F
+)
+
+// i64 comparison instructions.
+const (
+	OpI64Eqz Opcode = 0x50
+	OpI64Eq  Opcode = 0x51
+	OpI64Ne  Opcode = 0x52
+	OpI64LtS Opcode = 0x53
+	OpI64LtU Opcode = 0x54
+	OpI64GtS Opcode = 0x55
+	OpI64GtU Opcode = 0x56
+	OpI64LeS Opcode = 0x57
+	OpI64LeU Opcode = 0x58
+	OpI64GeS Opcode = 0x59
+	OpI64GeU Opcode = 0x5A
+)
+
+// f32 comparison instructions.
+const (
+	OpF32Eq Opcode = 0x5B
+	OpF32Ne Opcode = 0x5C
+	OpF32Lt Opcode = 0x5D
+	OpF32Gt Opcode = 0x5E
+	OpF32Le Opcode = 0x5F
+	OpF32Ge Opcode = 0x60
+)
+
+// f64 comparison instructions.
+const (
+	OpF64Eq Opcode = 0x61
+	OpF64Ne Opcode = 0x62
+	OpF64Lt Opcode = 0x63
+	OpF64Gt Opcode = 0x64
+	OpF64Le Opcode = 0x65
+	OpF64Ge Opcode = 0x66
+)
+
+// i32 numeric instructions.
+const (
+	OpI32Clz    Opcode = 0x67
+	OpI32Ctz    Opcode = 0x68
+	OpI32Popcnt Opcode = 0x69
+	OpI32Add    Opcode = 0x6A
+	OpI32Sub    Opcode = 0x6B
+	OpI32Mul    Opcode = 0x6C
+	OpI32DivS   Opcode = 0x6D
+	OpI32DivU   Opcode = 0x6E
+	OpI32RemS   Opcode = 0x6F
+	OpI32RemU   Opcode = 0x70
+	OpI32And    Opcode = 0x71
+	OpI32Or     Opcode = 0x72
+	OpI32Xor    Opcode = 0x73
+	OpI32Shl    Opcode = 0x74
+	OpI32ShrS   Opcode = 0x75
+	OpI32ShrU   Opcode = 0x76
+	OpI32Rotl   Opcode = 0x77
+	OpI32Rotr   Opcode = 0x78
+)
+
+// i64 numeric instructions.
+const (
+	OpI64Clz    Opcode = 0x79
+	OpI64Ctz    Opcode = 0x7A
+	OpI64Popcnt Opcode = 0x7B
+	OpI64Add    Opcode = 0x7C
+	OpI64Sub    Opcode = 0x7D
+	OpI64Mul    Opcode = 0x7E
+	OpI64DivS   Opcode = 0x7F
+	OpI64DivU   Opcode = 0x80
+	OpI64RemS   Opcode = 0x81
+	OpI64RemU   Opcode = 0x82
+	OpI64And    Opcode = 0x83
+	OpI64Or     Opcode = 0x84
+	OpI64Xor    Opcode = 0x85
+	OpI64Shl    Opcode = 0x86
+	OpI64ShrS   Opcode = 0x87
+	OpI64ShrU   Opcode = 0x88
+	OpI64Rotl   Opcode = 0x89
+	OpI64Rotr   Opcode = 0x8A
+)
+
+// f32 numeric instructions.
+const (
+	OpF32Abs      Opcode = 0x8B
+	OpF32Neg      Opcode = 0x8C
+	OpF32Ceil     Opcode = 0x8D
+	OpF32Floor    Opcode = 0x8E
+	OpF32Trunc    Opcode = 0x8F
+	OpF32Nearest  Opcode = 0x90
+	OpF32Sqrt     Opcode = 0x91
+	OpF32Add      Opcode = 0x92
+	OpF32Sub      Opcode = 0x93
+	OpF32Mul      Opcode = 0x94
+	OpF32Div      Opcode = 0x95
+	OpF32Min      Opcode = 0x96
+	OpF32Max      Opcode = 0x97
+	OpF32Copysign Opcode = 0x98
+)
+
+// f64 numeric instructions.
+const (
+	OpF64Abs      Opcode = 0x99
+	OpF64Neg      Opcode = 0x9A
+	OpF64Ceil     Opcode = 0x9B
+	OpF64Floor    Opcode = 0x9C
+	OpF64Trunc    Opcode = 0x9D
+	OpF64Nearest  Opcode = 0x9E
+	OpF64Sqrt     Opcode = 0x9F
+	OpF64Add      Opcode = 0xA0
+	OpF64Sub      Opcode = 0xA1
+	OpF64Mul      Opcode = 0xA2
+	OpF64Div      Opcode = 0xA3
+	OpF64Min      Opcode = 0xA4
+	OpF64Max      Opcode = 0xA5
+	OpF64Copysign Opcode = 0xA6
+)
+
+// Conversion instructions.
+const (
+	OpI32WrapI64        Opcode = 0xA7
+	OpI32TruncF32S      Opcode = 0xA8
+	OpI32TruncF32U      Opcode = 0xA9
+	OpI32TruncF64S      Opcode = 0xAA
+	OpI32TruncF64U      Opcode = 0xAB
+	OpI64ExtendI32S     Opcode = 0xAC
+	OpI64ExtendI32U     Opcode = 0xAD
+	OpI64TruncF32S      Opcode = 0xAE
+	OpI64TruncF32U      Opcode = 0xAF
+	OpI64TruncF64S      Opcode = 0xB0
+	OpI64TruncF64U      Opcode = 0xB1
+	OpF32ConvertI32S    Opcode = 0xB2
+	OpF32ConvertI32U    Opcode = 0xB3
+	OpF32ConvertI64S    Opcode = 0xB4
+	OpF32ConvertI64U    Opcode = 0xB5
+	OpF32DemoteF64      Opcode = 0xB6
+	OpF64ConvertI32S    Opcode = 0xB7
+	OpF64ConvertI32U    Opcode = 0xB8
+	OpF64ConvertI64S    Opcode = 0xB9
+	OpF64ConvertI64U    Opcode = 0xBA
+	OpF64PromoteF32     Opcode = 0xBB
+	OpI32ReinterpretF32 Opcode = 0xBC
+	OpI64ReinterpretF64 Opcode = 0xBD
+	OpF32ReinterpretI32 Opcode = 0xBE
+	OpF64ReinterpretI64 Opcode = 0xBF
+)
+
+// Sign-extension instructions (post-MVP but universally supported).
+const (
+	OpI32Extend8S  Opcode = 0xC0
+	OpI32Extend16S Opcode = 0xC1
+	OpI64Extend8S  Opcode = 0xC2
+	OpI64Extend16S Opcode = 0xC3
+	OpI64Extend32S Opcode = 0xC4
+)
+
+// ImmKind classifies the immediate operands an opcode carries in the binary
+// format, driving both the decoder and the encoder.
+type ImmKind byte
+
+const (
+	ImmNone      ImmKind = iota
+	ImmBlockType         // block, loop, if
+	ImmLabel             // br, br_if: a uleb label index
+	ImmBrTable           // br_table: vector of labels + default
+	ImmFuncIdx           // call
+	ImmTypeIdx           // call_indirect: type index + 0x00 table byte
+	ImmLocalIdx          // local.get/set/tee
+	ImmGlobalIdx         // global.get/set
+	ImmMemArg            // loads/stores: align + offset ulebs
+	ImmMemIdx            // memory.size/grow: single 0x00 byte
+	ImmI32               // i32.const: sleb32
+	ImmI64               // i64.const: sleb64
+	ImmF32               // f32.const: 4 bytes
+	ImmF64               // f64.const: 8 bytes
+)
+
+type opInfo struct {
+	name string
+	imm  ImmKind
+}
+
+var opTable = [256]opInfo{
+	OpUnreachable:  {"unreachable", ImmNone},
+	OpNop:          {"nop", ImmNone},
+	OpBlock:        {"block", ImmBlockType},
+	OpLoop:         {"loop", ImmBlockType},
+	OpIf:           {"if", ImmBlockType},
+	OpElse:         {"else", ImmNone},
+	OpEnd:          {"end", ImmNone},
+	OpBr:           {"br", ImmLabel},
+	OpBrIf:         {"br_if", ImmLabel},
+	OpBrTable:      {"br_table", ImmBrTable},
+	OpReturn:       {"return", ImmNone},
+	OpCall:         {"call", ImmFuncIdx},
+	OpCallIndirect: {"call_indirect", ImmTypeIdx},
+
+	OpDrop:   {"drop", ImmNone},
+	OpSelect: {"select", ImmNone},
+
+	OpLocalGet:  {"local.get", ImmLocalIdx},
+	OpLocalSet:  {"local.set", ImmLocalIdx},
+	OpLocalTee:  {"local.tee", ImmLocalIdx},
+	OpGlobalGet: {"global.get", ImmGlobalIdx},
+	OpGlobalSet: {"global.set", ImmGlobalIdx},
+
+	OpI32Load:    {"i32.load", ImmMemArg},
+	OpI64Load:    {"i64.load", ImmMemArg},
+	OpF32Load:    {"f32.load", ImmMemArg},
+	OpF64Load:    {"f64.load", ImmMemArg},
+	OpI32Load8S:  {"i32.load8_s", ImmMemArg},
+	OpI32Load8U:  {"i32.load8_u", ImmMemArg},
+	OpI32Load16S: {"i32.load16_s", ImmMemArg},
+	OpI32Load16U: {"i32.load16_u", ImmMemArg},
+	OpI64Load8S:  {"i64.load8_s", ImmMemArg},
+	OpI64Load8U:  {"i64.load8_u", ImmMemArg},
+	OpI64Load16S: {"i64.load16_s", ImmMemArg},
+	OpI64Load16U: {"i64.load16_u", ImmMemArg},
+	OpI64Load32S: {"i64.load32_s", ImmMemArg},
+	OpI64Load32U: {"i64.load32_u", ImmMemArg},
+	OpI32Store:   {"i32.store", ImmMemArg},
+	OpI64Store:   {"i64.store", ImmMemArg},
+	OpF32Store:   {"f32.store", ImmMemArg},
+	OpF64Store:   {"f64.store", ImmMemArg},
+	OpI32Store8:  {"i32.store8", ImmMemArg},
+	OpI32Store16: {"i32.store16", ImmMemArg},
+	OpI64Store8:  {"i64.store8", ImmMemArg},
+	OpI64Store16: {"i64.store16", ImmMemArg},
+	OpI64Store32: {"i64.store32", ImmMemArg},
+	OpMemorySize: {"memory.size", ImmMemIdx},
+	OpMemoryGrow: {"memory.grow", ImmMemIdx},
+
+	OpI32Const: {"i32.const", ImmI32},
+	OpI64Const: {"i64.const", ImmI64},
+	OpF32Const: {"f32.const", ImmF32},
+	OpF64Const: {"f64.const", ImmF64},
+
+	OpI32Eqz: {"i32.eqz", ImmNone},
+	OpI32Eq:  {"i32.eq", ImmNone},
+	OpI32Ne:  {"i32.ne", ImmNone},
+	OpI32LtS: {"i32.lt_s", ImmNone},
+	OpI32LtU: {"i32.lt_u", ImmNone},
+	OpI32GtS: {"i32.gt_s", ImmNone},
+	OpI32GtU: {"i32.gt_u", ImmNone},
+	OpI32LeS: {"i32.le_s", ImmNone},
+	OpI32LeU: {"i32.le_u", ImmNone},
+	OpI32GeS: {"i32.ge_s", ImmNone},
+	OpI32GeU: {"i32.ge_u", ImmNone},
+
+	OpI64Eqz: {"i64.eqz", ImmNone},
+	OpI64Eq:  {"i64.eq", ImmNone},
+	OpI64Ne:  {"i64.ne", ImmNone},
+	OpI64LtS: {"i64.lt_s", ImmNone},
+	OpI64LtU: {"i64.lt_u", ImmNone},
+	OpI64GtS: {"i64.gt_s", ImmNone},
+	OpI64GtU: {"i64.gt_u", ImmNone},
+	OpI64LeS: {"i64.le_s", ImmNone},
+	OpI64LeU: {"i64.le_u", ImmNone},
+	OpI64GeS: {"i64.ge_s", ImmNone},
+	OpI64GeU: {"i64.ge_u", ImmNone},
+
+	OpF32Eq: {"f32.eq", ImmNone},
+	OpF32Ne: {"f32.ne", ImmNone},
+	OpF32Lt: {"f32.lt", ImmNone},
+	OpF32Gt: {"f32.gt", ImmNone},
+	OpF32Le: {"f32.le", ImmNone},
+	OpF32Ge: {"f32.ge", ImmNone},
+
+	OpF64Eq: {"f64.eq", ImmNone},
+	OpF64Ne: {"f64.ne", ImmNone},
+	OpF64Lt: {"f64.lt", ImmNone},
+	OpF64Gt: {"f64.gt", ImmNone},
+	OpF64Le: {"f64.le", ImmNone},
+	OpF64Ge: {"f64.ge", ImmNone},
+
+	OpI32Clz:    {"i32.clz", ImmNone},
+	OpI32Ctz:    {"i32.ctz", ImmNone},
+	OpI32Popcnt: {"i32.popcnt", ImmNone},
+	OpI32Add:    {"i32.add", ImmNone},
+	OpI32Sub:    {"i32.sub", ImmNone},
+	OpI32Mul:    {"i32.mul", ImmNone},
+	OpI32DivS:   {"i32.div_s", ImmNone},
+	OpI32DivU:   {"i32.div_u", ImmNone},
+	OpI32RemS:   {"i32.rem_s", ImmNone},
+	OpI32RemU:   {"i32.rem_u", ImmNone},
+	OpI32And:    {"i32.and", ImmNone},
+	OpI32Or:     {"i32.or", ImmNone},
+	OpI32Xor:    {"i32.xor", ImmNone},
+	OpI32Shl:    {"i32.shl", ImmNone},
+	OpI32ShrS:   {"i32.shr_s", ImmNone},
+	OpI32ShrU:   {"i32.shr_u", ImmNone},
+	OpI32Rotl:   {"i32.rotl", ImmNone},
+	OpI32Rotr:   {"i32.rotr", ImmNone},
+
+	OpI64Clz:    {"i64.clz", ImmNone},
+	OpI64Ctz:    {"i64.ctz", ImmNone},
+	OpI64Popcnt: {"i64.popcnt", ImmNone},
+	OpI64Add:    {"i64.add", ImmNone},
+	OpI64Sub:    {"i64.sub", ImmNone},
+	OpI64Mul:    {"i64.mul", ImmNone},
+	OpI64DivS:   {"i64.div_s", ImmNone},
+	OpI64DivU:   {"i64.div_u", ImmNone},
+	OpI64RemS:   {"i64.rem_s", ImmNone},
+	OpI64RemU:   {"i64.rem_u", ImmNone},
+	OpI64And:    {"i64.and", ImmNone},
+	OpI64Or:     {"i64.or", ImmNone},
+	OpI64Xor:    {"i64.xor", ImmNone},
+	OpI64Shl:    {"i64.shl", ImmNone},
+	OpI64ShrS:   {"i64.shr_s", ImmNone},
+	OpI64ShrU:   {"i64.shr_u", ImmNone},
+	OpI64Rotl:   {"i64.rotl", ImmNone},
+	OpI64Rotr:   {"i64.rotr", ImmNone},
+
+	OpF32Abs:      {"f32.abs", ImmNone},
+	OpF32Neg:      {"f32.neg", ImmNone},
+	OpF32Ceil:     {"f32.ceil", ImmNone},
+	OpF32Floor:    {"f32.floor", ImmNone},
+	OpF32Trunc:    {"f32.trunc", ImmNone},
+	OpF32Nearest:  {"f32.nearest", ImmNone},
+	OpF32Sqrt:     {"f32.sqrt", ImmNone},
+	OpF32Add:      {"f32.add", ImmNone},
+	OpF32Sub:      {"f32.sub", ImmNone},
+	OpF32Mul:      {"f32.mul", ImmNone},
+	OpF32Div:      {"f32.div", ImmNone},
+	OpF32Min:      {"f32.min", ImmNone},
+	OpF32Max:      {"f32.max", ImmNone},
+	OpF32Copysign: {"f32.copysign", ImmNone},
+
+	OpF64Abs:      {"f64.abs", ImmNone},
+	OpF64Neg:      {"f64.neg", ImmNone},
+	OpF64Ceil:     {"f64.ceil", ImmNone},
+	OpF64Floor:    {"f64.floor", ImmNone},
+	OpF64Trunc:    {"f64.trunc", ImmNone},
+	OpF64Nearest:  {"f64.nearest", ImmNone},
+	OpF64Sqrt:     {"f64.sqrt", ImmNone},
+	OpF64Add:      {"f64.add", ImmNone},
+	OpF64Sub:      {"f64.sub", ImmNone},
+	OpF64Mul:      {"f64.mul", ImmNone},
+	OpF64Div:      {"f64.div", ImmNone},
+	OpF64Min:      {"f64.min", ImmNone},
+	OpF64Max:      {"f64.max", ImmNone},
+	OpF64Copysign: {"f64.copysign", ImmNone},
+
+	OpI32WrapI64:        {"i32.wrap_i64", ImmNone},
+	OpI32TruncF32S:      {"i32.trunc_f32_s", ImmNone},
+	OpI32TruncF32U:      {"i32.trunc_f32_u", ImmNone},
+	OpI32TruncF64S:      {"i32.trunc_f64_s", ImmNone},
+	OpI32TruncF64U:      {"i32.trunc_f64_u", ImmNone},
+	OpI64ExtendI32S:     {"i64.extend_i32_s", ImmNone},
+	OpI64ExtendI32U:     {"i64.extend_i32_u", ImmNone},
+	OpI64TruncF32S:      {"i64.trunc_f32_s", ImmNone},
+	OpI64TruncF32U:      {"i64.trunc_f32_u", ImmNone},
+	OpI64TruncF64S:      {"i64.trunc_f64_s", ImmNone},
+	OpI64TruncF64U:      {"i64.trunc_f64_u", ImmNone},
+	OpF32ConvertI32S:    {"f32.convert_i32_s", ImmNone},
+	OpF32ConvertI32U:    {"f32.convert_i32_u", ImmNone},
+	OpF32ConvertI64S:    {"f32.convert_i64_s", ImmNone},
+	OpF32ConvertI64U:    {"f32.convert_i64_u", ImmNone},
+	OpF32DemoteF64:      {"f32.demote_f64", ImmNone},
+	OpF64ConvertI32S:    {"f64.convert_i32_s", ImmNone},
+	OpF64ConvertI32U:    {"f64.convert_i32_u", ImmNone},
+	OpF64ConvertI64S:    {"f64.convert_i64_s", ImmNone},
+	OpF64ConvertI64U:    {"f64.convert_i64_u", ImmNone},
+	OpF64PromoteF32:     {"f64.promote_f32", ImmNone},
+	OpI32ReinterpretF32: {"i32.reinterpret_f32", ImmNone},
+	OpI64ReinterpretF64: {"i64.reinterpret_f64", ImmNone},
+	OpF32ReinterpretI32: {"f32.reinterpret_i32", ImmNone},
+	OpF64ReinterpretI64: {"f64.reinterpret_i64", ImmNone},
+
+	OpI32Extend8S:  {"i32.extend8_s", ImmNone},
+	OpI32Extend16S: {"i32.extend16_s", ImmNone},
+	OpI64Extend8S:  {"i64.extend8_s", ImmNone},
+	OpI64Extend16S: {"i64.extend16_s", ImmNone},
+	OpI64Extend32S: {"i64.extend32_s", ImmNone},
+}
+
+// String returns the text-format mnemonic of the opcode.
+func (op Opcode) String() string {
+	info := opTable[op]
+	if info.name == "" {
+		return "invalid"
+	}
+	return info.name
+}
+
+// Imm returns the kind of immediate operands the opcode carries.
+func (op Opcode) Imm() ImmKind { return opTable[op].imm }
+
+// Known reports whether op is a defined opcode.
+func (op Opcode) Known() bool { return opTable[op].name != "" }
+
+// Instr is a single decoded instruction. Immediate operands are packed into
+// A and B depending on the opcode's ImmKind:
+//
+//	ImmBlockType: A = block type byte
+//	ImmLabel, ImmFuncIdx, ImmLocalIdx, ImmGlobalIdx: A = index
+//	ImmTypeIdx:  A = type index
+//	ImmMemArg:   A = offset, B = align (log2)
+//	ImmI32:      A = sign-extended value as uint64
+//	ImmI64:      A = value as uint64
+//	ImmF32:      A = 32 raw bits
+//	ImmF64:      A = 64 raw bits
+//	ImmBrTable:  Table = targets, A = default label
+type Instr struct {
+	Op    Opcode
+	A, B  uint64
+	Table []uint32
+}

@@ -1,0 +1,101 @@
+package wasm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRandomModuleRoundtrip builds random (valid) modules and checks that
+// encode→decode→encode is a fixed point.
+func TestRandomModuleRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	valTypes := []ValType{I32, I64, F32, F64}
+	for trial := 0; trial < 50; trial++ {
+		b := NewModuleBuilder()
+		// Random imports.
+		nImp := rng.Intn(3)
+		for i := 0; i < nImp; i++ {
+			ft := randType(rng, valTypes)
+			b.ImportFunc("env", "f"+string(rune('a'+i)), ft)
+		}
+		if rng.Intn(2) == 0 {
+			b.AddMemory(uint32(rng.Intn(4)+1), 16)
+		}
+		nGlob := rng.Intn(3)
+		for i := 0; i < nGlob; i++ {
+			b.AddGlobal(valTypes[rng.Intn(4)], rng.Intn(2) == 0, rng.Uint64())
+		}
+		// Random straight-line functions.
+		nFn := rng.Intn(4) + 1
+		for i := 0; i < nFn; i++ {
+			ft := FuncType{Params: randParams(rng, valTypes), Results: []ValType{I64}}
+			f := b.NewFunc("", ft)
+			f.I64Const(int64(rng.Uint64()))
+			for k := rng.Intn(8); k > 0; k-- {
+				f.I64Const(int64(rng.Uint64()))
+				f.Op([]Opcode{OpI64Add, OpI64Sub, OpI64Mul, OpI64Xor, OpI64And, OpI64Or}[rng.Intn(6)])
+			}
+			if i == 0 {
+				b.Export("entry", ExternFunc, f.Index)
+			}
+		}
+		bin1 := b.Bytes()
+		m, err := Decode(bin1)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if err := Validate(m); err != nil {
+			t.Fatalf("trial %d: validate: %v", trial, err)
+		}
+		bin2 := Encode(m)
+		m2, err := Decode(bin2)
+		if err != nil {
+			t.Fatalf("trial %d: re-decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("trial %d: decode(encode(m)) != m", trial)
+		}
+	}
+}
+
+func randParams(rng *rand.Rand, vt []ValType) []ValType {
+	n := rng.Intn(4)
+	out := make([]ValType, n)
+	for i := range out {
+		out[i] = vt[rng.Intn(len(vt))]
+	}
+	return out
+}
+
+func randType(rng *rand.Rand, vt []ValType) FuncType {
+	var res []ValType
+	if rng.Intn(2) == 0 {
+		res = []ValType{vt[rng.Intn(len(vt))]}
+	}
+	return FuncType{Params: randParams(rng, vt), Results: res}
+}
+
+// TestValidatorAgainstMutations flips random bytes in a valid module and
+// checks that decode+validate never panics (they may legitimately accept
+// semantically different but well-formed mutations).
+func TestValidatorAgainstMutations(t *testing.T) {
+	base := buildTestModule().Bytes()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), base...)
+		for k := rng.Intn(3) + 1; k > 0; k-- {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on mutated module: %v", trial, r)
+				}
+			}()
+			if m, err := Decode(mut); err == nil {
+				_ = Validate(m) // must not panic either
+			}
+		}()
+	}
+}

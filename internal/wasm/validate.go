@@ -1,0 +1,516 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate type-checks the module according to the WebAssembly validation
+// algorithm (the stack-polymorphic algorithm from the spec appendix). The
+// execution tiers rely on validation having succeeded: they omit dynamic type
+// and structure checks.
+func Validate(m *Module) error {
+	for i, im := range m.Imports {
+		if im.Kind == ExternFunc && int(im.Type) >= len(m.Types) {
+			return fmt.Errorf("wasm: import %d: type index %d out of range", i, im.Type)
+		}
+	}
+	numFuncs := uint32(m.NumImportedFuncs() + len(m.Funcs))
+	for i, e := range m.Exports {
+		switch e.Kind {
+		case ExternFunc:
+			if e.Index >= numFuncs {
+				return fmt.Errorf("wasm: export %d: function index %d out of range", i, e.Index)
+			}
+		case ExternGlobal:
+			if int(e.Index) >= len(m.Globals) {
+				return fmt.Errorf("wasm: export %d: global index %d out of range", i, e.Index)
+			}
+		case ExternMemory:
+			if e.Index != 0 || !m.hasAnyMemory() {
+				return fmt.Errorf("wasm: export %d: no memory to export", i)
+			}
+		case ExternTable:
+			if e.Index != 0 || !m.HasTable {
+				return fmt.Errorf("wasm: export %d: no table to export", i)
+			}
+		}
+	}
+	for i, seg := range m.Elems {
+		for _, fi := range seg.Funcs {
+			if fi >= numFuncs {
+				return fmt.Errorf("wasm: element segment %d: function index %d out of range", i, fi)
+			}
+		}
+	}
+	if m.Start >= 0 {
+		ft, err := m.FuncTypeAt(uint32(m.Start))
+		if err != nil {
+			return err
+		}
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return errors.New("wasm: start function must have empty signature")
+		}
+	}
+	for i := range m.Funcs {
+		fn := &m.Funcs[i]
+		if int(fn.Type) >= len(m.Types) {
+			return fmt.Errorf("wasm: function %d: type index out of range", i)
+		}
+		if err := validateBody(m, fn); err != nil {
+			name := fn.Name
+			if name == "" {
+				name = fmt.Sprintf("#%d", i)
+			}
+			return fmt.Errorf("wasm: function %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) hasAnyMemory() bool {
+	if m.HasMemory {
+		return true
+	}
+	for _, im := range m.Imports {
+		if im.Kind == ExternMemory {
+			return true
+		}
+	}
+	return false
+}
+
+// unknownType is the bottom type used for stack-polymorphic checking.
+const unknownType ValType = 0
+
+type ctrlFrame struct {
+	op          Opcode // OpBlock, OpLoop, OpIf, or OpCall as the function frame marker
+	results     []ValType
+	height      int
+	unreachable bool
+}
+
+func (c *ctrlFrame) labelTypes() []ValType {
+	if c.op == OpLoop {
+		return nil // MVP loops have no parameters
+	}
+	return c.results
+}
+
+type validator struct {
+	m      *Module
+	locals []ValType
+	vals   []ValType
+	ctrls  []ctrlFrame
+}
+
+func validateBody(m *Module, fn *Func) error {
+	ft := m.Types[fn.Type]
+	v := &validator{m: m}
+	v.locals = append(append([]ValType{}, ft.Params...), fn.Locals...)
+	v.ctrls = []ctrlFrame{{op: OpCall, results: ft.Results}}
+	for pc, in := range fn.Body {
+		if err := v.instr(in); err != nil {
+			return fmt.Errorf("instr %d (%s): %w", pc, in.Op, err)
+		}
+		if len(v.ctrls) == 0 {
+			if pc != len(fn.Body)-1 {
+				return fmt.Errorf("instr %d: code after function end", pc)
+			}
+			return nil
+		}
+	}
+	return errors.New("missing end")
+}
+
+func (v *validator) pushVal(t ValType) { v.vals = append(v.vals, t) }
+
+func (v *validator) pushVals(ts []ValType) {
+	for _, t := range ts {
+		v.pushVal(t)
+	}
+}
+
+func (v *validator) popVal() (ValType, error) {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	if len(v.vals) == frame.height {
+		if frame.unreachable {
+			return unknownType, nil
+		}
+		return 0, errors.New("value stack underflow")
+	}
+	t := v.vals[len(v.vals)-1]
+	v.vals = v.vals[:len(v.vals)-1]
+	return t, nil
+}
+
+func (v *validator) popExpect(want ValType) (ValType, error) {
+	got, err := v.popVal()
+	if err != nil {
+		return 0, err
+	}
+	if got != want && got != unknownType && want != unknownType {
+		return 0, fmt.Errorf("type mismatch: expected %s, got %s", want, got)
+	}
+	return got, nil
+}
+
+func (v *validator) popVals(ts []ValType) error {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if _, err := v.popExpect(ts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) pushCtrl(op Opcode, results []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{op: op, results: results, height: len(v.vals)})
+}
+
+func (v *validator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, errors.New("control stack underflow")
+	}
+	frame := v.ctrls[len(v.ctrls)-1]
+	if err := v.popVals(frame.results); err != nil {
+		return ctrlFrame{}, err
+	}
+	if len(v.vals) != frame.height {
+		return ctrlFrame{}, errors.New("values remain on stack at end of block")
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return frame, nil
+}
+
+func (v *validator) unreachable() {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	v.vals = v.vals[:frame.height]
+	frame.unreachable = true
+}
+
+func (v *validator) frameAt(depth uint64) (*ctrlFrame, error) {
+	if depth >= uint64(len(v.ctrls)) {
+		return nil, fmt.Errorf("branch depth %d out of range", depth)
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(depth)], nil
+}
+
+func (v *validator) localType(idx uint64) (ValType, error) {
+	if idx >= uint64(len(v.locals)) {
+		return 0, fmt.Errorf("local index %d out of range", idx)
+	}
+	return v.locals[idx], nil
+}
+
+func (v *validator) globalType(idx uint64) (GlobalType, error) {
+	if idx >= uint64(len(v.m.Globals)) {
+		return GlobalType{}, fmt.Errorf("global index %d out of range", idx)
+	}
+	return v.m.Globals[idx].Type, nil
+}
+
+func (v *validator) instr(in Instr) error {
+	// Simple (fixed-signature) instructions are table-driven.
+	if sig, ok := simpleSigs[in.Op]; ok {
+		if err := v.popVals(sig.in); err != nil {
+			return err
+		}
+		v.pushVals(sig.out)
+		return nil
+	}
+	switch in.Op {
+	case OpNop:
+	case OpUnreachable:
+		v.unreachable()
+	case OpBlock, OpLoop:
+		v.pushCtrl(in.Op, BlockType(in.A).Results())
+	case OpIf:
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		v.pushCtrl(OpIf, BlockType(in.A).Results())
+	case OpElse:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.op != OpIf {
+			return errors.New("else without if")
+		}
+		v.pushCtrl(OpElse, frame.results)
+	case OpEnd:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.op == OpIf && len(frame.results) != 0 {
+			return errors.New("if with result type requires an else arm")
+		}
+		v.pushVals(frame.results)
+	case OpBr:
+		frame, err := v.frameAt(in.A)
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(frame.labelTypes()); err != nil {
+			return err
+		}
+		v.unreachable()
+	case OpBrIf:
+		frame, err := v.frameAt(in.A)
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		lt := frame.labelTypes()
+		if err := v.popVals(lt); err != nil {
+			return err
+		}
+		v.pushVals(lt)
+	case OpBrTable:
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		def, err := v.frameAt(in.A)
+		if err != nil {
+			return err
+		}
+		arity := len(def.labelTypes())
+		for _, t := range in.Table {
+			frame, err := v.frameAt(uint64(t))
+			if err != nil {
+				return err
+			}
+			if len(frame.labelTypes()) != arity {
+				return errors.New("br_table label arity mismatch")
+			}
+		}
+		if err := v.popVals(def.labelTypes()); err != nil {
+			return err
+		}
+		v.unreachable()
+	case OpReturn:
+		if err := v.popVals(v.ctrls[0].results); err != nil {
+			return err
+		}
+		v.unreachable()
+	case OpCall:
+		ft, err := v.m.FuncTypeAt(uint32(in.A))
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case OpCallIndirect:
+		if !v.m.HasTable && !v.hasImportedTable() {
+			return errors.New("call_indirect without table")
+		}
+		if int(in.A) >= len(v.m.Types) {
+			return fmt.Errorf("type index %d out of range", in.A)
+		}
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		ft := v.m.Types[in.A]
+		if err := v.popVals(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case OpDrop:
+		if _, err := v.popVal(); err != nil {
+			return err
+		}
+	case OpSelect:
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		t1, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		t2, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		if t1 != t2 && t1 != unknownType && t2 != unknownType {
+			return errors.New("select operands differ in type")
+		}
+		if t1 == unknownType {
+			v.pushVal(t2)
+		} else {
+			v.pushVal(t1)
+		}
+	case OpLocalGet:
+		t, err := v.localType(in.A)
+		if err != nil {
+			return err
+		}
+		v.pushVal(t)
+	case OpLocalSet:
+		t, err := v.localType(in.A)
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(t); err != nil {
+			return err
+		}
+	case OpLocalTee:
+		t, err := v.localType(in.A)
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(t); err != nil {
+			return err
+		}
+		v.pushVal(t)
+	case OpGlobalGet:
+		gt, err := v.globalType(in.A)
+		if err != nil {
+			return err
+		}
+		v.pushVal(gt.Type)
+	case OpGlobalSet:
+		gt, err := v.globalType(in.A)
+		if err != nil {
+			return err
+		}
+		if !gt.Mutable {
+			return fmt.Errorf("global %d is immutable", in.A)
+		}
+		if _, err := v.popExpect(gt.Type); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unhandled opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (v *validator) hasImportedTable() bool {
+	for _, im := range v.m.Imports {
+		if im.Kind == ExternTable {
+			return true
+		}
+	}
+	return false
+}
+
+type sig struct {
+	in, out []ValType
+}
+
+var simpleSigs = buildSimpleSigs()
+
+func buildSimpleSigs() map[Opcode]sig {
+	m := make(map[Opcode]sig, 160)
+	un := func(op Opcode, a, r ValType) { m[op] = sig{[]ValType{a}, []ValType{r}} }
+	bin := func(op Opcode, a, r ValType) { m[op] = sig{[]ValType{a, a}, []ValType{r}} }
+
+	// Memory.
+	loads := map[Opcode]ValType{
+		OpI32Load: I32, OpI64Load: I64, OpF32Load: F32, OpF64Load: F64,
+		OpI32Load8S: I32, OpI32Load8U: I32, OpI32Load16S: I32, OpI32Load16U: I32,
+		OpI64Load8S: I64, OpI64Load8U: I64, OpI64Load16S: I64, OpI64Load16U: I64,
+		OpI64Load32S: I64, OpI64Load32U: I64,
+	}
+	for op, t := range loads {
+		un(op, I32, t)
+	}
+	stores := map[Opcode]ValType{
+		OpI32Store: I32, OpI64Store: I64, OpF32Store: F32, OpF64Store: F64,
+		OpI32Store8: I32, OpI32Store16: I32,
+		OpI64Store8: I64, OpI64Store16: I64, OpI64Store32: I64,
+	}
+	for op, t := range stores {
+		m[op] = sig{in: []ValType{I32, t}}
+	}
+	m[OpMemorySize] = sig{out: []ValType{I32}}
+	un(OpMemoryGrow, I32, I32)
+
+	// Constants.
+	m[OpI32Const] = sig{out: []ValType{I32}}
+	m[OpI64Const] = sig{out: []ValType{I64}}
+	m[OpF32Const] = sig{out: []ValType{F32}}
+	m[OpF64Const] = sig{out: []ValType{F64}}
+
+	// Comparisons.
+	un(OpI32Eqz, I32, I32)
+	for op := OpI32Eq; op <= OpI32GeU; op++ {
+		bin(op, I32, I32)
+	}
+	un(OpI64Eqz, I64, I32)
+	for op := OpI64Eq; op <= OpI64GeU; op++ {
+		bin(op, I64, I32)
+	}
+	for op := OpF32Eq; op <= OpF32Ge; op++ {
+		bin(op, F32, I32)
+	}
+	for op := OpF64Eq; op <= OpF64Ge; op++ {
+		bin(op, F64, I32)
+	}
+
+	// Numerics.
+	for op := OpI32Clz; op <= OpI32Popcnt; op++ {
+		un(op, I32, I32)
+	}
+	for op := OpI32Add; op <= OpI32Rotr; op++ {
+		bin(op, I32, I32)
+	}
+	for op := OpI64Clz; op <= OpI64Popcnt; op++ {
+		un(op, I64, I64)
+	}
+	for op := OpI64Add; op <= OpI64Rotr; op++ {
+		bin(op, I64, I64)
+	}
+	for op := OpF32Abs; op <= OpF32Sqrt; op++ {
+		un(op, F32, F32)
+	}
+	for op := OpF32Add; op <= OpF32Copysign; op++ {
+		bin(op, F32, F32)
+	}
+	for op := OpF64Abs; op <= OpF64Sqrt; op++ {
+		un(op, F64, F64)
+	}
+	for op := OpF64Add; op <= OpF64Copysign; op++ {
+		bin(op, F64, F64)
+	}
+
+	// Conversions.
+	un(OpI32WrapI64, I64, I32)
+	un(OpI32TruncF32S, F32, I32)
+	un(OpI32TruncF32U, F32, I32)
+	un(OpI32TruncF64S, F64, I32)
+	un(OpI32TruncF64U, F64, I32)
+	un(OpI64ExtendI32S, I32, I64)
+	un(OpI64ExtendI32U, I32, I64)
+	un(OpI64TruncF32S, F32, I64)
+	un(OpI64TruncF32U, F32, I64)
+	un(OpI64TruncF64S, F64, I64)
+	un(OpI64TruncF64U, F64, I64)
+	un(OpF32ConvertI32S, I32, F32)
+	un(OpF32ConvertI32U, I32, F32)
+	un(OpF32ConvertI64S, I64, F32)
+	un(OpF32ConvertI64U, I64, F32)
+	un(OpF32DemoteF64, F64, F32)
+	un(OpF64ConvertI32S, I32, F64)
+	un(OpF64ConvertI32U, I32, F64)
+	un(OpF64ConvertI64S, I64, F64)
+	un(OpF64ConvertI64U, I64, F64)
+	un(OpF64PromoteF32, F32, F64)
+	un(OpI32ReinterpretF32, F32, I32)
+	un(OpI64ReinterpretF64, F64, I64)
+	un(OpF32ReinterpretI32, I32, F32)
+	un(OpF64ReinterpretI64, I64, F64)
+	un(OpI32Extend8S, I32, I32)
+	un(OpI32Extend16S, I32, I32)
+	un(OpI64Extend8S, I64, I64)
+	un(OpI64Extend16S, I64, I64)
+	un(OpI64Extend32S, I64, I64)
+
+	return m
+}

@@ -1,0 +1,117 @@
+// Package workload generates the synthetic data sets of the paper's §8.2
+// micro-benchmarks: tables of integer and floating-point columns whose
+// values are uniformly distributed, shuffled, and pairwise independent.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/storage"
+	"wasmdb/internal/types"
+)
+
+// Spec describes one synthetic table.
+type Spec struct {
+	Name string
+	Rows int
+	// IntCols yields int32 columns i0, i1, ... with values uniform over
+	// [0, IntDomain) (the full int32 domain when IntDomain == 0).
+	IntCols   int
+	IntDomain int
+	// FloatCols yields float64 columns f0, f1, ... uniform over [0, 1).
+	FloatCols int
+	// GroupCols yields int32 columns g0, g1, ... with GroupDistinct
+	// distinct values each.
+	GroupCols     int
+	GroupDistinct int
+	Seed          int64
+}
+
+// Generate builds the table described by the spec.
+func Generate(spec Spec) *storage.Table {
+	var names []string
+	var ts []types.Type
+	for i := 0; i < spec.IntCols; i++ {
+		names = append(names, fmt.Sprintf("i%d", i))
+		ts = append(ts, types.TInt32)
+	}
+	for i := 0; i < spec.FloatCols; i++ {
+		names = append(names, fmt.Sprintf("f%d", i))
+		ts = append(ts, types.TFloat64)
+	}
+	for i := 0; i < spec.GroupCols; i++ {
+		names = append(names, fmt.Sprintf("g%d", i))
+		ts = append(ts, types.TInt32)
+	}
+	tbl := storage.NewTable(spec.Name, names, ts)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for _, c := range tbl.Columns {
+		c.Reserve(spec.Rows)
+	}
+	for r := 0; r < spec.Rows; r++ {
+		ci := 0
+		for i := 0; i < spec.IntCols; i++ {
+			var v int32
+			if spec.IntDomain > 0 {
+				v = int32(rng.Intn(spec.IntDomain))
+			} else {
+				v = int32(rng.Uint32())
+			}
+			tbl.Columns[ci].AppendInt32(v)
+			ci++
+		}
+		for i := 0; i < spec.FloatCols; i++ {
+			tbl.Columns[ci].AppendFloat64(rng.Float64())
+			ci++
+		}
+		for i := 0; i < spec.GroupCols; i++ {
+			tbl.Columns[ci].AppendInt32(int32(rng.Intn(spec.GroupDistinct)))
+			ci++
+		}
+	}
+	return tbl
+}
+
+// Catalog wraps the generated tables into a catalog.
+func Catalog(specs ...Spec) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	for _, s := range specs {
+		if err := cat.Add(Generate(s)); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// JoinPair generates the Fig. 8 join workload: table "build" with n rows and
+// table "probe" with m rows. For the foreign-key join, probe.fk references
+// build.pk uniformly; for the n:m join, both sides carry a non-key column
+// with the given number of distinct values so the join selectivity is
+// 1/distinct.
+func JoinPair(nBuild, nProbe, distinct int, seed int64) (*catalog.Catalog, error) {
+	rng := rand.New(rand.NewSource(seed))
+	build := storage.NewTable("build",
+		[]string{"pk", "nk", "payload"},
+		[]types.Type{types.TInt32, types.TInt32, types.TInt32})
+	for i := 0; i < nBuild; i++ {
+		build.AppendRow(types.NewInt32(int32(i)), types.NewInt32(int32(rng.Intn(distinct))),
+			types.NewInt32(int32(rng.Uint32())))
+	}
+	probe := storage.NewTable("probe",
+		[]string{"fk", "nk", "payload"},
+		[]types.Type{types.TInt32, types.TInt32, types.TInt32})
+	for i := 0; i < nProbe; i++ {
+		probe.AppendRow(types.NewInt32(int32(rng.Intn(nBuild))), types.NewInt32(int32(rng.Intn(distinct))),
+			types.NewInt32(int32(rng.Uint32())))
+	}
+	cat := catalog.New()
+	if err := cat.Add(build); err != nil {
+		return nil, err
+	}
+	if err := cat.Add(probe); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

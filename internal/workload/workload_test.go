@@ -1,0 +1,57 @@
+package workload
+
+import "testing"
+
+func TestGenerateShape(t *testing.T) {
+	tbl := Generate(Spec{Name: "t", Rows: 1000, IntCols: 2, IntDomain: 50,
+		FloatCols: 1, GroupCols: 1, GroupDistinct: 7, Seed: 3})
+	if tbl.Rows() != 1000 || len(tbl.Columns) != 4 {
+		t.Fatalf("shape: %d rows, %d cols", tbl.Rows(), len(tbl.Columns))
+	}
+	i0, _ := tbl.Column("i0")
+	f0, _ := tbl.Column("f0")
+	g0, _ := tbl.Column("g0")
+	groups := map[int32]bool{}
+	for i := 0; i < 1000; i++ {
+		if v := i0.I32At(i); v < 0 || v >= 50 {
+			t.Fatalf("i0 out of domain: %d", v)
+		}
+		if f := f0.F64At(i); f < 0 || f >= 1 {
+			t.Fatalf("f0 out of domain: %v", f)
+		}
+		groups[g0.I32At(i)] = true
+	}
+	if len(groups) != 7 {
+		t.Errorf("groups: %d, want 7", len(groups))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Name: "t", Rows: 500, IntCols: 1, Seed: 9})
+	b := Generate(Spec{Name: "t", Rows: 500, IntCols: 1, Seed: 9})
+	ca, _ := a.Column("i0")
+	cb, _ := b.Column("i0")
+	for i := 0; i < 500; i++ {
+		if ca.I32At(i) != cb.I32At(i) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestJoinPair(t *testing.T) {
+	cat, err := JoinPair(100, 400, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, _ := cat.Table("build")
+	probe, _ := cat.Table("probe")
+	if build.Rows() != 100 || probe.Rows() != 400 {
+		t.Fatalf("sizes: %d/%d", build.Rows(), probe.Rows())
+	}
+	fk, _ := probe.Column("fk")
+	for i := 0; i < 400; i++ {
+		if v := fk.I32At(i); v < 0 || v >= 100 {
+			t.Fatalf("fk out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package wasmdb is a main-memory SQL engine that compiles query plans to
+// WebAssembly and delegates JIT compilation, optimization, and adaptive
+// execution to an embedded two-tier engine — a from-scratch reproduction of
+//
+//	Haffner & Dittrich: "A Simplified Architecture for Fast, Adaptive
+//	Compilation and Execution of SQL Queries" (EDBT 2023).
+//
+// Queries run on one of four backends sharing the same parser, binder, and
+// planner:
+//
+//   - BackendWasm (the paper's architecture): data-centric compilation to
+//     Wasm with ad-hoc generated, monomorphic library code, executed
+//     adaptively (fast baseline tier first, optimizing tier swapped in
+//     morsel-wise as background compilation finishes);
+//   - BackendHyperLike: the HyPer-style comparison point — data-centric
+//     Wasm, but with type-agnostic library hash tables, callback sorting,
+//     predicated selection, and an LLVM-grade (slow) optimizing pipeline;
+//   - BackendVectorized: the MonetDB/X100-style comparison point —
+//     interpretation over pre-compiled generic vector kernels with
+//     selection vectors (zero per-query compilation);
+//   - BackendVolcano: tuple-at-a-time iterators with boxed values.
+package wasmdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/core"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/tpch"
+	"wasmdb/internal/types"
+	"wasmdb/internal/vectorized"
+	"wasmdb/internal/volcano"
+)
+
+// Backend selects a query execution architecture.
+type Backend int
+
+// Available backends.
+const (
+	// BackendWasm compiles to WebAssembly and executes adaptively
+	// (Liftoff-tier immediately, TurboFan-tier swapped in mid-query).
+	BackendWasm Backend = iota
+	// BackendWasmLiftoff forces baseline-tier-only execution.
+	BackendWasmLiftoff
+	// BackendWasmTurbofan compiles fully with the optimizing tier before
+	// executing.
+	BackendWasmTurbofan
+	// BackendHyperLike is the HyPer-style adaptive baseline.
+	BackendHyperLike
+	// BackendVectorized is the DuckDB/X100-style baseline.
+	BackendVectorized
+	// BackendVolcano is the PostgreSQL-style iterator baseline.
+	BackendVolcano
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendWasm:
+		return "wasm-adaptive"
+	case BackendWasmLiftoff:
+		return "wasm-liftoff"
+	case BackendWasmTurbofan:
+		return "wasm-turbofan"
+	case BackendHyperLike:
+		return "hyper-like"
+	case BackendVectorized:
+		return "vectorized"
+	case BackendVolcano:
+		return "volcano"
+	}
+	return "unknown"
+}
+
+// hyperOptRounds models LLVM-grade optimization cost for the HyPer-like
+// backend (cf. engine.Config.OptRounds).
+const hyperOptRounds = 10
+
+// DB is an in-memory database.
+type DB struct {
+	mu  sync.Mutex
+	cat *catalog.Catalog
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{cat: catalog.New()} }
+
+// LoadTPCH populates the database with TPC-H tables at the given scale
+// factor (deterministic for a fixed seed).
+func (db *DB) LoadTPCH(scaleFactor float64, seed int64) error {
+	cat, err := tpch.Generate(scaleFactor, seed)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, name := range cat.Names() {
+		t, _ := cat.Table(name)
+		if err := db.cat.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TPCHQuery returns the SQL text of a reproduced TPC-H query ("Q1", "Q3",
+// "Q6", "Q12", "Q14").
+func TPCHQuery(id string) (string, bool) {
+	q, ok := tpch.Queries[id]
+	return q, ok
+}
+
+// Exec runs a statement without a result set (CREATE TABLE, INSERT).
+func (db *DB) Exec(src string) error {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch x := st.(type) {
+	case *sql.CreateTableStmt:
+		var defs []catalog.ColumnDef
+		for _, c := range x.Columns {
+			defs = append(defs, catalog.ColumnDef{Name: c.Name, Type: c.Type})
+		}
+		_, err := db.cat.Create(x.Name, defs)
+		return err
+	case *sql.InsertStmt:
+		return db.execInsert(x)
+	case *sql.SelectStmt:
+		return fmt.Errorf("wasmdb: use Query for SELECT statements")
+	}
+	return fmt.Errorf("wasmdb: unsupported statement")
+}
+
+func (db *DB) execInsert(x *sql.InsertStmt) error {
+	tbl, err := db.cat.Table(x.Table)
+	if err != nil {
+		return err
+	}
+	for _, row := range x.Rows {
+		if len(row) != len(tbl.Columns) {
+			return fmt.Errorf("wasmdb: INSERT expects %d values, got %d", len(tbl.Columns), len(row))
+		}
+		vals := make([]types.Value, len(row))
+		for i, e := range row {
+			v, err := literalValue(e, tbl.Columns[i].Type)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func literalValue(e sql.Expr, t types.Type) (types.Value, error) {
+	switch x := e.(type) {
+	case *sql.IntLit:
+		switch t.Kind {
+		case types.Int32:
+			return types.NewInt32(int32(x.V)), nil
+		case types.Int64:
+			return types.NewInt64(x.V), nil
+		case types.Float64:
+			return types.NewFloat64(float64(x.V)), nil
+		case types.Decimal:
+			return types.NewDecimal(x.V*types.Pow10(t.Scale), t.Prec, t.Scale), nil
+		}
+	case *sql.FloatLit:
+		if t.Kind == types.Float64 {
+			return types.NewFloat64(x.V), nil
+		}
+	case *sql.NumericLit:
+		switch t.Kind {
+		case types.Float64:
+			raw, err := types.ParseDecimal(x.Text, 15)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewFloat64(float64(raw) / 1e15), nil
+		case types.Decimal:
+			raw, err := types.ParseDecimal(x.Text, t.Scale)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewDecimal(raw, t.Prec, t.Scale), nil
+		}
+	case *sql.StringLit:
+		if t.Kind == types.Char {
+			return types.NewChar(x.V, t.Length), nil
+		}
+	case *sql.BoolLit:
+		if t.Kind == types.Bool {
+			return types.NewBool(x.V), nil
+		}
+	case *sql.DateLit:
+		if t.Kind == types.Date {
+			return types.NewDate(x.Days), nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("wasmdb: literal incompatible with column type %s", t)
+}
+
+// Option configures a Query call.
+type Option func(*queryOpts)
+
+type queryOpts struct {
+	backend    Backend
+	morselRows int
+	wait       bool
+}
+
+// WithBackend selects the execution backend (default BackendWasm).
+func WithBackend(b Backend) Option { return func(o *queryOpts) { o.backend = b } }
+
+// WithMorselRows overrides the morsel size for the Wasm backends.
+func WithMorselRows(n int) Option { return func(o *queryOpts) { o.morselRows = n } }
+
+// WithWaitOptimized blocks execution until background optimization
+// completes — useful when benchmarking pure optimized-tier throughput.
+func WithWaitOptimized() Option { return func(o *queryOpts) { o.wait = true } }
+
+// Stats describes where query time went.
+type Stats struct {
+	Backend Backend
+	// Translate is SQL→plan→Wasm code generation time.
+	Translate time.Duration
+	// Liftoff and Turbofan are the engine's compile times for each tier
+	// (zero for backends that do not compile).
+	Liftoff  time.Duration
+	Turbofan time.Duration
+	// Execute is pipeline execution time (includes instantiation).
+	Execute time.Duration
+	// MorselsLiftoff / MorselsTurbofan count morsel calls served by each
+	// tier under adaptive execution.
+	MorselsLiftoff  uint64
+	MorselsTurbofan uint64
+	// ModuleBytes is the size of the generated Wasm module.
+	ModuleBytes int
+}
+
+// Result is a decoded result set.
+type Result struct {
+	Columns []string
+	rows    [][]types.Value
+	Stats   Stats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// Row renders row i as strings.
+func (r *Result) Row(i int) []string {
+	out := make([]string, len(r.rows[i]))
+	for c, v := range r.rows[i] {
+		out[c] = v.String()
+	}
+	return out
+}
+
+// Value returns the raw value at (row, col): int64/float64/string/bool.
+func (r *Result) Value(row, col int) any {
+	v := r.rows[row][col]
+	switch v.Type.Kind {
+	case types.Bool:
+		return v.I != 0
+	case types.Float64:
+		return v.F
+	case types.Char:
+		return v.S
+	case types.Decimal:
+		return float64(v.I) / float64(types.Pow10(v.Type.Scale))
+	case types.Date:
+		return types.FormatDate(int32(v.I))
+	default:
+		return v.I
+	}
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(r.rows))
+	for i := range r.rows {
+		rendered[i] = r.Row(i)
+		for c, s := range rendered[i] {
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	sb.WriteString("\n")
+	for i := range r.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	sb.WriteString("\n")
+	for _, row := range rendered {
+		for c, s := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[c], s)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Query plans and executes a SELECT statement.
+func (db *DB) Query(src string, opts ...Option) (*Result, error) {
+	o := queryOpts{}
+	for _, f := range opts {
+		f(&o)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	t0 := time.Now()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := sema.Analyze(stmt, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Stats: Stats{Backend: o.backend}}
+	for _, oc := range q.Select {
+		res.Columns = append(res.Columns, oc.Name)
+	}
+
+	switch o.backend {
+	case BackendVolcano:
+		res.Stats.Translate = time.Since(t0)
+		t1 := time.Now()
+		_, rows, err := volcano.Run(q, p)
+		if err != nil {
+			return nil, err
+		}
+		res.rows = rows
+		res.Stats.Execute = time.Since(t1)
+	case BackendVectorized:
+		res.Stats.Translate = time.Since(t0)
+		t1 := time.Now()
+		_, rows, _, err := vectorized.Run(q, p)
+		if err != nil {
+			return nil, err
+		}
+		res.rows = rows
+		res.Stats.Execute = time.Since(t1)
+	default:
+		style := core.Style{}
+		cfg := engine.Config{}
+		switch o.backend {
+		case BackendWasm:
+			cfg.Tier = engine.TierAdaptive
+		case BackendWasmLiftoff:
+			cfg.Tier = engine.TierLiftoff
+		case BackendWasmTurbofan:
+			cfg.Tier = engine.TierTurbofan
+		case BackendHyperLike:
+			cfg.Tier = engine.TierAdaptive
+			cfg.OptRounds = hyperOptRounds
+			style = core.Style{LibraryHT: true, LibrarySort: true, PredicatedSelection: true}
+		}
+		cq, err := core.CompileStyled(q, p, style)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Translate = time.Since(t0)
+		res.Stats.ModuleBytes = len(cq.Bin)
+		t1 := time.Now()
+		out, st, err := core.Execute(cq, q, engine.New(cfg), core.ExecOptions{
+			MorselRows:    o.morselRows,
+			WaitOptimized: o.wait,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.rows = out.Rows
+		res.Stats.Execute = time.Since(t1)
+		res.Stats.Liftoff = st.Engine.Liftoff
+		res.Stats.Turbofan = st.Engine.Turbofan
+		res.Stats.MorselsLiftoff = st.MorselsLiftoff
+		res.Stats.MorselsTurbofan = st.MorselsTurbofan
+	}
+	return res, nil
+}
+
+// Explain returns the physical plan and its pipeline dissection.
+func (db *DB) Explain(src string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		return "", err
+	}
+	q, err := sema.Analyze(stmt, db.cat)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(plan.Describe(p))
+	sb.WriteString("\npipelines (topological order):\n")
+	for i, pl := range plan.Pipelines(p) {
+		fmt.Fprintf(&sb, "  %d: %s\n", i+1, pl)
+	}
+	return sb.String(), nil
+}
+
+// ExplainWAT returns the WebAssembly (text form) generated for a query —
+// the module the engine JIT-compiles, including the ad-hoc generated
+// library code (hash tables, quicksort, string matchers).
+func (db *DB) ExplainWAT(src string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		return "", err
+	}
+	q, err := sema.Analyze(stmt, db.cat)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		return "", err
+	}
+	cq, err := core.Compile(q, p)
+	if err != nil {
+		return "", err
+	}
+	return cq.WAT(), nil
+}
