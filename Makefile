@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test verify fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the CI gate: compile everything, lint with vet, and run the full
+# suite under the race detector (the guardrail watchdog and background
+# tier-up are concurrency-heavy paths).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# fuzz the adversarial-module executor for a short budget.
+fuzz:
+	$(GO) test . -run '^$$' -fuzz FuzzAdversarialModuleExecution -fuzztime 30s

@@ -2,6 +2,7 @@
 //
 //	wasmdb                 # empty database
 //	wasmdb -tpch 0.01      # preloaded with TPC-H at the given scale factor
+//	wasmdb -timeout 5s     # per-query wall-clock budget
 //
 // Meta commands:
 //
@@ -18,14 +19,17 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"wasmdb"
 )
 
 func main() {
 	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (0 disables)")
 	flag.Parse()
 
 	db := wasmdb.Open()
@@ -36,15 +40,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	repl(db, os.Stdin, os.Stdout, *timeout)
+}
 
-	backend := wasmdb.BackendWasm
-	timing := false
-	sc := bufio.NewScanner(os.Stdin)
+// shell holds the REPL's mutable session state.
+type shell struct {
+	db      *wasmdb.DB
+	out     io.Writer
+	backend wasmdb.Backend
+	timing  bool
+	timeout time.Duration
+}
+
+// repl reads statements from in and writes results to out until EOF or \q.
+// Every failure — parse error, trap, timeout, even an engine panic — is
+// printed and the loop continues; a bad query must never kill the shell.
+func repl(db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration) {
+	sh := &shell{db: db, out: out, backend: wasmdb.BackendWasm, timeout: timeout}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
-	fmt.Println("wasmdb shell — SQL → WebAssembly → adaptive execution. \\q to quit.")
+	fmt.Fprintln(out, "wasmdb shell — SQL → WebAssembly → adaptive execution. \\q to quit.")
 	for {
-		fmt.Printf("%s> ", backend)
+		fmt.Fprintf(out, "%s> ", sh.backend)
 		if !sc.Scan() {
 			break
 		}
@@ -53,89 +71,100 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if !meta(db, line, &backend, &timing) {
+			if !sh.meta(line) {
 				return
 			}
 			continue
 		}
-		runSQL(db, line, backend, timing)
+		sh.runSQL(line)
 	}
 }
 
-func meta(db *wasmdb.DB, line string, backend *wasmdb.Backend, timing *bool) bool {
+func (sh *shell) meta(line string) bool {
 	cmd, arg, _ := strings.Cut(line, " ")
 	arg = strings.TrimSpace(arg)
 	switch cmd {
 	case "\\q", "\\quit":
 		return false
 	case "\\timing":
-		*timing = !*timing
-		fmt.Printf("timing %v\n", *timing)
+		sh.timing = !sh.timing
+		fmt.Fprintf(sh.out, "timing %v\n", sh.timing)
 	case "\\backend":
 		switch arg {
 		case "wasm", "adaptive":
-			*backend = wasmdb.BackendWasm
+			sh.backend = wasmdb.BackendWasm
 		case "liftoff":
-			*backend = wasmdb.BackendWasmLiftoff
+			sh.backend = wasmdb.BackendWasmLiftoff
 		case "turbofan":
-			*backend = wasmdb.BackendWasmTurbofan
+			sh.backend = wasmdb.BackendWasmTurbofan
 		case "hyper":
-			*backend = wasmdb.BackendHyperLike
+			sh.backend = wasmdb.BackendHyperLike
 		case "vectorized":
-			*backend = wasmdb.BackendVectorized
+			sh.backend = wasmdb.BackendVectorized
 		case "volcano":
-			*backend = wasmdb.BackendVolcano
+			sh.backend = wasmdb.BackendVolcano
 		default:
-			fmt.Println("backends: wasm, liftoff, turbofan, hyper, vectorized, volcano")
+			fmt.Fprintln(sh.out, "backends: wasm, liftoff, turbofan, hyper, vectorized, volcano")
 		}
 	case "\\explain":
-		out, err := db.Explain(arg)
+		out, err := sh.db.Explain(arg)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(sh.out, "error:", err)
 		} else {
-			fmt.Print(out)
+			fmt.Fprint(sh.out, out)
 		}
 	case "\\wat":
-		out, err := db.ExplainWAT(arg)
+		out, err := sh.db.ExplainWAT(arg)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(sh.out, "error:", err)
 		} else {
-			fmt.Print(out)
+			fmt.Fprint(sh.out, out)
 		}
 	case "\\tpch":
 		src, ok := wasmdb.TPCHQuery(strings.ToUpper(arg))
 		if !ok {
-			fmt.Println("known queries: Q1, Q3, Q6, Q12, Q14")
+			fmt.Fprintln(sh.out, "known queries: Q1, Q3, Q6, Q12, Q14")
 			return true
 		}
-		fmt.Println(src)
-		runSQL(db, src, *backend, *timing)
+		fmt.Fprintln(sh.out, src)
+		sh.runSQL(src)
 	default:
-		fmt.Println("meta commands: \\backend, \\explain, \\wat, \\timing, \\tpch, \\q")
+		fmt.Fprintln(sh.out, "meta commands: \\backend, \\explain, \\wat, \\timing, \\tpch, \\q")
 	}
 	return true
 }
 
-func runSQL(db *wasmdb.DB, src string, backend wasmdb.Backend, timing bool) {
+func (sh *shell) runSQL(src string) {
+	// Last line of defense: whatever escapes the engine's own panic
+	// isolation is reported like any other error and the shell lives on.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(sh.out, "error: internal panic: %v\n", r)
+		}
+	}()
 	upper := strings.ToUpper(strings.TrimSpace(src))
 	if strings.HasPrefix(upper, "CREATE") || strings.HasPrefix(upper, "INSERT") {
-		if err := db.Exec(src); err != nil {
-			fmt.Println("error:", err)
+		if err := sh.db.Exec(src); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
 		} else {
-			fmt.Println("ok")
+			fmt.Fprintln(sh.out, "ok")
 		}
 		return
 	}
-	res, err := db.Query(src, wasmdb.WithBackend(backend))
+	opts := []wasmdb.Option{wasmdb.WithBackend(sh.backend)}
+	if sh.timeout > 0 {
+		opts = append(opts, wasmdb.WithTimeout(sh.timeout))
+	}
+	res, err := sh.db.Query(src, opts...)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(sh.out, "error:", err)
 		return
 	}
-	fmt.Print(res.Format())
-	fmt.Printf("(%d rows)\n", res.NumRows())
-	if timing {
+	fmt.Fprint(sh.out, res.Format())
+	fmt.Fprintf(sh.out, "(%d rows)\n", res.NumRows())
+	if sh.timing {
 		s := res.Stats
-		fmt.Printf("translate=%v liftoff=%v turbofan=%v execute=%v morsels(lo/tf)=%d/%d module=%dB\n",
+		fmt.Fprintf(sh.out, "translate=%v liftoff=%v turbofan=%v execute=%v morsels(lo/tf)=%d/%d module=%dB\n",
 			s.Translate, s.Liftoff, s.Turbofan, s.Execute, s.MorselsLiftoff, s.MorselsTurbofan, s.ModuleBytes)
 	}
 }

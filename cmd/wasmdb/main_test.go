@@ -1,0 +1,92 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"wasmdb"
+	"wasmdb/internal/faultpoint"
+)
+
+// TestReplSurvivesFailedQueries drives a scripted session through every
+// failure class — parse error, semantic error, guest trap via fuel, timeout
+// — and asserts each prints an error while the shell keeps serving.
+func TestReplSurvivesFailedQueries(t *testing.T) {
+	db := wasmdb.Open()
+	script := strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1),(2),(3)",
+		"SELECT a FROM",          // parse error
+		"SELECT missing FROM t",  // unknown column
+		"SELECT nope FROM nada",  // unknown table
+		"\\backend bogus",        // bad meta argument
+		"SELECT COUNT(*) FROM t", // still works
+		"\\q",
+	}, "\n")
+	var out strings.Builder
+	repl(db, strings.NewReader(script), &out, 0)
+	got := out.String()
+
+	if n := strings.Count(got, "error:"); n != 3 {
+		t.Errorf("printed %d errors, want 3:\n%s", n, got)
+	}
+	// The good query after the failures produced its result (3 rows counted).
+	if !strings.Contains(got, "3") || !strings.Contains(got, "(1 rows)") {
+		t.Errorf("query after failures produced no result:\n%s", got)
+	}
+	if strings.Count(got, "ok\n") != 2 {
+		t.Errorf("CREATE/INSERT acknowledgements missing:\n%s", got)
+	}
+}
+
+// TestReplSurvivesTimeout runs a runaway query under the shell's per-query
+// timeout: the error is printed, and the next query still answers.
+func TestReplSurvivesTimeout(t *testing.T) {
+	db := wasmdb.Open()
+	faultpoint.Enable("core-infinite-loop", faultpoint.Always(errors.New("arm")))
+	defer faultpoint.Disable("core-infinite-loop")
+
+	var out strings.Builder
+	repl(db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1)",
+		"SELECT COUNT(*) FROM t", // spins forever until the timeout fires
+	}, "\n")), &out, 50*time.Millisecond)
+	if !strings.Contains(out.String(), "deadline exceeded") {
+		t.Errorf("timeout not reported:\n%s", out.String())
+	}
+
+	faultpoint.Disable("core-infinite-loop")
+	out.Reset()
+	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond)
+	if !strings.Contains(out.String(), "(1 rows)") {
+		t.Errorf("shell unusable after timeout:\n%s", out.String())
+	}
+}
+
+// TestReplContainsPanics: even a panic that escapes the engine's isolation
+// is caught at the shell's prompt loop.
+func TestReplSurvivesEnginePanic(t *testing.T) {
+	db := wasmdb.Open()
+	faultpoint.Enable("engine-call-panic", faultpoint.Always(errors.New("simulated engine bug")))
+	defer faultpoint.Disable("engine-call-panic")
+
+	var out strings.Builder
+	repl(db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1)",
+		"SELECT COUNT(*) FROM t",
+	}, "\n")), &out, 0)
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("engine panic not reported as error:\n%s", out.String())
+	}
+
+	faultpoint.Disable("engine-call-panic")
+	out.Reset()
+	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0)
+	if !strings.Contains(out.String(), "(1 rows)") {
+		t.Errorf("shell unusable after engine panic:\n%s", out.String())
+	}
+}

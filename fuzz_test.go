@@ -1,12 +1,18 @@
 package wasmdb_test
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"wasmdb"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/engine/rt"
+	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/wasm"
 )
 
 // TestRandomQueryDifferential generates random queries from a small grammar
@@ -178,4 +184,154 @@ func TestFeatureMatrix(t *testing.T) {
 	if !strings.Contains(wat, "(module") {
 		t.Error("no module generated")
 	}
+}
+
+// FuzzAdversarialModuleExecution builds a syntactically valid but
+// semantically hostile Wasm module from the fuzz input and executes it under
+// every tier with fuel and memory budgets armed. The properties under test:
+// no panic ever escapes the engine's call boundary, every failure is a typed
+// error, and the instance survives to serve a well-behaved function
+// afterwards. The generator deliberately emits wild addresses, division by
+// fuzz-chosen constants, unbounded memory growth, and (rarely) genuine
+// infinite loops — the fuel budget must contain all of it.
+func FuzzAdversarialModuleExecution(f *testing.F) {
+	f.Add([]byte{0x01, 0x40, 0x80, 0xFF, 0x07, 0x13})
+	f.Add([]byte("divide and conquer"))
+	f.Add([]byte{0xE0, 0xE0, 0xE0}) // loop-heavy
+	f.Add(bytes.Repeat([]byte{0x55, 0xAA}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bin := buildAdversarialModule(data)
+		for _, tier := range []engine.Tier{engine.TierLiftoff, engine.TierTurbofan, engine.TierAdaptive} {
+			m, err := engine.New(engine.Config{Tier: tier}).Compile(bin)
+			if err != nil {
+				// The generator should only emit valid modules; a rejection
+				// is a generator bug worth knowing about.
+				t.Fatalf("%v: generated module rejected: %v", tier, err)
+			}
+			inst, err := m.Instantiate(engine.Imports{})
+			if err != nil {
+				t.Fatalf("%v: instantiate: %v", tier, err)
+			}
+			inst.SetFuel(200_000)
+			inst.SetMemoryBudget(64)
+			if _, err := inst.Call("adv"); err != nil {
+				// Traps, fuel exhaustion, and memory limits are legitimate
+				// outcomes for hostile code — but only as typed errors.
+				switch {
+				case errors.Is(err, engine.ErrFuelExhausted),
+					errors.Is(err, engine.ErrMemoryLimit):
+				default:
+					var te *rt.TrapError
+					var mt *wmem.Trap
+					if !errors.As(err, &te) && !errors.As(err, &mt) {
+						t.Fatalf("%v: adv failed with untyped error %T: %v", tier, err, err)
+					}
+				}
+			}
+			// The guardrail invariant: whatever the adversarial function
+			// did, the instance still answers.
+			inst.SetFuel(10_000)
+			got, err := inst.Call("ok")
+			if err != nil || got[0] != 42 {
+				t.Fatalf("%v: instance unusable after adversarial call: %v %v", tier, got, err)
+			}
+			if err := m.WaitOptimized(); err != nil {
+				t.Fatalf("%v: background compile failed on valid module: %v", tier, err)
+			}
+		}
+	})
+}
+
+// buildAdversarialModule translates fuzz bytes into a valid module with an
+// "adv" function (the hostile payload) and an "ok" function (the liveness
+// probe). A simulated operand-stack depth keeps the emission well-typed.
+func buildAdversarialModule(data []byte) []byte {
+	b := wasm.NewModuleBuilder()
+	b.AddMemory(1, 128)
+
+	adv := b.NewFunc("adv", wasm.FuncType{Results: []wasm.ValType{wasm.I64}})
+	depth := 0
+	live := true // false once an infinite loop makes the rest unreachable
+	ctr := adv.AddLocal(wasm.I64)
+	for i := 0; i < len(data) && live; i++ {
+		op := data[i]
+		var imm int64 = int64(op) * 0x9E3779B9 // spread fuzz bytes around
+		if i+1 < len(data) {
+			imm = int64(op)<<8 | int64(data[i+1])
+		}
+		switch {
+		case depth < 2 || op < 0x30: // push a constant
+			adv.I64Const(imm)
+			depth++
+		case op < 0x60: // arithmetic, including trapping division
+			ops := []wasm.Opcode{wasm.OpI64Add, wasm.OpI64Sub, wasm.OpI64Mul,
+				wasm.OpI64DivS, wasm.OpI64RemU, wasm.OpI64Xor, wasm.OpI64Shl}
+			adv.Op(ops[int(op)%len(ops)])
+			depth--
+		case op < 0x80: // load from a fuzz-chosen (usually wild) address
+			adv.Op(wasm.OpI32WrapI64)
+			adv.I64Load(uint32(op))
+			// depth unchanged: pops address, pushes value
+		case op < 0x98: // store through a fuzz-chosen address
+			adv.Op(wasm.OpI32WrapI64)
+			adv.I64Const(imm)
+			adv.I64Store(0)
+			depth--
+		case op < 0xB0: // memory.grow by a fuzz-chosen page count
+			adv.Op(wasm.OpI32WrapI64)
+			adv.MemoryGrow()
+			adv.Op(wasm.OpI64ExtendI32U)
+		case op < 0xC8: // complete if/else unit consuming one value
+			adv.Op(wasm.OpI32WrapI64)
+			adv.If(wasm.BlockOf(wasm.I64))
+			adv.I64Const(imm)
+			adv.Else()
+			adv.I64Const(-imm)
+			adv.End()
+		case op < 0xF0: // bounded counting loop (fuel-charged back edge)
+			adv.I64Const(int64(op&0x3F) + 1)
+			adv.LocalSet(ctr)
+			adv.Loop(wasm.BlockVoid)
+			adv.LocalGet(ctr)
+			adv.I64Const(1)
+			adv.Op(wasm.OpI64Sub)
+			adv.LocalTee(ctr)
+			adv.Op(wasm.OpI64Eqz)
+			adv.Op(wasm.OpI32Eqz)
+			adv.BrIf(0)
+			adv.End()
+		default: // rare: genuine infinite loop; only fuel can stop this
+			for depth > 1 {
+				adv.Op(wasm.OpI64Xor)
+				depth--
+			}
+			if depth == 1 {
+				adv.Drop()
+				depth--
+			}
+			adv.Loop(wasm.BlockVoid)
+			adv.Br(0)
+			adv.End()
+			live = false
+		}
+	}
+	if live {
+		for depth > 1 {
+			adv.Op(wasm.OpI64Xor)
+			depth--
+		}
+		if depth == 0 {
+			adv.I64Const(0)
+		}
+	} else {
+		// Unreachable dead code still has to satisfy the validator.
+		adv.I64Const(0)
+	}
+	b.Export("adv", wasm.ExternFunc, adv.Index)
+
+	ok := b.NewFunc("ok", wasm.FuncType{Results: []wasm.ValType{wasm.I64}})
+	ok.I64Const(42)
+	b.Export("ok", wasm.ExternFunc, ok.Index)
+	return b.Bytes()
 }

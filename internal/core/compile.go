@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"wasmdb/internal/faultpoint"
 	"wasmdb/internal/plan"
 	"wasmdb/internal/sema"
 	"wasmdb/internal/types"
@@ -160,6 +161,11 @@ type compiler struct {
 	// initSteps are emitted into the exported q_init function.
 	initSteps []func(g *gen)
 
+	// err records the first failure raised from deep inside expression
+	// emitters (which have no error return path); compile checks it before
+	// validating the module.
+	err error
+
 	// Per-query result layout.
 	resultLayout tupleLayout
 }
@@ -237,6 +243,10 @@ func (c *compiler) compile(root plan.Node) error {
 		c.b.AddData(constBase, c.constData)
 	}
 
+	if c.err != nil {
+		return c.err
+	}
+
 	mod := c.b.Module()
 	if len(c.tableFuncs) > 0 {
 		mod.HasTable = true
@@ -283,6 +293,15 @@ func (c *compiler) newPipeline(kind PipelineKind, tableIdx int, countGlobal uint
 	c.out.Pipelines = append(c.out.Pipelines, PipelineInfo{
 		Export: name, Kind: kind, TableIdx: tableIdx, CountGlobal: countGlobal,
 	})
+	if faultpoint.Hit("core-infinite-loop") != nil {
+		// Fault injection: open the pipeline with a spin loop, turning it
+		// into a well-typed runaway query (the rest of the body becomes dead
+		// code). Tests use this to prove fuel budgets and cancellation stop
+		// generated code the host otherwise cannot interrupt.
+		f.Loop(wasm.BlockVoid)
+		f.Br(0)
+		f.End()
+	}
 	return &gen{c: c, f: f}
 }
 

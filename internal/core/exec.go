@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"wasmdb/internal/engine"
 	"wasmdb/internal/engine/rt"
 	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/faultpoint"
 	"wasmdb/internal/sema"
 	"wasmdb/internal/types"
 	"wasmdb/internal/wasm"
@@ -29,6 +33,18 @@ type ExecOptions struct {
 	// the first morsel runs — used by benchmarks that want to measure pure
 	// TurboFan-tier execution under the adaptive configuration.
 	WaitOptimized bool
+	// Ctx cancels the query: between morsels via a direct check, and inside
+	// a running morsel via the instance's interrupt flag (metering is
+	// enabled automatically when Ctx is cancellable). nil means Background.
+	Ctx context.Context
+	// Fuel bounds execution to that many units (function entries plus taken
+	// loop back-edges); exhaustion fails the query with
+	// engine.ErrFuelExhausted. 0 means unlimited.
+	Fuel int64
+	// MemoryBudgetPages caps the query's linear memory (in 64 KiB pages);
+	// growth beyond it fails the query with engine.ErrMemoryLimit. 0 means
+	// no budget.
+	MemoryBudgetPages uint32
 }
 
 // ExecStats reports where time went, phase by phase (the paper's Fig. 10
@@ -64,6 +80,25 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	if opt.MorselRows <= 0 {
 		opt.MorselRows = DefaultMorselRows
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// wrapErr maps the interrupt trap raised by the cancellation watchdog
+	// back to the context's error, so callers see DeadlineExceeded/Canceled
+	// rather than an engine-internal trap.
+	wrapErr := func(err error) error {
+		if errors.Is(err, rt.ErrInterrupted) && ctx.Err() != nil {
+			return fmt.Errorf("core: query canceled: %w", ctx.Err())
+		}
+		return err
+	}
+	canceled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: query canceled: %w", err)
+		}
+		return nil
+	}
 
 	mod, err := eng.Compile(cq.Bin)
 	if err != nil {
@@ -86,6 +121,9 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 
 	t0 := time.Now()
 	mem := wmem.New(cq.MinPages, 65536)
+	if opt.MemoryBudgetPages > 0 {
+		mem.SetBudget(opt.MemoryBudgetPages)
+	}
 	for _, cm := range cq.Columns {
 		if chunked[cm.TableIdx] {
 			continue // mapped chunk-by-chunk while scanning
@@ -103,6 +141,9 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	// mapChunk rewires rows [start, start+n) of every referenced column of
 	// table ti into the column's window.
 	mapChunk := func(ti, start, n int) error {
+		if err := faultpoint.Hit("core-rewire"); err != nil {
+			return fmt.Errorf("core: chunk rewiring: %w", err)
+		}
 		for _, cm := range cq.Columns {
 			if cm.TableIdx != ti {
 				continue
@@ -154,15 +195,41 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: instantiate: %w", err)
 	}
+
+	// Fuel metering. A cancellable context needs metering too: the fuel
+	// checks double as interruption points, which is the only way to stop
+	// generated code in the middle of a morsel.
+	fuel := opt.Fuel
+	if fuel <= 0 && ctx.Done() != nil {
+		fuel = math.MaxInt64
+	}
+	if fuel > 0 {
+		inst.SetFuel(fuel)
+	}
+	if ctx.Done() != nil {
+		// Watchdog: flips the instance's interrupt flag when the context
+		// fires, trapping the in-flight call at its next fuel check.
+		watchdogDone := make(chan struct{})
+		defer close(watchdogDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				inst.Interrupt()
+			case <-watchdogDone:
+			}
+		}()
+	}
+
 	if _, err := inst.Call("q_init"); err != nil {
-		return nil, nil, fmt.Errorf("core: q_init: %w", err)
+		return nil, nil, fmt.Errorf("core: q_init: %w", wrapErr(err))
 	}
 	stats.Init = time.Since(t0)
 
 	if opt.WaitOptimized {
-		if err := mod.WaitOptimized(); err != nil {
-			return nil, nil, err
-		}
+		// A failed background compile is not a query error: affected
+		// functions keep running on baseline code, and the failure is
+		// visible in CompileStats.TurbofanFailed.
+		_ = mod.WaitOptimized()
 	}
 
 	t1 := time.Now()
@@ -180,7 +247,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			total = int(mem.U32(ctrl+4)) + 1
 		case PipeRunOnce:
 			if _, err := inst.Call(p.Export, 0, 0); err != nil {
-				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, err)
+				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, wrapErr(err))
 			}
 			continue
 		}
@@ -197,13 +264,19 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 					return nil, nil, err
 				}
 				for begin := 0; begin < ce-cs && !stop; begin += opt.MorselRows {
+					if err := canceled(); err != nil {
+						return nil, nil, err
+					}
 					end := begin + opt.MorselRows
 					if end > ce-cs {
 						end = ce - cs
 					}
+					if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
+						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, ferr)
+					}
 					r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
 					if err != nil {
-						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, err)
+						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, wrapErr(err))
 					}
 					stop = r[0] != 0
 				}
@@ -211,13 +284,19 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			continue
 		}
 		for begin := 0; begin < total && !stop; begin += opt.MorselRows {
+			if err := canceled(); err != nil {
+				return nil, nil, err
+			}
 			end := begin + opt.MorselRows
 			if end > total {
 				end = total
 			}
+			if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
+				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, ferr)
+			}
 			r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, err)
+				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, wrapErr(err))
 			}
 			stop = r[0] != 0
 		}

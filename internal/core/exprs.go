@@ -63,8 +63,11 @@ func (c *compiler) internString(s string) uint32 {
 	addr := constBase + c.constCursor
 	c.constData = append(c.constData, s...)
 	c.constCursor += uint32(len(s))
-	if c.constCursor > constSize {
-		panic("core: constant region overflow")
+	if c.constCursor > constSize && c.err == nil {
+		// No error return path through the expression emitters; record the
+		// failure for compile() to surface instead of panicking out of the
+		// public API.
+		c.err = fmt.Errorf("core: string constants exceed the %d-byte constant region", constSize)
 	}
 	c.constStrings[s] = addr
 	return addr

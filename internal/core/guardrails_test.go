@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"wasmdb/internal/engine"
+	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/workload"
+)
+
+func compileScanQuery(t *testing.T) (*CompiledQuery, *sema.Query) {
+	t.Helper()
+	cat, err := workload.Catalog(workload.Spec{Name: "t", Rows: 200_000, IntCols: 2, FloatCols: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sql.ParseSelect("SELECT COUNT(*), SUM(i1) FROM t WHERE i0 < 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq, q
+}
+
+func TestMorselFaultInjection(t *testing.T) {
+	cq, q := compileScanQuery(t)
+	boom := errors.New("injected morsel failure")
+	faultpoint.Enable("core-morsel", faultpoint.AtHit(3, boom))
+	defer faultpoint.Disable("core-morsel")
+	_, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}), ExecOptions{MorselRows: 10_000})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Execute returned %v, want injected failure", err)
+	}
+	if hits := faultpoint.Hits("core-morsel"); hits != 3 {
+		t.Errorf("query stopped after %d morsels, want 3", hits)
+	}
+}
+
+func TestRewireFaultInjection(t *testing.T) {
+	cq, q := compileScanQuery(t)
+	boom := errors.New("injected rewire failure")
+	faultpoint.Enable("core-rewire", faultpoint.AtHit(2, boom))
+	defer faultpoint.Disable("core-rewire")
+	_, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}), ExecOptions{ChunkRows: 65536})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Execute returned %v, want injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "rewiring") {
+		t.Errorf("error %q does not identify the rewiring phase", err)
+	}
+}
+
+func TestContextCanceledBetweenMorsels(t *testing.T) {
+	cq, q := compileScanQuery(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after the second morsel; the check between morsels must stop
+	// the scan without an interrupt ever firing mid-call.
+	faultpoint.Enable("core-morsel", func(hit int) error {
+		if hit == 2 {
+			cancel()
+		}
+		return nil
+	})
+	defer faultpoint.Disable("core-morsel")
+	_, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{MorselRows: 10_000, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute returned %v, want context.Canceled", err)
+	}
+	if hits := faultpoint.Hits("core-morsel"); hits > 3 {
+		t.Errorf("scan ran %d morsels after cancellation", hits)
+	}
+}

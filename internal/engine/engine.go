@@ -13,6 +13,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,8 +22,34 @@ import (
 	"wasmdb/internal/engine/rt"
 	"wasmdb/internal/engine/turbofan"
 	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/faultpoint"
 	"wasmdb/internal/wasm"
 )
+
+// Typed guardrail sentinels, re-exported so embedders need not import the
+// runtime packages. Match with errors.Is against any error returned from
+// Instance calls.
+var (
+	// ErrFuelExhausted reports that an instance ran out of its SetFuel budget.
+	ErrFuelExhausted = rt.ErrFuelExhausted
+	// ErrInterrupted reports that Interrupt stopped the instance mid-call.
+	ErrInterrupted = rt.ErrInterrupted
+	// ErrMemoryLimit reports that a SetMemoryBudget heap budget was exceeded.
+	ErrMemoryLimit = wmem.ErrMemoryLimit
+)
+
+// EngineError wraps a panic that escaped guest or engine code without being a
+// recognized trap — an engine bug rather than a guest fault. The call
+// boundary converts it into an error so one bad query cannot take down the
+// host process, and Stack preserves the evidence.
+type EngineError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("engine: internal panic: %v", e.Val)
+}
 
 // Tier selects the compilation strategy.
 type Tier int
@@ -86,6 +113,26 @@ type CompileStats struct {
 	Turbofan  time.Duration
 	CodeBytes int
 	NumFuncs  int
+	// TurbofanFailed counts functions whose background optimizing compile
+	// failed (error or panic); those functions keep serving liftoff code.
+	TurbofanFailed int
+}
+
+// safeTurbofanCompile runs the optimizing compiler with panic isolation: a
+// compiler bug on one function must degrade that function to baseline code,
+// not crash the process (under TierAdaptive the compile runs on a background
+// goroutine, where an escaped panic is fatal). The "turbofan-compile" fault
+// point lets tests force a failure here.
+func safeTurbofanCompile(m *wasm.Module, fn *wasm.Func, rounds int) (c rt.Callee, err error) {
+	if ferr := faultpoint.Hit("turbofan-compile"); ferr != nil {
+		return nil, ferr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, &EngineError{Val: r, Stack: debug.Stack()}
+		}
+	}()
+	return turbofan.CompileRounds(m, fn, rounds)
 }
 
 // guestFunc dispatches calls to the best available code for one function.
@@ -138,7 +185,7 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 	case TierTurbofan:
 		start := time.Now()
 		for i := range wmod.Funcs {
-			tf, err := turbofan.CompileRounds(wmod, &wmod.Funcs[i], e.optRounds())
+			tf, err := safeTurbofanCompile(wmod, &wmod.Funcs[i], e.optRounds())
 			if err != nil {
 				return nil, err
 			}
@@ -174,18 +221,21 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 func (m *Module) optimize(rounds int) {
 	start := time.Now()
 	var firstErr error
+	failed := 0
 	for i := range m.wmod.Funcs {
-		tf, err := turbofan.CompileRounds(m.wmod, &m.wmod.Funcs[i], rounds)
+		tf, err := safeTurbofanCompile(m.wmod, &m.wmod.Funcs[i], rounds)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
+			failed++
 			continue // keep running on liftoff code
 		}
 		m.funcs[i].code.Store(&tiered{tier: TierTurbofan, c: tf})
 	}
 	m.mu.Lock()
 	m.stats.Turbofan = time.Since(start)
+	m.stats.TurbofanFailed = failed
 	m.optErr = firstErr
 	m.mu.Unlock()
 	close(m.optimized)
@@ -356,14 +406,43 @@ func (i *Instance) CallIndex(idx uint32, args ...uint64) (results []uint64, err 
 			case *wmem.Trap:
 				err = t
 			default:
-				panic(r)
+				// Unknown panic: an engine bug, not a guest trap. Contain it
+				// as a typed error with the stack instead of crashing the
+				// host; Reset below leaves the instance reusable.
+				err = &EngineError{Val: r, Stack: debug.Stack()}
 			}
 			i.env.Reset()
 		}
 	}()
+	if ferr := faultpoint.Hit("engine-call-panic"); ferr != nil {
+		panic(ferr.Error())
+	}
 	res := make([]uint64, len(ft.Results))
 	i.env.Funcs[idx].Call(i.env, args, res)
 	return res, nil
+}
+
+// SetFuel installs an execution budget of n units on the instance (n <= 0
+// disables metering) and clears any pending interrupt. Fuel is charged per
+// function entry and per taken loop back-edge; exhaustion traps the current
+// call with ErrFuelExhausted and the instance stays usable after re-fueling.
+func (i *Instance) SetFuel(n int64) { i.env.SetFuel(n) }
+
+// FuelLeft reports the remaining fuel (-1 when unmetered).
+func (i *Instance) FuelLeft() int64 { return i.env.FuelLeft() }
+
+// Interrupt stops a metered instance at its next fuel check, trapping the
+// in-flight call with ErrInterrupted. Safe to call from another goroutine —
+// it is how context cancellation reaches inside a running morsel.
+func (i *Instance) Interrupt() { i.env.Interrupt() }
+
+// SetMemoryBudget caps the instance's linear memory at the given total size
+// in pages; a memory.grow beyond it traps with ErrMemoryLimit. Zero removes
+// the budget. No-op for instances without memory.
+func (i *Instance) SetMemoryBudget(pages uint32) {
+	if i.env.Mem != nil {
+		i.env.Mem.SetBudget(pages)
+	}
 }
 
 // TierCalls reports how many exported calls were served by each tier since

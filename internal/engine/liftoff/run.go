@@ -36,21 +36,31 @@ func (c *Code) run(env *rt.Env, frame []uint64) {
 	for {
 		in := ins[pc]
 		switch in.op {
-		// Control.
+		// Control. Taken backward jumps (loop back-edges) charge fuel so a
+		// runaway loop in generated code stays interruptible.
 		case uint16(wasm.OpUnreachable):
 			rt.Trap("unreachable executed")
 		case opJump:
+			if env.Metered && int(in.a) <= pc {
+				env.UseFuel(1)
+			}
 			pc = int(in.a)
 			continue
 		case opJumpIfZero:
 			sp--
 			if stack[sp] == 0 {
+				if env.Metered && int(in.a) <= pc {
+					env.UseFuel(1)
+				}
 				pc = int(in.a)
 				continue
 			}
 		case opJumpIfNot:
 			sp--
 			if stack[sp] != 0 {
+				if env.Metered && int(in.a) <= pc {
+					env.UseFuel(1)
+				}
 				pc = int(in.a)
 				continue
 			}
@@ -58,6 +68,9 @@ func (c *Code) run(env *rt.Env, frame []uint64) {
 			h, ar := int(in.b>>8), int(in.b&0xFF)
 			copy(stack[h:h+ar], stack[sp-ar:sp])
 			sp = h + ar
+			if env.Metered && int(in.a) <= pc {
+				env.UseFuel(1)
+			}
 			pc = int(in.a)
 			continue
 		case opBrIfUnwind:
@@ -66,6 +79,9 @@ func (c *Code) run(env *rt.Env, frame []uint64) {
 				h, ar := int(in.b>>8), int(in.b&0xFF)
 				copy(stack[h:h+ar], stack[sp-ar:sp])
 				sp = h + ar
+				if env.Metered && int(in.a) <= pc {
+					env.UseFuel(1)
+				}
 				pc = int(in.a)
 				continue
 			}
@@ -80,6 +96,9 @@ func (c *Code) run(env *rt.Env, frame []uint64) {
 			h, ar := int(t.height), int(t.arity)
 			copy(stack[h:h+ar], stack[sp-ar:sp])
 			sp = h + ar
+			if env.Metered && int(t.pc) <= pc {
+				env.UseFuel(1)
+			}
 			pc = int(t.pc)
 			continue
 		case opRet:

@@ -4,7 +4,9 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"wasmdb/internal/engine/wmem"
 	"wasmdb/internal/wasm"
@@ -12,6 +14,17 @@ import (
 
 // MaxCallDepth bounds guest recursion; exceeding it traps.
 const MaxCallDepth = 20000
+
+// ErrFuelExhausted reports that a fuel-metered instance ran out of its
+// execution budget. Both tiers consume fuel at loop back-edges and function
+// entries, so even generated code the host cannot otherwise interrupt
+// mid-morsel is bounded.
+var ErrFuelExhausted = errors.New("wasm trap: fuel exhausted")
+
+// ErrInterrupted reports that a fuel-metered instance was stopped by
+// Env.Interrupt — the mechanism behind context cancellation taking effect
+// inside a running morsel.
+var ErrInterrupted = errors.New("wasm trap: execution interrupted")
 
 // Callee is anything invocable by guest code: a tiered guest function or a
 // host function. Args and res may alias the caller's operand stack; a callee
@@ -43,16 +56,35 @@ type Env struct {
 	Table []uint32
 	Depth int
 
+	// Metered enables fuel accounting (set via SetFuel). The interpreters
+	// check it before touching the atomic counters so unmetered execution
+	// pays a single predictable branch per back-edge.
+	Metered bool
+
 	// arena is the shared value-stack arena for interpreter frames.
 	arena []uint64
 	top   int
+
+	// fuel is the remaining execution budget; interrupted is set by
+	// Interrupt from another goroutine (the executor's cancellation
+	// watchdog), hence both are atomics.
+	fuel        atomic.Int64
+	interrupted atomic.Bool
 }
 
 // TrapError is a non-memory trap (unreachable, division by zero, bad
-// conversion, indirect call failure, stack exhaustion).
-type TrapError struct{ Msg string }
+// conversion, indirect call failure, stack or fuel exhaustion).
+type TrapError struct {
+	Msg string
+	// Cause, when non-nil, is the typed sentinel behind the trap
+	// (ErrFuelExhausted, ErrInterrupted) reachable via errors.Is.
+	Cause error
+}
 
 func (t *TrapError) Error() string { return "wasm trap: " + t.Msg }
+
+// Unwrap exposes the typed cause to errors.Is/errors.As.
+func (t *TrapError) Unwrap() error { return t.Cause }
 
 // Trap panics with a TrapError; the engine recovers it at the call boundary.
 func Trap(format string, args ...any) {
@@ -87,11 +119,56 @@ func (e *Env) Reset() {
 	e.Depth = 0
 }
 
-// Enter increments the call depth, trapping on exhaustion.
+// SetFuel arms fuel metering with a budget of n units (n <= 0 disables
+// metering) and clears any pending interrupt. One unit is charged per
+// function entry and per taken loop back-edge.
+func (e *Env) SetFuel(n int64) {
+	e.Metered = n > 0
+	e.fuel.Store(n)
+	e.interrupted.Store(false)
+}
+
+// FuelLeft returns the remaining budget (0 when exhausted, -1 when
+// unmetered).
+func (e *Env) FuelLeft() int64 {
+	if !e.Metered {
+		return -1
+	}
+	if f := e.fuel.Load(); f > 0 {
+		return f
+	}
+	return 0
+}
+
+// Interrupt stops a metered instance at its next fuel check. It is safe to
+// call from another goroutine while guest code runs; the victim traps with
+// ErrInterrupted. Unmetered instances ignore it.
+func (e *Env) Interrupt() { e.interrupted.Store(true) }
+
+// UseFuel consumes n units when metering is enabled, trapping with
+// ErrInterrupted or ErrFuelExhausted. Callers on hot paths should gate on
+// e.Metered before calling.
+func (e *Env) UseFuel(n int64) {
+	if !e.Metered {
+		return
+	}
+	if e.interrupted.Load() {
+		panic(&TrapError{Msg: "execution interrupted", Cause: ErrInterrupted})
+	}
+	if e.fuel.Add(-n) < 0 {
+		panic(&TrapError{Msg: "fuel exhausted", Cause: ErrFuelExhausted})
+	}
+}
+
+// Enter increments the call depth, trapping on exhaustion, and charges one
+// unit of fuel when metered.
 func (e *Env) Enter() {
 	e.Depth++
 	if e.Depth > MaxCallDepth {
 		Trap("call stack exhausted")
+	}
+	if e.Metered {
+		e.UseFuel(1)
 	}
 }
 

@@ -38,15 +38,26 @@ func (c *Code) run(env *rt.Env, regs []uint64) {
 			uint16(wasm.OpF32Const), uint16(wasm.OpF64Const):
 			regs[t.d] = t.imm
 		case tJump:
+			// Taken backward jumps (loop back-edges) charge fuel so runaway
+			// loops stay interruptible; unmetered runs pay only the bool test.
+			if env.Metered && int(t.imm) <= pc {
+				env.UseFuel(1)
+			}
 			pc = int(t.imm)
 			continue
 		case tJumpIfZero:
 			if regs[t.a] == 0 {
+				if env.Metered && int(t.imm) <= pc {
+					env.UseFuel(1)
+				}
 				pc = int(t.imm)
 				continue
 			}
 		case tJumpIfNot:
 			if regs[t.a] != 0 {
+				if env.Metered && int(t.imm) <= pc {
+					env.UseFuel(1)
+				}
 				pc = int(t.imm)
 				continue
 			}
@@ -59,6 +70,9 @@ func (c *Code) run(env *rt.Env, regs []uint64) {
 			i := int(uint32(regs[t.a]))
 			if i >= len(tbl)-1 {
 				i = len(tbl) - 1
+			}
+			if env.Metered && int(tbl[i]) <= pc {
+				env.UseFuel(1)
 			}
 			pc = int(tbl[i])
 			continue
@@ -412,11 +426,17 @@ func (c *Code) run(env *rt.Env, regs []uint64) {
 			// Fused compare-and-branch families.
 			if t.op >= tBrCmpBase && t.op < tBrCmpBase+numCmpKinds {
 				if evalCmp(int(t.op-tBrCmpBase), regs[t.a], regs[t.b]) {
+					if env.Metered && int(t.imm) <= pc {
+						env.UseFuel(1)
+					}
 					pc = int(t.imm)
 					continue
 				}
 			} else if t.op >= tBrCmpNotBase && t.op < tBrCmpNotBase+numCmpKinds {
 				if !evalCmp(int(t.op-tBrCmpNotBase), regs[t.a], regs[t.b]) {
+					if env.Metered && int(t.imm) <= pc {
+						env.UseFuel(1)
+					}
 					pc = int(t.imm)
 					continue
 				}

@@ -13,7 +13,10 @@ package wmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+
+	"wasmdb/internal/faultpoint"
 )
 
 // PageSize is the WebAssembly page size.
@@ -22,16 +25,27 @@ const PageSize = 64 * 1024
 const pageShift = 16
 const pageMask = PageSize - 1
 
+// ErrMemoryLimit reports that a heap budget installed with SetBudget was
+// exceeded — the typed, host-visible form of "this query allocated too
+// much", as opposed to an opaque unreachable trap from guest allocator code.
+var ErrMemoryLimit = errors.New("wasm trap: memory budget exceeded")
+
 // Trap describes a memory access fault raised by guest code.
 type Trap struct {
 	Addr uint32
 	Size uint32
 	Msg  string
+	// Cause, when non-nil, is a typed sentinel (ErrMemoryLimit) reachable
+	// via errors.Is.
+	Cause error
 }
 
 func (t *Trap) Error() string {
 	return fmt.Sprintf("wasm trap: %s at address %#x (size %d)", t.Msg, t.Addr, t.Size)
 }
+
+// Unwrap exposes the typed cause to errors.Is/errors.As.
+func (t *Trap) Unwrap() error { return t.Cause }
 
 // Memory is a 32-bit addressable linear memory backed by a page table.
 // Pages are either module-owned (allocated by Grow or at construction) or
@@ -39,6 +53,10 @@ func (t *Trap) Error() string {
 type Memory struct {
 	pages    [][]byte
 	maxPages uint32
+	// budget, when non-zero, caps the total size in pages that Grow may
+	// reach; exceeding it traps with ErrMemoryLimit (unlike maxPages, whose
+	// wasm semantics silently return -1 to the guest).
+	budget uint32
 }
 
 // New creates a memory with min zero-initialized module-owned pages and the
@@ -70,13 +88,29 @@ func (m *Memory) PageSlice() [][]byte { return m.pages }
 // MaxPages returns the maximum size in pages.
 func (m *Memory) MaxPages() uint32 { return m.maxPages }
 
+// SetBudget installs a per-query heap budget: Grow traps with
+// ErrMemoryLimit once the memory would exceed budget pages in total. Zero
+// removes the budget. The budget is checked only on growth — pages already
+// allocated or host-mapped are unaffected.
+func (m *Memory) SetBudget(pages uint32) { m.budget = pages }
+
 // Grow extends the memory by delta zero-initialized module-owned pages,
-// returning the previous size in pages, or -1 if the maximum would be
-// exceeded (the semantics of memory.grow).
+// returning the previous size in pages, or -1 if the wasm maximum would be
+// exceeded (the semantics of memory.grow). Exceeding a host-installed
+// budget (SetBudget) instead traps with a typed ErrMemoryLimit cause.
 func (m *Memory) Grow(delta uint32) int32 {
 	old := uint32(len(m.pages))
+	if err := faultpoint.Hit("wmem-grow"); err != nil {
+		panic(&Trap{Msg: err.Error(), Cause: ErrMemoryLimit})
+	}
 	if uint64(old)+uint64(delta) > uint64(m.maxPages) {
 		return -1
+	}
+	if m.budget > 0 && uint64(old)+uint64(delta) > uint64(m.budget) {
+		panic(&Trap{
+			Msg:   fmt.Sprintf("memory budget of %d pages exceeded growing %d pages from %d", m.budget, delta, old),
+			Cause: ErrMemoryLimit,
+		})
 	}
 	for i := uint32(0); i < delta; i++ {
 		m.pages = append(m.pages, make([]byte, PageSize))

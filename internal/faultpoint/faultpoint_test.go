@@ -1,0 +1,51 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	if err := Hit("nope"); err != nil {
+		t.Fatalf("disarmed point injected %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	boom := errors.New("boom")
+	Enable("p", Always(boom))
+	defer Disable("p")
+	if err := Hit("p"); !errors.Is(err, boom) {
+		t.Fatalf("armed point returned %v, want boom", err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unrelated point injected %v", err)
+	}
+	Disable("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disabled point injected %v", err)
+	}
+	// Disabling twice is a no-op and must not corrupt the armed count.
+	Disable("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("double-disabled point injected %v", err)
+	}
+}
+
+func TestAtHit(t *testing.T) {
+	boom := errors.New("boom")
+	Enable("n", AtHit(3, boom))
+	defer Disable("n")
+	for i := 1; i <= 5; i++ {
+		err := Hit("n")
+		if i == 3 && !errors.Is(err, boom) {
+			t.Fatalf("hit %d: got %v, want boom", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d: got %v, want nil", i, err)
+		}
+	}
+	if got := Hits("n"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}

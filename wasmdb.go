@@ -22,6 +22,7 @@
 package wasmdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -212,6 +213,16 @@ func literalValue(e sql.Expr, t types.Type) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("wasmdb: literal incompatible with column type %s", t)
 }
 
+// Typed guardrail errors. Match with errors.Is against errors returned from
+// Query/QueryContext.
+var (
+	// ErrFuelExhausted reports that a query exceeded its WithFuel budget.
+	ErrFuelExhausted = engine.ErrFuelExhausted
+	// ErrMemoryLimit reports that a query exceeded its WithMemoryLimit heap
+	// budget.
+	ErrMemoryLimit = engine.ErrMemoryLimit
+)
+
 // Option configures a Query call.
 type Option func(*queryOpts)
 
@@ -219,6 +230,9 @@ type queryOpts struct {
 	backend    Backend
 	morselRows int
 	wait       bool
+	timeout    time.Duration
+	fuel       int64
+	memBudget  uint32
 }
 
 // WithBackend selects the execution backend (default BackendWasm).
@@ -230,6 +244,33 @@ func WithMorselRows(n int) Option { return func(o *queryOpts) { o.morselRows = n
 // WithWaitOptimized blocks execution until background optimization
 // completes — useful when benchmarking pure optimized-tier throughput.
 func WithWaitOptimized() Option { return func(o *queryOpts) { o.wait = true } }
+
+// WithTimeout bounds the query's wall-clock time. On expiry the query stops
+// — even mid-morsel inside generated code — and returns an error matching
+// context.DeadlineExceeded.
+func WithTimeout(d time.Duration) Option { return func(o *queryOpts) { o.timeout = d } }
+
+// WithFuel bounds the query to n units of guest execution (one unit per
+// function entry and per taken loop back-edge). Exhaustion returns an error
+// matching ErrFuelExhausted. Applies to the Wasm backends.
+func WithFuel(n int64) Option { return func(o *queryOpts) { o.fuel = n } }
+
+// WithMemoryLimit caps the query's linear-memory heap at roughly maxBytes
+// (rounded up to whole 64 KiB Wasm pages). A query that tries to grow
+// beyond the cap returns an error matching ErrMemoryLimit. Applies to the
+// Wasm backends.
+func WithMemoryLimit(maxBytes uint64) Option {
+	return func(o *queryOpts) {
+		pages := (maxBytes + 64*1024 - 1) / (64 * 1024)
+		if pages == 0 {
+			pages = 1
+		}
+		if pages > 65536 {
+			pages = 65536
+		}
+		o.memBudget = uint32(pages)
+	}
+}
 
 // Stats describes where query time went.
 type Stats struct {
@@ -246,6 +287,9 @@ type Stats struct {
 	// tier under adaptive execution.
 	MorselsLiftoff  uint64
 	MorselsTurbofan uint64
+	// TurbofanFailed counts functions whose background optimizing compile
+	// failed; the query completed on baseline code for those functions.
+	TurbofanFailed int
 	// ModuleBytes is the size of the generated Wasm module.
 	ModuleBytes int
 }
@@ -323,12 +367,31 @@ func (r *Result) Format() string {
 
 // Query plans and executes a SELECT statement.
 func (db *DB) Query(src string, opts ...Option) (*Result, error) {
+	return db.QueryContext(context.Background(), src, opts...)
+}
+
+// QueryContext plans and executes a SELECT statement under ctx: when the
+// context is canceled or its deadline expires, execution stops — including
+// inside a running morsel of generated code — and the returned error matches
+// ctx.Err(). WithTimeout layers a per-query deadline on top of ctx.
+func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Result, error) {
 	o := queryOpts{}
 	for _, f := range opts {
 		f(&o)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wasmdb: query canceled: %w", err)
+	}
 
 	t0 := time.Now()
 	stmt, err := sql.ParseSelect(src)
@@ -391,8 +454,11 @@ func (db *DB) Query(src string, opts ...Option) (*Result, error) {
 		res.Stats.ModuleBytes = len(cq.Bin)
 		t1 := time.Now()
 		out, st, err := core.Execute(cq, q, engine.New(cfg), core.ExecOptions{
-			MorselRows:    o.morselRows,
-			WaitOptimized: o.wait,
+			MorselRows:        o.morselRows,
+			WaitOptimized:     o.wait,
+			Ctx:               ctx,
+			Fuel:              o.fuel,
+			MemoryBudgetPages: o.memBudget,
 		})
 		if err != nil {
 			return nil, err
@@ -403,6 +469,7 @@ func (db *DB) Query(src string, opts ...Option) (*Result, error) {
 		res.Stats.Turbofan = st.Engine.Turbofan
 		res.Stats.MorselsLiftoff = st.MorselsLiftoff
 		res.Stats.MorselsTurbofan = st.MorselsTurbofan
+		res.Stats.TurbofanFailed = st.Engine.TurbofanFailed
 	}
 	return res, nil
 }
