@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz
+.PHONY: build test verify fuzz lint-layers bench-smoke
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,31 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the CI gate: compile everything, lint with vet, and run the full
-# suite under the race detector (the guardrail watchdog and background
-# tier-up are concurrency-heavy paths).
-verify:
+# verify is the CI gate: compile everything, lint with vet, enforce the
+# observability layering invariant, and run the full suite under the race
+# detector (the guardrail watchdog and background tier-up are
+# concurrency-heavy paths).
+verify: lint-layers
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# internal/obs must stay at the bottom of the dependency graph: it may
+# import nothing from this module, or every layer recording into it would
+# risk an import cycle. Fails if any wasmdb-internal import appears.
+lint-layers:
+	@if grep -n '"wasmdb/' internal/obs/*.go; then \
+		echo "lint-layers: internal/obs must not import other wasmdb packages" >&2; \
+		exit 1; \
+	fi
+	@echo "lint-layers: ok (internal/obs imports stdlib only)"
+
+# bench-smoke runs one micro-benchmark per backend at a small scale and
+# validates that the emitted BENCH_smoke.json parses (the bench binary
+# re-reads and unmarshals what it wrote).
+bench-smoke:
+	$(GO) run ./cmd/bench -experiment smoke -rows 100000 -reps 1 -json
+	@rm -f BENCH_smoke.json
 
 # fuzz the adversarial-module executor for a short budget.
 fuzz:

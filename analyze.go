@@ -1,0 +1,136 @@
+package wasmdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wasmdb/internal/obs"
+)
+
+// ExplainAnalyze executes the query and returns the physical plan annotated
+// with the observed execution profile: per-phase timings, per-pipeline
+// execution times, the adaptive tier-switch timeline (which function was
+// upgraded at which morsel), and the resource counters. Options apply as in
+// Query.
+func (db *DB) ExplainAnalyze(src string, opts ...Option) (string, error) {
+	planText, err := db.Explain(src)
+	if err != nil {
+		return "", err
+	}
+	tr := NewTrace()
+	res, err := db.Query(src, append(opts[:len(opts):len(opts)], WithTrace(tr))...)
+	if err != nil {
+		return "", err
+	}
+	return renderAnalyze(planText, tr, res.Stats, res.NumRows()), nil
+}
+
+func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
+	var sb strings.Builder
+	sb.WriteString(strings.TrimRight(planText, "\n"))
+	sb.WriteString("\n\nphases:\n")
+	phases := []struct{ label, span string }{
+		{"parse", obs.SpanParse},
+		{"sema", obs.SpanSema},
+		{"plan", obs.SpanPlan},
+		{"codegen", obs.SpanCodegen},
+		{"decode", obs.SpanDecode},
+		{"validate", obs.SpanValidate},
+		{"liftoff compile", obs.SpanLiftoff},
+		{"turbofan compile", obs.SpanTurbofan},
+		{"rewire", obs.SpanRewire},
+		{"instantiate", obs.SpanInstantiate},
+		{"execute", obs.SpanExecute},
+	}
+	for _, p := range phases {
+		if d := tr.Dur(p.span); d > 0 {
+			fmt.Fprintf(&sb, "  %-18s %s\n", p.label, fmtAnalyzeDur(d))
+		}
+	}
+
+	// Per-pipeline execution breakdown, in recorded order.
+	var pipes []obs.Span
+	for _, sp := range tr.Spans() {
+		if strings.HasPrefix(sp.Name, obs.SpanPipeline) {
+			pipes = append(pipes, sp)
+		}
+	}
+	if len(pipes) > 0 {
+		sb.WriteString("\npipelines:\n")
+		for _, sp := range pipes {
+			name := strings.TrimPrefix(sp.Name, obs.SpanPipeline)
+			rowsArg := int64(-1)
+			for _, a := range sp.Args {
+				if a.Key == "rows" {
+					rowsArg = a.Val
+				}
+			}
+			if rowsArg >= 0 {
+				fmt.Fprintf(&sb, "  %-18s %-10s %d rows\n", name, fmtAnalyzeDur(sp.Dur), rowsArg)
+			} else {
+				fmt.Fprintf(&sb, "  %-18s %s\n", name, fmtAnalyzeDur(sp.Dur))
+			}
+		}
+	}
+
+	// Tier timeline: background publishes (tier-up) and first optimized
+	// dispatches (tier-switch), ordered by time.
+	var tiers []obs.Event
+	for _, ev := range tr.Events() {
+		if ev.Name == obs.EvTierUp || ev.Name == obs.EvTierSwitch {
+			tiers = append(tiers, ev)
+		}
+	}
+	if len(tiers) > 0 {
+		sort.Slice(tiers, func(i, j int) bool { return tiers[i].Time.Before(tiers[j].Time) })
+		sb.WriteString("\ntier timeline:\n")
+		for _, ev := range tiers {
+			var fn, morsel int64
+			for _, a := range ev.Args {
+				switch a.Key {
+				case "func":
+					fn = a.Val
+				case "morsel":
+					morsel = a.Val
+				}
+			}
+			verb := "optimized code published"
+			if ev.Name == obs.EvTierSwitch {
+				verb = "first optimized call"
+			}
+			fmt.Fprintf(&sb, "  +%-9s func %-3d %s (at morsel %d)\n",
+				fmtAnalyzeDur(ev.Time.Sub(tr.StartTime())), fn, verb, morsel)
+		}
+	}
+
+	sb.WriteString("\ntotals:\n")
+	fmt.Fprintf(&sb, "  backend            %s\n", st.Backend)
+	fmt.Fprintf(&sb, "  rows               %d\n", rows)
+	fmt.Fprintf(&sb, "  morsels            %d liftoff / %d turbofan\n", st.MorselsLiftoff, st.MorselsTurbofan)
+	if st.ModuleBytes > 0 {
+		fmt.Fprintf(&sb, "  module             %d bytes\n", st.ModuleBytes)
+	}
+	if st.TurbofanFailed > 0 {
+		fmt.Fprintf(&sb, "  turbofan failures  %d\n", st.TurbofanFailed)
+	}
+	if st.FuelUsed > 0 {
+		fmt.Fprintf(&sb, "  fuel used          %d\n", st.FuelUsed)
+	}
+	if st.PeakMemBytes > 0 {
+		fmt.Fprintf(&sb, "  peak memory        %d KiB\n", st.PeakMemBytes/1024)
+	}
+	return sb.String()
+}
+
+func fmtAnalyzeDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}

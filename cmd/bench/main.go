@@ -1,6 +1,8 @@
 // Command bench regenerates the paper's tables and figures (§8) and the
 // ablation studies. Each experiment prints one aligned table (or CSV with
-// -csv) with one series per system.
+// -csv) with one series per system; -json additionally writes machine-
+// readable BENCH_<experiment>.json records for plotting and regression
+// tracking.
 //
 // Usage:
 //
@@ -8,9 +10,11 @@
 //	bench -experiment all -rows 1000000 -sf 0.05
 //	bench -experiment fig10 -sf 0.1
 //	bench -experiment fig6a,fig6c -systems mutable,vectorized -csv
+//	bench -experiment smoke -rows 100000 -json   # health check, BENCH_smoke.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ var allExperiments = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d",
 	"fig8a", "fig8b", "fig9", "fig10",
 	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
+	"smoke",
 }
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		sf         = flag.Float64("sf", 0.05, "TPC-H scale factor (the paper uses 1.0)")
 		systems    = flag.String("systems", strings.Join(experiments.DefaultSystems, ","), "systems to measure")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "write BENCH_<experiment>.json machine-readable records")
 		full       = flag.Bool("full", false, "paper-scale settings (10M rows, SF 0.5) — slow on the VM substrate")
 	)
 	flag.Parse()
@@ -55,61 +61,107 @@ func main() {
 	if *experiment == "all" {
 		ids = allExperiments
 	}
-	render := func(f *harness.Figure) {
-		if *csv {
-			f.RenderCSV(os.Stdout)
-		} else {
-			f.Render(os.Stdout)
-		}
-	}
 	for _, id := range ids {
-		switch strings.TrimSpace(id) {
+		id = strings.TrimSpace(id)
+		var figs []*harness.Figure
+		var recs []experiments.Record
+		switch id {
 		case "fig1":
 			if err := experiments.Fig1(opts, os.Stdout); err != nil {
 				fail(err)
 			}
 		case "fig6a":
-			render(experiments.Fig6a(opts))
+			figs = append(figs, experiments.Fig6a(opts))
 		case "fig6b":
-			render(experiments.Fig6b(opts))
+			figs = append(figs, experiments.Fig6b(opts))
 		case "fig6c":
-			render(experiments.Fig6c(opts))
+			figs = append(figs, experiments.Fig6c(opts))
 		case "fig6d":
-			render(experiments.Fig6d(opts))
+			figs = append(figs, experiments.Fig6d(opts))
 		case "fig7a":
-			render(experiments.Fig7a(opts))
+			figs = append(figs, experiments.Fig7a(opts))
 		case "fig7b":
-			render(experiments.Fig7b(opts))
+			figs = append(figs, experiments.Fig7b(opts))
 		case "fig7c":
-			render(experiments.Fig7c(opts))
+			figs = append(figs, experiments.Fig7c(opts))
 		case "fig7d":
-			render(experiments.Fig7d(opts))
+			figs = append(figs, experiments.Fig7d(opts))
 		case "fig8a":
-			render(experiments.Fig8a(opts))
+			figs = append(figs, experiments.Fig8a(opts))
 		case "fig8b":
-			render(experiments.Fig8b(opts))
+			figs = append(figs, experiments.Fig8b(opts))
 		case "fig9":
-			for _, f := range experiments.Fig9(opts) {
-				render(f)
-			}
+			figs = experiments.Fig9(opts)
 		case "fig10":
 			if err := experiments.Fig10(opts, os.Stdout); err != nil {
 				fail(err)
 			}
 		case "abl-ht":
-			render(experiments.AblationHashTable(opts))
+			figs = append(figs, experiments.AblationHashTable(opts))
 		case "abl-sort":
-			render(experiments.AblationSort(opts))
+			figs = append(figs, experiments.AblationSort(opts))
 		case "abl-rewire":
 			experiments.AblationRewiring(opts, os.Stdout)
 		case "abl-tier":
 			if err := experiments.AblationTiers(opts, os.Stdout); err != nil {
 				fail(err)
 			}
+		case "smoke":
+			r, err := experiments.Smoke(opts)
+			if err != nil {
+				fail(err)
+			}
+			recs = r
+			if err := experiments.WriteRecords(os.Stdout, recs); err != nil {
+				fail(err)
+			}
 		default:
 			fail(fmt.Errorf("unknown experiment %q", id))
 		}
+		for _, f := range figs {
+			if *csv {
+				f.RenderCSV(os.Stdout)
+			} else {
+				f.Render(os.Stdout)
+			}
+			recs = append(recs, experiments.RecordsFromFigure(id, f)...)
+		}
+		if *jsonOut && len(recs) > 0 {
+			path := "BENCH_" + id + ".json"
+			if err := writeAndValidate(path, recs); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", path, len(recs))
+		}
 	}
+}
+
+// writeAndValidate emits the records and proves the file round-trips: a
+// BENCH_*.json that downstream tooling cannot parse is a bench bug.
+func writeAndValidate(path string, recs []experiments.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteRecords(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var check []experiments.Record
+	if err := json.Unmarshal(b, &check); err != nil {
+		return fmt.Errorf("%s does not parse: %w", path, err)
+	}
+	if len(check) != len(recs) {
+		return fmt.Errorf("%s round-trip lost records: wrote %d, read %d", path, len(recs), len(check))
+	}
+	return nil
 }
 
 func fail(err error) {

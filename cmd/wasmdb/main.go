@@ -3,6 +3,11 @@
 //	wasmdb                 # empty database
 //	wasmdb -tpch 0.01      # preloaded with TPC-H at the given scale factor
 //	wasmdb -timeout 5s     # per-query wall-clock budget
+//	wasmdb -trace out.json # record every query; write Chrome trace_event
+//	                       # JSON on exit (open in Perfetto)
+//
+// EXPLAIN ANALYZE <query> executes the query and prints the plan annotated
+// with per-phase timings and the adaptive tier-switch timeline.
 //
 // Meta commands:
 //
@@ -11,6 +16,7 @@
 //	\explain <sql>    show the plan and pipeline dissection
 //	\wat <sql>        dump the generated WebAssembly (text form)
 //	\timing           toggle per-query phase timings
+//	\metrics          dump the process-wide metrics registry
 //	\tpch <id>        run a built-in TPC-H query (Q1, Q3, Q6, Q12, Q14)
 //	\q                quit
 package main
@@ -30,6 +36,7 @@ import (
 func main() {
 	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 disables)")
+	tracePath := flag.String("trace", "", "record every query and write Chrome trace_event JSON here on exit")
 	flag.Parse()
 
 	db := wasmdb.Open()
@@ -40,7 +47,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	repl(db, os.Stdin, os.Stdout, *timeout)
+	repl(db, os.Stdin, os.Stdout, *timeout, *tracePath)
 }
 
 // shell holds the REPL's mutable session state.
@@ -50,13 +57,19 @@ type shell struct {
 	backend wasmdb.Backend
 	timing  bool
 	timeout time.Duration
+	// tracing, when set, collects one trace per executed query for the
+	// session-wide trace_event export written at exit.
+	tracing bool
+	traces  []*wasmdb.Trace
 }
 
 // repl reads statements from in and writes results to out until EOF or \q.
 // Every failure — parse error, trap, timeout, even an engine panic — is
 // printed and the loop continues; a bad query must never kill the shell.
-func repl(db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration) {
-	sh := &shell{db: db, out: out, backend: wasmdb.BackendWasm, timeout: timeout}
+// With a non-empty tracePath, every query is traced and the session's
+// timeline is written there as Chrome trace_event JSON when the loop ends.
+func repl(db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration, tracePath string) {
+	sh := &shell{db: db, out: out, backend: wasmdb.BackendWasm, timeout: timeout, tracing: tracePath != ""}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -72,12 +85,32 @@ func repl(db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration) {
 		}
 		if strings.HasPrefix(line, "\\") {
 			if !sh.meta(line) {
-				return
+				break
 			}
 			continue
 		}
 		sh.runSQL(line)
 	}
+	if sh.tracing {
+		if err := writeSessionTrace(tracePath, sh.traces); err != nil {
+			fmt.Fprintln(out, "error writing trace:", err)
+		} else {
+			fmt.Fprintf(out, "wrote %d query trace(s) to %s\n", len(sh.traces), tracePath)
+		}
+	}
+}
+
+// writeSessionTrace exports the session's query traces for Perfetto.
+func writeSessionTrace(path string, traces []*wasmdb.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wasmdb.WriteTraceEvents(f, traces...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (sh *shell) meta(line string) bool {
@@ -89,6 +122,8 @@ func (sh *shell) meta(line string) bool {
 	case "\\timing":
 		sh.timing = !sh.timing
 		fmt.Fprintf(sh.out, "timing %v\n", sh.timing)
+	case "\\metrics":
+		fmt.Fprint(sh.out, sh.db.Metrics().Dump())
 	case "\\backend":
 		switch arg {
 		case "wasm", "adaptive":
@@ -129,7 +164,7 @@ func (sh *shell) meta(line string) bool {
 		fmt.Fprintln(sh.out, src)
 		sh.runSQL(src)
 	default:
-		fmt.Fprintln(sh.out, "meta commands: \\backend, \\explain, \\wat, \\timing, \\tpch, \\q")
+		fmt.Fprintln(sh.out, "meta commands: \\backend, \\explain, \\wat, \\timing, \\metrics, \\tpch, \\q")
 	}
 	return true
 }
@@ -155,10 +190,28 @@ func (sh *shell) runSQL(src string) {
 	if sh.timeout > 0 {
 		opts = append(opts, wasmdb.WithTimeout(sh.timeout))
 	}
+	if strings.HasPrefix(upper, "EXPLAIN ANALYZE") {
+		rest := strings.TrimSpace(src)[len("EXPLAIN ANALYZE"):]
+		out, err := sh.db.ExplainAnalyze(strings.TrimSpace(rest), opts...)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		} else {
+			fmt.Fprintln(sh.out, out)
+		}
+		return
+	}
+	var tr *wasmdb.Trace
+	if sh.tracing {
+		tr = wasmdb.NewTrace()
+		opts = append(opts, wasmdb.WithTrace(tr))
+	}
 	res, err := sh.db.Query(src, opts...)
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return
+	}
+	if tr != nil {
+		sh.traces = append(sh.traces, tr)
 	}
 	fmt.Fprint(sh.out, res.Format())
 	fmt.Fprintf(sh.out, "(%d rows)\n", res.NumRows())

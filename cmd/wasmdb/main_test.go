@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +29,7 @@ func TestReplSurvivesFailedQueries(t *testing.T) {
 		"\\q",
 	}, "\n")
 	var out strings.Builder
-	repl(db, strings.NewReader(script), &out, 0)
+	repl(db, strings.NewReader(script), &out, 0, "")
 	got := out.String()
 
 	if n := strings.Count(got, "error:"); n != 3 {
@@ -53,14 +56,14 @@ func TestReplSurvivesTimeout(t *testing.T) {
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t", // spins forever until the timeout fires
-	}, "\n")), &out, 50*time.Millisecond)
+	}, "\n")), &out, 50*time.Millisecond, "")
 	if !strings.Contains(out.String(), "deadline exceeded") {
 		t.Errorf("timeout not reported:\n%s", out.String())
 	}
 
 	faultpoint.Disable("core-infinite-loop")
 	out.Reset()
-	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond)
+	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond, "")
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after timeout:\n%s", out.String())
 	}
@@ -78,15 +81,99 @@ func TestReplSurvivesEnginePanic(t *testing.T) {
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t",
-	}, "\n")), &out, 0)
+	}, "\n")), &out, 0, "")
 	if !strings.Contains(out.String(), "error:") {
 		t.Errorf("engine panic not reported as error:\n%s", out.String())
 	}
 
 	faultpoint.Disable("engine-call-panic")
 	out.Reset()
-	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0)
+	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0, "")
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after engine panic:\n%s", out.String())
+	}
+}
+
+// TestReplTraceExport: a session run with a trace path writes Perfetto-
+// loadable trace_event JSON covering every query of the session.
+func TestReplTraceExport(t *testing.T) {
+	db := wasmdb.Open()
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out strings.Builder
+	repl(db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1),(2),(3)",
+		"SELECT COUNT(*) FROM t",
+		"SELECT a FROM t",
+		"\\q",
+	}, "\n")), &out, 0, path)
+
+	if !strings.Contains(out.String(), "wrote 2 query trace(s)") {
+		t.Errorf("trace write not reported:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, b)
+	}
+	tids := map[int]bool{}
+	var sawSpan bool
+	for _, ev := range parsed.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Ts < 0 {
+			t.Errorf("malformed event %+v", ev)
+		}
+		if ev.Ph == "X" {
+			sawSpan = true
+		}
+		tids[ev.Tid] = true
+	}
+	if !sawSpan {
+		t.Error("no complete (ph X) events in session trace")
+	}
+	if len(tids) < 2 {
+		t.Errorf("expected one lane per query, got tids %v", tids)
+	}
+}
+
+// TestReplExplainAnalyze: the EXPLAIN ANALYZE statement prints the
+// annotated plan instead of a result table.
+func TestReplExplainAnalyze(t *testing.T) {
+	db := wasmdb.Open()
+	var out strings.Builder
+	repl(db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1),(2),(3)",
+		"explain analyze SELECT COUNT(*) FROM t",
+	}, "\n")), &out, 0, "")
+	got := out.String()
+	for _, want := range []string{"phases:", "totals:", "morsels"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestReplMetricsDump: \metrics renders the process-wide registry.
+func TestReplMetricsDump(t *testing.T) {
+	db := wasmdb.Open()
+	var out strings.Builder
+	repl(db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1)",
+		"SELECT COUNT(*) FROM t",
+		"\\metrics",
+	}, "\n")), &out, 0, "")
+	if !strings.Contains(out.String(), "queries_total") {
+		t.Errorf("\\metrics dump missing queries_total:\n%s", out.String())
 	}
 }

@@ -11,9 +11,17 @@ import (
 	"wasmdb/internal/engine/rt"
 	"wasmdb/internal/engine/wmem"
 	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/obs"
 	"wasmdb/internal/sema"
 	"wasmdb/internal/types"
 	"wasmdb/internal/wasm"
+)
+
+// Process-wide executor metrics, resolved once so recording is atomic-only.
+var (
+	mFuelConsumed  = obs.Default.Counter(obs.MetricFuelConsumed)
+	mPeakHeapPages = obs.Default.Gauge(obs.MetricPeakHeapPages)
+	mMorselLatency = obs.Default.Histogram(obs.MetricMorselLatency)
 )
 
 // ExecOptions configures query execution.
@@ -45,13 +53,33 @@ type ExecOptions struct {
 	// growth beyond it fails the query with engine.ErrMemoryLimit. 0 means
 	// no budget.
 	MemoryBudgetPages uint32
+	// Trace, when non-nil, receives the query's spans, point events, and
+	// counters (compile phases, rewiring, per-pipeline execution, tier-up
+	// timeline). nil disables span recording on the hot path.
+	Trace *obs.Trace
+	// DrainBackground waits for background optimization to finish after the
+	// last morsel — adaptive behavior during the query is unchanged, but the
+	// trace's tier-up timeline and Turbofan timing are complete when Execute
+	// returns.
+	DrainBackground bool
 }
 
 // ExecStats reports where time went, phase by phase (the paper's Fig. 10
-// breakdown).
+// breakdown). The fields are flat — one struct instead of nested
+// engine.CompileStats — and agree with the spans and counters recorded on
+// the query trace, which is the single source of truth the public
+// wasmdb.Stats is also derived from.
 type ExecStats struct {
-	// Compile covers engine compilation of the generated module.
-	Engine engine.CompileStats
+	// Engine compilation phases.
+	Decode   time.Duration
+	Validate time.Duration
+	Liftoff  time.Duration
+	// Turbofan is the optimizing-tier compile time. Under TierAdaptive it is
+	// measured on the background goroutine and is valid once optimization
+	// finished (WaitOptimized or DrainBackground).
+	Turbofan time.Duration
+	// Rewire covers mapping the referenced columns into linear memory.
+	Rewire time.Duration
 	// Init covers instantiation, column rewiring, and q_init.
 	Init time.Duration
 	// Run covers pipeline execution.
@@ -60,8 +88,16 @@ type ExecStats struct {
 	// each tier — the observable adaptive switch.
 	MorselsLiftoff  uint64
 	MorselsTurbofan uint64
+	// TurbofanFailed counts functions whose optimizing compile failed; they
+	// keep serving baseline code.
+	TurbofanFailed int
 	// ModuleBytes is the size of the generated Wasm binary.
 	ModuleBytes int
+	// FuelUsed is the fuel consumed by the query (0 when unmetered).
+	FuelUsed int64
+	// PeakMemBytes is the high-water linear-memory size (pages never
+	// shrink, so the final size is the peak).
+	PeakMemBytes uint64
 }
 
 // ResultSet holds decoded query results.
@@ -79,6 +115,16 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	stats := &ExecStats{ModuleBytes: len(cq.Bin)}
 	if opt.MorselRows <= 0 {
 		opt.MorselRows = DefaultMorselRows
+	}
+	// tr drives all instrumentation below. It stays exactly opt.Trace —
+	// nil when the caller asked for no tracing — so an untraced query pays
+	// one pointer test per recording site and nothing more.
+	tr := opt.Trace
+	// Context-free instrumentation (faultpoint) finds the trace through the
+	// process-wide active slot for the duration of the query.
+	if tr != nil {
+		prev := obs.SwapActive(tr)
+		defer obs.SwapActive(prev)
 	}
 	ctx := opt.Ctx
 	if ctx == nil {
@@ -100,7 +146,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		return nil
 	}
 
-	mod, err := eng.Compile(cq.Bin)
+	mod, err := eng.CompileTraced(cq.Bin, tr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: engine compile: %w", err)
 	}
@@ -120,10 +166,13 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	}
 
 	t0 := time.Now()
+	spRewire := tr.Begin(obs.SpanRewire)
 	mem := wmem.New(cq.MinPages, 65536)
+	mem.SetTracer(tr)
 	if opt.MemoryBudgetPages > 0 {
 		mem.SetBudget(opt.MemoryBudgetPages)
 	}
+	mapped := 0
 	for _, cm := range cq.Columns {
 		if chunked[cm.TableIdx] {
 			continue // mapped chunk-by-chunk while scanning
@@ -136,7 +185,10 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			return nil, nil, fmt.Errorf("core: rewiring column %s.%s: %w",
 				q.Tables[cm.TableIdx].Table.Name, col.Name, err)
 		}
+		mapped++
 	}
+	spRewire.End(obs.I("columns", int64(mapped)))
+	stats.Rewire = time.Since(t0)
 
 	// mapChunk rewires rows [start, start+n) of every referenced column of
 	// table ti into the column's window.
@@ -191,10 +243,12 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			},
 		},
 	}
+	spInst := tr.Begin(obs.SpanInstantiate)
 	inst, err := mod.Instantiate(imports)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: instantiate: %w", err)
 	}
+	spInst.End()
 
 	// Fuel metering. A cancellable context needs metering too: the fuel
 	// checks double as interruption points, which is the only way to stop
@@ -232,8 +286,32 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		_ = mod.WaitOptimized()
 	}
 
+	// callMorsel dispatches one morsel: faultpoint check, morsel count (the
+	// tier-up timeline is stamped against it), latency histogram, and —
+	// only when the trace asks for Detail — a per-morsel span.
+	callMorsel := func(export string, begin, end int) (bool, error) {
+		if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
+			return false, fmt.Errorf("core: %s[%d,%d): %w", export, begin, end, ferr)
+		}
+		tr.AddMorsel()
+		tm := time.Now()
+		r, err := inst.Call(export, uint64(uint32(begin)), uint64(uint32(end)))
+		d := time.Since(tm)
+		mMorselLatency.Observe(d.Nanoseconds())
+		if tr != nil && tr.Detail {
+			tr.AddSpan(obs.SpanMorsel+export, tm, d,
+				obs.I("begin", int64(begin)), obs.I("end", int64(end)))
+		}
+		if err != nil {
+			return false, fmt.Errorf("core: %s[%d,%d): %w", export, begin, end, wrapErr(err))
+		}
+		return r[0] != 0, nil
+	}
+
 	t1 := time.Now()
+	spRun := tr.Begin(obs.SpanExecute)
 	for _, p := range cq.Pipelines {
+		spPipe := tr.Begin(obs.SpanPipeline + p.Export)
 		var total int
 		switch p.Kind {
 		case PipeScanTable:
@@ -249,6 +327,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			if _, err := inst.Call(p.Export, 0, 0); err != nil {
 				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, wrapErr(err))
 			}
+			spPipe.End()
 			continue
 		}
 		stop := false
@@ -271,15 +350,15 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 					if end > ce-cs {
 						end = ce - cs
 					}
-					if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
-						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, ferr)
+					var err error
+					if stop, err = callMorsel(p.Export, begin, end); err != nil {
+						return nil, nil, err
 					}
-					r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
-					if err != nil {
-						return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, wrapErr(err))
-					}
-					stop = r[0] != 0
 				}
+			}
+			spPipe.End(obs.I("rows", int64(total)))
+			if fuel > 0 {
+				tr.Event(obs.EvFuel, obs.I("remaining", inst.FuelLeft()))
 			}
 			continue
 		}
@@ -291,21 +370,52 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			if end > total {
 				end = total
 			}
-			if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
-				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, ferr)
+			var err error
+			if stop, err = callMorsel(p.Export, begin, end); err != nil {
+				return nil, nil, err
 			}
-			r, err := inst.Call(p.Export, uint64(uint32(begin)), uint64(uint32(end)))
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: %s[%d,%d): %w", p.Export, begin, end, wrapErr(err))
-			}
-			stop = r[0] != 0
+		}
+		spPipe.End(obs.I("rows", int64(total)))
+		// Fuel checkpoint at every pipeline boundary on metered queries —
+		// the audit trail of where the budget went.
+		if fuel > 0 {
+			tr.Event(obs.EvFuel, obs.I("remaining", inst.FuelLeft()))
 		}
 	}
 	// Drain the rows still in the buffer.
 	drain(mem, uint32(inst.Global(int(cq.CursorGlobal))))
+	spRun.End()
 	stats.Run = time.Since(t1)
-	stats.Engine = mod.Stats()
+
+	if opt.DrainBackground {
+		// Complete the tier-up timeline (and Turbofan timing) without having
+		// perturbed adaptive behavior during the query. A failed background
+		// compile is not a query error — see WaitOptimized above.
+		_ = mod.WaitOptimized()
+	}
+
+	// Fold the compile-side stats and runtime counters into the flat struct,
+	// and mirror them onto the trace and the process-wide metrics.
+	es := mod.Stats()
+	stats.Decode, stats.Validate = es.Decode, es.Validate
+	stats.Liftoff, stats.Turbofan = es.Liftoff, es.Turbofan
+	stats.TurbofanFailed = es.TurbofanFailed
 	stats.MorselsLiftoff, stats.MorselsTurbofan = inst.TierCalls()
+	if left := inst.FuelLeft(); left >= 0 && fuel > 0 {
+		stats.FuelUsed = fuel - left
+	}
+	stats.PeakMemBytes = uint64(mem.Pages()) * wmem.PageSize
+	mFuelConsumed.Add(stats.FuelUsed)
+	mPeakHeapPages.SetMax(int64(mem.Pages()))
+	if tr != nil {
+		tr.Set(obs.CtrMorselsLiftoff, int64(stats.MorselsLiftoff))
+		tr.Set(obs.CtrMorselsTurbofan, int64(stats.MorselsTurbofan))
+		tr.Set(obs.CtrTurbofanFailed, int64(stats.TurbofanFailed))
+		tr.Set(obs.CtrModuleBytes, int64(stats.ModuleBytes))
+		tr.Set(obs.CtrFuelUsed, stats.FuelUsed)
+		tr.Set(obs.CtrPeakMemBytes, int64(stats.PeakMemBytes))
+		tr.Set(obs.CtrResultRows, int64(len(res.Rows)))
+	}
 
 	if cq.Limit >= 0 && int64(len(res.Rows)) > cq.Limit {
 		res.Rows = res.Rows[:cq.Limit]

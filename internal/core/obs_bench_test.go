@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/obs"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/types"
+)
+
+// benchmarkMorselDispatch measures executor overhead at a deliberately tiny
+// morsel size (many dispatches per query) so the per-morsel cost of the
+// tracer dominates any difference. Compare Untraced vs Traced to verify the
+// disabled-tracer contract: tracing off must cost only a pointer test on
+// the dispatch path (well under the 2% budget).
+func benchmarkMorselDispatch(b *testing.B, mkTrace func() *obs.Trace) {
+	cat := catalog.New()
+	tbl, err := cat.Create("r", []catalog.ColumnDef{{Name: "x", Type: types.TInt32}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100_000; i++ {
+		tbl.AppendRow(types.NewInt32(int32(i % 1000)))
+	}
+	stmt, err := sql.ParseSelect("SELECT COUNT(*) FROM r WHERE x < 500")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cq, err := Compile(q, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Execute(cq, q, eng, ExecOptions{MorselRows: 512, Trace: mkTrace()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMorselDispatchUntraced(b *testing.B) {
+	benchmarkMorselDispatch(b, func() *obs.Trace { return nil })
+}
+
+func BenchmarkMorselDispatchTraced(b *testing.B) {
+	benchmarkMorselDispatch(b, obs.NewTrace)
+}
+
+func BenchmarkMorselDispatchDetail(b *testing.B) {
+	benchmarkMorselDispatch(b, func() *obs.Trace {
+		tr := obs.NewTrace()
+		tr.Detail = true
+		return tr
+	})
+}

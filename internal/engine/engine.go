@@ -23,7 +23,16 @@ import (
 	"wasmdb/internal/engine/turbofan"
 	"wasmdb/internal/engine/wmem"
 	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/obs"
 	"wasmdb/internal/wasm"
+)
+
+// Process-wide engine metrics, resolved once so recording is atomic-only.
+var (
+	mCompilesLiftoff  = obs.Default.Counter(obs.MetricCompiles + ".liftoff")
+	mCompilesTurbofan = obs.Default.Counter(obs.MetricCompiles + ".turbofan")
+	mTurbofanFailures = obs.Default.Counter(obs.MetricTurbofanFailures)
+	mTierUpLatency    = obs.Default.Histogram(obs.MetricTierUpLatency)
 )
 
 // Typed guardrail sentinels, re-exported so embedders need not import the
@@ -154,6 +163,10 @@ func (g *guestFunc) Call(env *rt.Env, args, res []uint64) {
 type Module struct {
 	wmod  *wasm.Module
 	funcs []*guestFunc
+	// tr is the query trace the module records compile spans and tier-up
+	// events into (nil when compiled without one). The background optimizer
+	// and instances share it.
+	tr *obs.Trace
 
 	mu        sync.Mutex
 	stats     CompileStats
@@ -164,18 +177,27 @@ type Module struct {
 // Compile decodes, validates, and compiles a binary module according to the
 // engine's tier configuration.
 func (e *Engine) Compile(bin []byte) (*Module, error) {
+	return e.CompileTraced(bin, nil)
+}
+
+// CompileTraced is Compile recording phase spans (decode, validate, liftoff,
+// turbofan) and tier-up events into tr. tr may be nil.
+func (e *Engine) CompileTraced(bin []byte, tr *obs.Trace) (*Module, error) {
 	t0 := time.Now()
 	wmod, err := wasm.Decode(bin)
+	t1 := time.Now()
+	tr.AddSpan(obs.SpanDecode, t0, t1.Sub(t0))
 	if err != nil {
 		return nil, err
 	}
-	t1 := time.Now()
-	if err := wasm.Validate(wmod); err != nil {
-		return nil, err
-	}
+	verr := wasm.Validate(wmod)
 	t2 := time.Now()
+	tr.AddSpan(obs.SpanValidate, t1, t2.Sub(t1))
+	if verr != nil {
+		return nil, verr
+	}
 
-	m := &Module{wmod: wmod, optimized: make(chan struct{})}
+	m := &Module{wmod: wmod, tr: tr, optimized: make(chan struct{})}
 	m.stats.Decode = t1.Sub(t0)
 	m.stats.Validate = t2.Sub(t1)
 	m.stats.CodeBytes = len(bin)
@@ -183,6 +205,7 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 
 	switch e.cfg.Tier {
 	case TierTurbofan:
+		sp := tr.Begin(obs.SpanTurbofan)
 		start := time.Now()
 		for i := range wmod.Funcs {
 			tf, err := safeTurbofanCompile(wmod, &wmod.Funcs[i], e.optRounds())
@@ -194,8 +217,11 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 			m.funcs = append(m.funcs, g)
 		}
 		m.stats.Turbofan = time.Since(start)
+		mCompilesTurbofan.Add(int64(len(wmod.Funcs)))
+		sp.End(obs.I("funcs", int64(len(wmod.Funcs))))
 		close(m.optimized)
 	default:
+		sp := tr.Begin(obs.SpanLiftoff)
 		start := time.Now()
 		for i := range wmod.Funcs {
 			lo, err := liftoff.Compile(wmod, &wmod.Funcs[i])
@@ -207,6 +233,8 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 			m.funcs = append(m.funcs, g)
 		}
 		m.stats.Liftoff = time.Since(start)
+		mCompilesLiftoff.Add(int64(len(wmod.Funcs)))
+		sp.End(obs.I("funcs", int64(len(wmod.Funcs))))
 		if e.cfg.Tier == TierAdaptive {
 			go m.optimize(e.optRounds())
 		} else {
@@ -217,8 +245,11 @@ func (e *Engine) Compile(bin []byte) (*Module, error) {
 }
 
 // optimize runs turbofan over every function in the background, publishing
-// each one as it completes.
+// each one as it completes. Each publish is a tier-up event stamped with
+// the morsel count at that moment — the observable timeline of adaptive
+// code replacement.
 func (m *Module) optimize(rounds int) {
+	sp := m.tr.Begin(obs.SpanTurbofan)
 	start := time.Now()
 	var firstErr error
 	failed := 0
@@ -229,10 +260,17 @@ func (m *Module) optimize(rounds int) {
 				firstErr = err
 			}
 			failed++
+			mTurbofanFailures.Add(1)
 			continue // keep running on liftoff code
 		}
 		m.funcs[i].code.Store(&tiered{tier: TierTurbofan, c: tf})
+		mCompilesTurbofan.Add(1)
+		mTierUpLatency.Observe(time.Since(start).Nanoseconds())
+		if m.tr != nil {
+			m.tr.Event(obs.EvTierUp, obs.I("func", int64(i)), obs.I("morsel", m.tr.MorselCount()))
+		}
 	}
+	sp.End(obs.I("funcs", int64(len(m.wmod.Funcs))), obs.I("failed", int64(failed)))
 	m.mu.Lock()
 	m.stats.Turbofan = time.Since(start)
 	m.stats.TurbofanFailed = failed
@@ -275,6 +313,10 @@ type Instance struct {
 	// Per-tier counts of exported calls, for observing adaptive switching.
 	callsLiftoff  atomic.Uint64
 	callsTurbofan atomic.Uint64
+	// tierSeen marks functions whose first turbofan-served call was already
+	// recorded as a tier-switch event. Allocated only when the module carries
+	// a trace, so untraced dispatch pays nothing.
+	tierSeen []atomic.Bool
 }
 
 // Instantiate links a compiled module against imports, initializes globals,
@@ -357,6 +399,9 @@ func (m *Module) Instantiate(imp Imports) (*Instance, error) {
 	}
 
 	inst := &Instance{mod: m, env: env}
+	if m.tr != nil {
+		inst.tierSeen = make([]atomic.Bool, len(env.Funcs))
+	}
 	if wm.Start >= 0 {
 		if _, err := inst.CallIndex(uint32(wm.Start)); err != nil {
 			return nil, fmt.Errorf("engine: start function: %w", err)
@@ -394,6 +439,13 @@ func (i *Instance) CallIndex(idx uint32, args ...uint64) (results []uint64, err 
 	if g, ok := i.env.Funcs[idx].(*guestFunc); ok {
 		if g.code.Load().tier == TierTurbofan {
 			i.callsTurbofan.Add(1)
+			// First turbofan-served call of a traced function marks the
+			// moment dispatch actually switched tiers (tier-up is when the
+			// code was published; this is when it started running).
+			if i.tierSeen != nil && !i.tierSeen[idx].Swap(true) {
+				i.mod.tr.Event(obs.EvTierSwitch,
+					obs.I("func", int64(idx)), obs.I("morsel", i.mod.tr.MorselCount()))
+			}
 		} else {
 			i.callsLiftoff.Add(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/obs"
 )
 
 // PageSize is the WebAssembly page size.
@@ -57,6 +58,10 @@ type Memory struct {
 	// reach; exceeding it traps with ErrMemoryLimit (unlike maxPages, whose
 	// wasm semantics silently return -1 to the guest).
 	budget uint32
+	// tr, when non-nil, receives a point event per Grow with the new
+	// high-water mark (pages only ever grow, so the current size is the
+	// peak).
+	tr *obs.Trace
 }
 
 // New creates a memory with min zero-initialized module-owned pages and the
@@ -94,6 +99,9 @@ func (m *Memory) MaxPages() uint32 { return m.maxPages }
 // allocated or host-mapped are unaffected.
 func (m *Memory) SetBudget(pages uint32) { m.budget = pages }
 
+// SetTracer routes growth events into the given query trace (nil detaches).
+func (m *Memory) SetTracer(tr *obs.Trace) { m.tr = tr }
+
 // Grow extends the memory by delta zero-initialized module-owned pages,
 // returning the previous size in pages, or -1 if the wasm maximum would be
 // exceeded (the semantics of memory.grow). Exceeding a host-installed
@@ -114,6 +122,9 @@ func (m *Memory) Grow(delta uint32) int32 {
 	}
 	for i := uint32(0); i < delta; i++ {
 		m.pages = append(m.pages, make([]byte, PageSize))
+	}
+	if m.tr != nil {
+		m.tr.Event(obs.EvGrow, obs.I("delta", int64(delta)), obs.I("pages", int64(len(m.pages))))
 	}
 	return int32(old)
 }

@@ -150,13 +150,13 @@ func RunOn(cat *catalog.Catalog, src, system string, adaptive bool) (Timings, er
 		}
 		_ = res
 		tm.Execute = time.Since(t1)
-		tm.Liftoff = st.Engine.Liftoff
-		tm.Turbofan = st.Engine.Turbofan
+		tm.Liftoff = st.Liftoff
+		tm.Turbofan = st.Turbofan
 		tm.MorselsLo = st.MorselsLiftoff
 		tm.MorselsTf = st.MorselsTurbofan
 		if wait {
 			// Compile happened before execution; subtract it from Execute.
-			tm.Execute -= st.Engine.Turbofan + st.Engine.Liftoff
+			tm.Execute -= st.Turbofan + st.Liftoff
 			if tm.Execute < 0 {
 				tm.Execute = 0
 			}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wasmdb/internal/harness"
+	"wasmdb/internal/workload"
+)
+
+// Record is one machine-readable benchmark measurement — the schema of the
+// BENCH_*.json files cmd/bench emits with -json, consumed by plotting and
+// regression-tracking scripts.
+type Record struct {
+	// Name identifies the measurement ("smoke", "fig6a:10%", ...).
+	Name string `json:"name"`
+	// Backend is the system measured (mutable, hyper, vectorized, volcano,
+	// liftoff, turbofan, adaptive).
+	Backend string `json:"backend"`
+	// Rows is the input cardinality, when the experiment has one.
+	Rows int `json:"rows,omitempty"`
+	// Phase times in nanoseconds (zero when the phase does not apply).
+	TranslateNs int64 `json:"translate_ns"`
+	LiftoffNs   int64 `json:"liftoff_ns"`
+	TurbofanNs  int64 `json:"turbofan_ns"`
+	ExecNs      int64 `json:"exec_ns"`
+	// Morsel counts per tier under adaptive execution.
+	MorselsLiftoff  uint64 `json:"morsels_liftoff"`
+	MorselsTurbofan uint64 `json:"morsels_turbofan"`
+}
+
+func recordFromTimings(name, backend string, rows int, tm Timings) Record {
+	return Record{
+		Name:            name,
+		Backend:         backend,
+		Rows:            rows,
+		TranslateNs:     tm.Translate.Nanoseconds(),
+		LiftoffNs:       tm.Liftoff.Nanoseconds(),
+		TurbofanNs:      tm.Turbofan.Nanoseconds(),
+		ExecNs:          tm.Execute.Nanoseconds(),
+		MorselsLiftoff:  tm.MorselsLo,
+		MorselsTurbofan: tm.MorselsTf,
+	}
+}
+
+// RecordsFromFigure flattens a rendered figure into records, one per
+// (tick, system) point. Figures measure pure execution time, so only
+// ExecNs is populated.
+func RecordsFromFigure(id string, f *harness.Figure) []Record {
+	var recs []Record
+	for i, tick := range f.XTicks {
+		for _, s := range f.Series {
+			if i >= len(s.Points) {
+				continue
+			}
+			recs = append(recs, Record{
+				Name:    id + ":" + tick,
+				Backend: s.System,
+				ExecNs:  s.Points[i].Nanoseconds(),
+			})
+		}
+	}
+	return recs
+}
+
+// WriteRecords serializes records as indented JSON.
+func WriteRecords(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// Smoke runs one small micro-benchmark (a selective aggregation) per
+// configured system, adaptively, and returns the full phase breakdown for
+// each — the cheap end-to-end health check behind `make bench-smoke`.
+func Smoke(o Options) ([]Record, error) {
+	o.norm()
+	cat, err := workload.Catalog(workload.Spec{
+		Name: "t", Rows: o.Rows, IntCols: 2, FloatCols: 2, Seed: 4242,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src := "SELECT COUNT(*), SUM(f0) FROM t WHERE i0 < 0"
+	var recs []Record
+	for _, sys := range o.Systems {
+		tm, err := RunOn(cat, src, sys, true)
+		if err != nil {
+			return nil, fmt.Errorf("smoke on %s: %w", sys, err)
+		}
+		recs = append(recs, recordFromTimings("smoke", sys, o.Rows, tm))
+	}
+	return recs, nil
+}

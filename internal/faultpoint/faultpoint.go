@@ -11,6 +11,8 @@ package faultpoint
 import (
 	"sync"
 	"sync/atomic"
+
+	"wasmdb/internal/obs"
 )
 
 var (
@@ -53,18 +55,39 @@ func Disable(name string) {
 // Hit reports whether the named fault point injects a failure right now.
 // It returns nil when the point is disarmed; the fast path is one atomic
 // load, so Hit is safe to place on hot paths.
+//
+// The hit function runs outside the package lock, so it may block (tests
+// use that to delay background tier-up) without stalling unrelated points.
+// Every evaluation of an armed point is audited: a point event on the
+// active trace and a per-point counter in the metrics registry, so a
+// fault-injection run leaves a record even when nothing was injected.
 func Hit(name string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
 	mu.Lock()
-	defer mu.Unlock()
 	p := points[name]
-	if p == nil {
+	var fn func(int) error
+	var n int
+	if p != nil {
+		p.hits++
+		n = p.hits
+		fn = p.fn
+	}
+	mu.Unlock()
+	if fn == nil {
 		return nil
 	}
-	p.hits++
-	return p.fn(p.hits)
+	err := fn(n)
+	obs.Default.Counter(obs.MetricFaultpointHits + "." + name).Add(1)
+	if tr := obs.Active(); tr != nil {
+		injected := int64(0)
+		if err != nil {
+			injected = 1
+		}
+		tr.Event(obs.EvFaultpoint, obs.S("point", name), obs.I("hit", int64(n)), obs.I("injected", injected))
+	}
+	return err
 }
 
 // Hits returns how many times the named point has been evaluated since it

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard metric names. Dotted suffixes carry the label (backend, tier,
+// fault-point name): "queries_total.wasm-adaptive".
+const (
+	MetricQueries          = "queries_total"           // + "." + backend
+	MetricCompiles         = "engine_compiles_total"   // + "." + tier (per function)
+	MetricTierUpLatency    = "engine_tierup_latency_ns"
+	MetricTurbofanFailures = "engine_turbofan_failures_total"
+	MetricFuelConsumed     = "core_fuel_consumed_total"
+	MetricPeakHeapPages    = "core_peak_heap_pages"
+	MetricMorselLatency    = "core_morsel_latency_ns"
+	MetricFaultpointHits   = "faultpoint_hits_total" // + "." + point
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger (high-water mark semantics).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets; bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i.
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two latency histogram.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     Gauge
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample (negative samples clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.SetMax(v)
+	h.buckets[bits.Len64(uint64(v))%histBuckets].Add(1)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() int64 { return h.max.Value() }
+
+// Mean returns the average sample (0 with no samples).
+func (h *Histogram) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Registry is a process-wide set of named metrics. Lookups get-or-create
+// under a mutex; the returned handles then update atomically, so hot paths
+// resolve their handle once (package init) and never touch the lock again.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry (what DB.Metrics returns).
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric as one "name: value" line, sorted by name — the
+// expvar-style text form served by the REPL's \metrics command.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s: %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s: %d", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("%s: count=%d sum=%d mean=%d max=%d",
+			name, h.Count(), h.Sum(), h.Mean(), h.Max()))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,301 @@
+// Package obs is the observability layer: a low-overhead query-lifecycle
+// tracer (spans + point events), a process-wide metrics registry, and a
+// Chrome trace_event exporter. It sits at the very bottom of the dependency
+// graph — it imports nothing but the standard library, so every other layer
+// (faultpoint, wmem, engine, core, the public API) can record into it
+// without import cycles. `make verify` enforces this by construction.
+//
+// The tracer is nil-safe and allocation-free when disabled: every method on
+// a nil *Trace returns immediately, so hot paths pay a single pointer test.
+// A non-nil Trace is safe for concurrent use — the background TurboFan
+// compiler publishes tier-up events into the same trace the morsel loop is
+// writing to.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical span names, recorded once per query phase. Trace.Dur sums all
+// spans of a name, so repeated phases (e.g. several pipelines) aggregate.
+const (
+	SpanParse       = "parse"
+	SpanSema        = "sema"
+	SpanPlan        = "plan"
+	SpanCodegen     = "codegen"
+	SpanDecode      = "decode"
+	SpanValidate    = "validate"
+	SpanLiftoff     = "liftoff-compile"
+	SpanTurbofan    = "turbofan-compile"
+	SpanRewire      = "rewire"
+	SpanInstantiate = "instantiate"
+	SpanExecute     = "execute"
+	// SpanPipeline prefixes one span per driven pipeline:
+	// "pipeline:pipeline_0".
+	SpanPipeline = "pipeline:"
+	// SpanMorsel prefixes per-morsel spans, recorded only when Trace.Detail
+	// is set (they are numerous).
+	SpanMorsel = "morsel:"
+)
+
+// Point-event names.
+const (
+	// EvTierUp marks a function's optimized code being published by the
+	// background compiler (args: func, morsel — the morsel count at publish).
+	EvTierUp = "tier-up"
+	// EvTierSwitch marks the first call of a function actually served by
+	// optimized code (args: func, morsel).
+	EvTierSwitch = "tier-switch"
+	// EvFuel is a fuel checkpoint (args: remaining), recorded at pipeline
+	// boundaries on metered queries.
+	EvFuel = "fuel"
+	// EvGrow marks a linear-memory growth (args: delta, pages — the new
+	// high-water mark).
+	EvGrow = "wmem-grow"
+	// EvFaultpoint marks an armed fault-injection point being evaluated
+	// (args: point, hit, injected).
+	EvFaultpoint = "faultpoint"
+)
+
+// Counter names stored on the trace (set by the executor at query end).
+const (
+	CtrMorselsLiftoff  = "morsels_liftoff"
+	CtrMorselsTurbofan = "morsels_turbofan"
+	CtrTurbofanFailed  = "turbofan_failed"
+	CtrModuleBytes     = "module_bytes"
+	CtrFuelUsed        = "fuel_used"
+	CtrPeakMemBytes    = "peak_mem_bytes"
+	CtrResultRows      = "result_rows"
+)
+
+// Arg is one key/value annotation on a span or event. Val carries numeric
+// arguments; Str, when non-empty, wins over Val.
+type Arg struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// I makes a numeric Arg.
+func I(key string, val int64) Arg { return Arg{Key: key, Val: val} }
+
+// S makes a string Arg.
+func S(key, val string) Arg { return Arg{Key: key, Str: val} }
+
+// Span is one completed timed phase.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// Event is one instantaneous occurrence.
+type Event struct {
+	Name string
+	Time time.Time
+	Args []Arg
+}
+
+// Trace is a query-scoped recording of spans, events, and counters.
+// The zero value is not usable; create with NewTrace. All methods are
+// nil-safe: calling them on a nil *Trace is a cheap no-op.
+type Trace struct {
+	// Label identifies the trace (the SQL text); set before use.
+	Label string
+	// Detail enables per-morsel span recording. Off by default — a large
+	// scan produces thousands of morsels.
+	Detail bool
+
+	start time.Time
+
+	// Hot counters, written from the morsel loop without taking mu.
+	morsels atomic.Int64
+
+	mu       sync.Mutex
+	spans    []Span
+	events   []Event
+	counters map[string]int64
+}
+
+// NewTrace creates an empty trace anchored at the current time.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), counters: map[string]int64{}}
+}
+
+// StartTime returns the trace's anchor time.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Timer is an in-flight span started by Begin. The zero Timer (from a nil
+// trace) is inert.
+type Timer struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Begin opens a span. Call End on the returned Timer to record it; on a nil
+// trace this costs one pointer test and no clock read.
+func (t *Trace) Begin(name string) Timer {
+	if t == nil {
+		return Timer{}
+	}
+	return Timer{t: t, name: name, start: time.Now()}
+}
+
+// End records the span, with optional annotations.
+func (tm Timer) End(args ...Arg) {
+	if tm.t == nil {
+		return
+	}
+	sp := Span{Name: tm.name, Start: tm.start, Dur: time.Since(tm.start), Args: args}
+	tm.t.mu.Lock()
+	tm.t.spans = append(tm.t.spans, sp)
+	tm.t.mu.Unlock()
+}
+
+// AddSpan records an externally timed span.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur, Args: args})
+	t.mu.Unlock()
+}
+
+// Event records a point event at the current time.
+func (t *Trace) Event(name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ev := Event{Name: name, Time: time.Now(), Args: args}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// AddMorsel counts one morsel dispatch (atomic; no lock).
+func (t *Trace) AddMorsel() {
+	if t == nil {
+		return
+	}
+	t.morsels.Add(1)
+}
+
+// MorselCount returns the number of morsels dispatched so far. Safe to call
+// from any goroutine — the background compiler stamps tier-up events with it.
+func (t *Trace) MorselCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.morsels.Load()
+}
+
+// Add increments the named counter.
+func (t *Trace) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Set stores the named counter.
+func (t *Trace) Set(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] = v
+	t.mu.Unlock()
+}
+
+// Value reads the named counter (0 if absent or trace is nil).
+func (t *Trace) Value(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Dur sums the durations of all spans with the given name.
+func (t *Trace) Dur(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d time.Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			d += s.Dur
+		}
+	}
+	return d
+}
+
+// Spans returns a snapshot copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// HasEvent reports whether an event with the given name was recorded.
+func (t *Trace) HasEvent(name string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.events {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// active is the process-wide current trace, consulted by instrumentation
+// that has no query context of its own (faultpoint). The executor installs
+// its trace for the duration of a query.
+var active atomic.Pointer[Trace]
+
+// SwapActive installs t as the active trace and returns the previous one,
+// so nested scopes can restore it.
+func SwapActive(t *Trace) *Trace {
+	return active.Swap(t)
+}
+
+// Active returns the currently installed trace (nil if none).
+func Active() *Trace {
+	return active.Load()
+}

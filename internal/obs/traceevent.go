@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// The Chrome trace_event JSON Object Format, as consumed by
+// chrome://tracing and Perfetto: a top-level object with a "traceEvents"
+// array of events. Spans become complete events (ph "X"), point events
+// become instants (ph "i"), and each trace gets its own tid plus a
+// thread_name metadata record carrying its Label, so a session of queries
+// renders as parallel labeled lanes.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func argsMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		if a.Str != "" {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Val
+		}
+	}
+	return m
+}
+
+// micros converts an absolute time to microseconds since epoch.
+func micros(t, epoch time.Time) float64 {
+	return float64(t.Sub(epoch).Nanoseconds()) / 1e3
+}
+
+// WriteTraceEvents serializes one or more traces as Chrome trace_event
+// JSON. Timestamps are relative to the earliest trace's start, so a whole
+// REPL session exports as one coherent timeline.
+func WriteTraceEvents(w io.Writer, traces ...*Trace) error {
+	var epoch time.Time
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if epoch.IsZero() || t.start.Before(epoch) {
+			epoch = t.start
+		}
+	}
+
+	out := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	tid := 0
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		tid++
+		label := t.Label
+		if label == "" {
+			label = "query"
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": label},
+		})
+		for _, sp := range t.Spans() {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: sp.Name, Cat: "query", Ph: "X",
+				Ts:  micros(sp.Start, epoch),
+				Dur: float64(sp.Dur.Nanoseconds()) / 1e3,
+				Pid: 1, Tid: tid, Args: argsMap(sp.Args),
+			})
+		}
+		for _, ev := range t.Events() {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Name, Cat: "event", Ph: "i",
+				Ts:  micros(ev.Time, epoch),
+				Pid: 1, Tid: tid, S: "t", Args: argsMap(ev.Args),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceEvents exports this single trace (see the package function).
+func (t *Trace) WriteTraceEvents(w io.Writer) error {
+	return WriteTraceEvents(w, t)
+}

@@ -24,6 +24,7 @@ package wasmdb
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"wasmdb/internal/catalog"
 	"wasmdb/internal/core"
 	"wasmdb/internal/engine"
+	"wasmdb/internal/obs"
 	"wasmdb/internal/plan"
 	"wasmdb/internal/sema"
 	"wasmdb/internal/sql"
@@ -233,6 +235,33 @@ type queryOpts struct {
 	timeout    time.Duration
 	fuel       int64
 	memBudget  uint32
+	trace      *obs.Trace
+}
+
+// Trace is a query-scoped recording of timed spans (parse, compile tiers,
+// per-pipeline execution), point events (tier-up, memory growth, fuel
+// checkpoints), and counters. Create with NewTrace, attach with WithTrace,
+// and export with its WriteTraceEvents method (Chrome trace_event JSON,
+// viewable in Perfetto or chrome://tracing).
+type Trace = obs.Trace
+
+// NewTrace creates an empty query trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// Metrics is the process-wide metrics registry: monotonic counters, gauges,
+// and latency histograms accumulated across all queries.
+type Metrics = obs.Registry
+
+// Metrics returns the process-wide metrics registry shared by every DB in
+// the process (queries by backend, compiles by tier, tier-up latency, fuel
+// consumed, peak heap pages, morsel latency). Render with its Dump method.
+func (db *DB) Metrics() *Metrics { return obs.Default }
+
+// WriteTraceEvents serializes one or more query traces as Chrome
+// trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each trace renders as its own labeled lane.
+func WriteTraceEvents(w io.Writer, traces ...*Trace) error {
+	return obs.WriteTraceEvents(w, traces...)
 }
 
 // WithBackend selects the execution backend (default BackendWasm).
@@ -254,6 +283,13 @@ func WithTimeout(d time.Duration) Option { return func(o *queryOpts) { o.timeout
 // function entry and per taken loop back-edge). Exhaustion returns an error
 // matching ErrFuelExhausted. Applies to the Wasm backends.
 func WithFuel(n int64) Option { return func(o *queryOpts) { o.fuel = n } }
+
+// WithTrace records the query's full execution timeline — phase spans,
+// tier-up events, memory growth, fuel checkpoints — into tr. The query
+// additionally waits for background optimization to settle before
+// returning (without changing adaptive behavior during execution), so the
+// tier-up timeline in tr is complete.
+func WithTrace(tr *Trace) Option { return func(o *queryOpts) { o.trace = tr } }
 
 // WithMemoryLimit caps the query's linear-memory heap at roughly maxBytes
 // (rounded up to whole 64 KiB Wasm pages). A query that tries to grow
@@ -292,6 +328,32 @@ type Stats struct {
 	TurbofanFailed int
 	// ModuleBytes is the size of the generated Wasm module.
 	ModuleBytes int
+	// FuelUsed is the guest execution budget consumed (0 when the query ran
+	// unmetered, i.e. without WithFuel or a cancellable context).
+	FuelUsed int64
+	// PeakMemBytes is the high-water linear-memory size of the query.
+	PeakMemBytes uint64
+}
+
+// statsFromTrace derives the public Stats from the query trace — the single
+// source of truth all three stats surfaces (wasmdb.Stats, core.ExecStats,
+// engine.CompileStats) now agree on.
+func statsFromTrace(tr *obs.Trace, b Backend) Stats {
+	return Stats{
+		Backend: b,
+		Translate: tr.Dur(obs.SpanParse) + tr.Dur(obs.SpanSema) +
+			tr.Dur(obs.SpanPlan) + tr.Dur(obs.SpanCodegen),
+		Liftoff:  tr.Dur(obs.SpanLiftoff),
+		Turbofan: tr.Dur(obs.SpanTurbofan),
+		Execute: tr.Dur(obs.SpanRewire) + tr.Dur(obs.SpanInstantiate) +
+			tr.Dur(obs.SpanExecute),
+		MorselsLiftoff:  uint64(tr.Value(obs.CtrMorselsLiftoff)),
+		MorselsTurbofan: uint64(tr.Value(obs.CtrMorselsTurbofan)),
+		TurbofanFailed:  int(tr.Value(obs.CtrTurbofanFailed)),
+		ModuleBytes:     int(tr.Value(obs.CtrModuleBytes)),
+		FuelUsed:        tr.Value(obs.CtrFuelUsed),
+		PeakMemBytes:    uint64(tr.Value(obs.CtrPeakMemBytes)),
+	}
 }
 
 // Result is a decoded result set.
@@ -393,44 +455,59 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 		return nil, fmt.Errorf("wasmdb: query canceled: %w", err)
 	}
 
-	t0 := time.Now()
+	// Every query records into a trace — the caller's (WithTrace) or an
+	// internal one — and the public Stats are derived from it, so the trace
+	// and Stats can never disagree. The per-morsel hot path stays cheap:
+	// one atomic add per morsel, spans only at phase granularity.
+	tr := o.trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	if tr.Label == "" {
+		tr.Label = src
+	}
+
+	sp := tr.Begin(obs.SpanParse)
 	stmt, err := sql.ParseSelect(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Begin(obs.SpanSema)
 	q, err := sema.Analyze(stmt, db.cat)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Begin(obs.SpanPlan)
 	p, err := plan.Build(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Stats: Stats{Backend: o.backend}}
+	res := &Result{}
 	for _, oc := range q.Select {
 		res.Columns = append(res.Columns, oc.Name)
 	}
 
 	switch o.backend {
 	case BackendVolcano:
-		res.Stats.Translate = time.Since(t0)
-		t1 := time.Now()
+		sp = tr.Begin(obs.SpanExecute)
 		_, rows, err := volcano.Run(q, p)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.rows = rows
-		res.Stats.Execute = time.Since(t1)
 	case BackendVectorized:
-		res.Stats.Translate = time.Since(t0)
-		t1 := time.Now()
+		sp = tr.Begin(obs.SpanExecute)
 		_, rows, _, err := vectorized.Run(q, p)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.rows = rows
-		res.Stats.Execute = time.Since(t1)
 	default:
 		style := core.Style{}
 		cfg := engine.Config{}
@@ -446,31 +523,29 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 			cfg.OptRounds = hyperOptRounds
 			style = core.Style{LibraryHT: true, LibrarySort: true, PredicatedSelection: true}
 		}
+		sp = tr.Begin(obs.SpanCodegen)
 		cq, err := core.CompileStyled(q, p, style)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.Translate = time.Since(t0)
-		res.Stats.ModuleBytes = len(cq.Bin)
-		t1 := time.Now()
-		out, st, err := core.Execute(cq, q, engine.New(cfg), core.ExecOptions{
+		out, _, err := core.Execute(cq, q, engine.New(cfg), core.ExecOptions{
 			MorselRows:        o.morselRows,
 			WaitOptimized:     o.wait,
 			Ctx:               ctx,
 			Fuel:              o.fuel,
 			MemoryBudgetPages: o.memBudget,
+			Trace:             tr,
+			// A caller-supplied trace gets the complete tier-up timeline.
+			DrainBackground: o.trace != nil,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.rows = out.Rows
-		res.Stats.Execute = time.Since(t1)
-		res.Stats.Liftoff = st.Engine.Liftoff
-		res.Stats.Turbofan = st.Engine.Turbofan
-		res.Stats.MorselsLiftoff = st.MorselsLiftoff
-		res.Stats.MorselsTurbofan = st.MorselsTurbofan
-		res.Stats.TurbofanFailed = st.Engine.TurbofanFailed
 	}
+	res.Stats = statsFromTrace(tr, o.backend)
+	obs.Default.Counter(obs.MetricQueries + "." + o.backend.String()).Add(1)
 	return res, nil
 }
 
