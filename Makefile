@@ -10,8 +10,9 @@ test:
 
 # verify is the CI gate: compile everything, lint with vet, enforce the
 # observability layering invariant, and run the full suite under the race
-# detector (the guardrail watchdog and background tier-up are
-# concurrency-heavy paths).
+# detector (the guardrail watchdog, background tier-up, and the parallel
+# morsel worker pool — including the fault-injection and cancellation tests
+# in internal/core/parallel_test.go — are concurrency-heavy paths).
 verify: lint-layers
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -27,12 +28,13 @@ lint-layers:
 	fi
 	@echo "lint-layers: ok (internal/obs imports stdlib only)"
 
-# bench-smoke runs one micro-benchmark per backend at a small scale and
-# validates that the emitted BENCH_smoke.json parses (the bench binary
-# re-reads and unmarshals what it wrote).
+# bench-smoke runs one micro-benchmark per backend at a small scale plus the
+# 1/2/4-worker scaling experiment, and validates that the emitted
+# BENCH_*.json parse (the bench binary re-reads and unmarshals what it
+# wrote).
 bench-smoke:
-	$(GO) run ./cmd/bench -experiment smoke -rows 100000 -reps 1 -json
-	@rm -f BENCH_smoke.json
+	$(GO) run ./cmd/bench -experiment smoke,scaling -rows 100000 -reps 1 -json
+	@rm -f BENCH_smoke.json BENCH_scaling.json
 
 # fuzz the adversarial-module executor for a short budget.
 fuzz:

@@ -61,16 +61,23 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 		sb.WriteString("\npipelines:\n")
 		for _, sp := range pipes {
 			name := strings.TrimPrefix(sp.Name, obs.SpanPipeline)
-			rowsArg := int64(-1)
+			rowsArg, workersArg := int64(-1), int64(0)
 			for _, a := range sp.Args {
-				if a.Key == "rows" {
+				switch a.Key {
+				case "rows":
 					rowsArg = a.Val
+				case "workers":
+					workersArg = a.Val
 				}
 			}
+			par := ""
+			if workersArg > 1 {
+				par = fmt.Sprintf("  [%d workers]", workersArg)
+			}
 			if rowsArg >= 0 {
-				fmt.Fprintf(&sb, "  %-18s %-10s %d rows\n", name, fmtAnalyzeDur(sp.Dur), rowsArg)
+				fmt.Fprintf(&sb, "  %-18s %-10s %d rows%s\n", name, fmtAnalyzeDur(sp.Dur), rowsArg, par)
 			} else {
-				fmt.Fprintf(&sb, "  %-18s %s\n", name, fmtAnalyzeDur(sp.Dur))
+				fmt.Fprintf(&sb, "  %-18s %s%s\n", name, fmtAnalyzeDur(sp.Dur), par)
 			}
 		}
 	}
@@ -120,6 +127,20 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 	}
 	if st.PeakMemBytes > 0 {
 		fmt.Fprintf(&sb, "  peak memory        %d KiB\n", st.PeakMemBytes/1024)
+	}
+	if st.Workers > 1 {
+		fmt.Fprintf(&sb, "  workers            %d (%d pipelines parallel, %d serial)\n",
+			st.Workers, st.PipelinesParallel, st.PipelinesSerial)
+	}
+	// A query that requested parallelism but could not use it says why.
+	for _, ev := range tr.Events() {
+		if ev.Name == obs.EvSerialFallback {
+			for _, a := range ev.Args {
+				if a.Key == "reason" {
+					fmt.Fprintf(&sb, "  serial fallback    %s\n", a.Str)
+				}
+			}
+		}
 	}
 	return sb.String()
 }

@@ -11,6 +11,7 @@
 //	bench -experiment fig10 -sf 0.1
 //	bench -experiment fig6a,fig6c -systems mutable,vectorized -csv
 //	bench -experiment smoke -rows 100000 -json   # health check, BENCH_smoke.json
+//	bench -experiment scaling -json              # 1/2/4-worker parallel speedup
 package main
 
 import (
@@ -29,7 +30,7 @@ var allExperiments = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d",
 	"fig8a", "fig8b", "fig9", "fig10",
 	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
-	"smoke",
+	"smoke", "scaling",
 }
 
 func main() {
@@ -108,6 +109,15 @@ func main() {
 			}
 		case "smoke":
 			r, err := experiments.Smoke(opts)
+			if err != nil {
+				fail(err)
+			}
+			recs = r
+			if err := experiments.WriteRecords(os.Stdout, recs); err != nil {
+				fail(err)
+			}
+		case "scaling":
+			r, err := experiments.Scaling(opts)
 			if err != nil {
 				fail(err)
 			}

@@ -11,14 +11,16 @@
 //
 // Meta commands:
 //
-//	\backend <name>   switch execution backend (wasm, liftoff, turbofan,
-//	                  hyper, vectorized, volcano)
-//	\explain <sql>    show the plan and pipeline dissection
-//	\wat <sql>        dump the generated WebAssembly (text form)
-//	\timing           toggle per-query phase timings
-//	\metrics          dump the process-wide metrics registry
-//	\tpch <id>        run a built-in TPC-H query (Q1, Q3, Q6, Q12, Q14)
-//	\q                quit
+//	\backend <name>       switch execution backend (wasm, liftoff, turbofan,
+//	                      hyper, vectorized, volcano)
+//	\set parallelism <n>  morsel worker-pool size for the Wasm backends
+//	                      (1 = serial, 0 = GOMAXPROCS)
+//	\explain <sql>        show the plan and pipeline dissection
+//	\wat <sql>            dump the generated WebAssembly (text form)
+//	\timing               toggle per-query phase timings
+//	\metrics              dump the process-wide metrics registry
+//	\tpch <id>            run a built-in TPC-H query (Q1, Q3, Q6, Q12, Q14)
+//	\q                    quit
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +61,9 @@ type shell struct {
 	backend wasmdb.Backend
 	timing  bool
 	timeout time.Duration
+	// parallelism is the morsel worker-pool size for Wasm-backed queries
+	// (0 or 1 = serial execution, matching the engine default).
+	parallelism int
 	// tracing, when set, collects one trace per executed query for the
 	// session-wide trace_event export written at exit.
 	tracing bool
@@ -141,6 +148,23 @@ func (sh *shell) meta(line string) bool {
 		default:
 			fmt.Fprintln(sh.out, "backends: wasm, liftoff, turbofan, hyper, vectorized, volcano")
 		}
+	case "\\set":
+		key, val, _ := strings.Cut(arg, " ")
+		switch key {
+		case "parallelism":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || n < 0 {
+				fmt.Fprintln(sh.out, "usage: \\set parallelism <n>  (1 = serial, 0 = all cores)")
+				return true
+			}
+			if n == 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			sh.parallelism = n
+			fmt.Fprintf(sh.out, "parallelism %d\n", n)
+		default:
+			fmt.Fprintln(sh.out, "settable: parallelism")
+		}
 	case "\\explain":
 		out, err := sh.db.Explain(arg)
 		if err != nil {
@@ -164,7 +188,7 @@ func (sh *shell) meta(line string) bool {
 		fmt.Fprintln(sh.out, src)
 		sh.runSQL(src)
 	default:
-		fmt.Fprintln(sh.out, "meta commands: \\backend, \\explain, \\wat, \\timing, \\metrics, \\tpch, \\q")
+		fmt.Fprintln(sh.out, "meta commands: \\backend, \\set, \\explain, \\wat, \\timing, \\metrics, \\tpch, \\q")
 	}
 	return true
 }
@@ -189,6 +213,9 @@ func (sh *shell) runSQL(src string) {
 	opts := []wasmdb.Option{wasmdb.WithBackend(sh.backend)}
 	if sh.timeout > 0 {
 		opts = append(opts, wasmdb.WithTimeout(sh.timeout))
+	}
+	if sh.parallelism > 1 {
+		opts = append(opts, wasmdb.WithParallelism(sh.parallelism))
 	}
 	if strings.HasPrefix(upper, "EXPLAIN ANALYZE") {
 		rest := strings.TrimSpace(src)[len("EXPLAIN ANALYZE"):]
@@ -217,7 +244,11 @@ func (sh *shell) runSQL(src string) {
 	fmt.Fprintf(sh.out, "(%d rows)\n", res.NumRows())
 	if sh.timing {
 		s := res.Stats
-		fmt.Fprintf(sh.out, "translate=%v liftoff=%v turbofan=%v execute=%v morsels(lo/tf)=%d/%d module=%dB\n",
+		fmt.Fprintf(sh.out, "translate=%v liftoff=%v turbofan=%v execute=%v morsels(lo/tf)=%d/%d module=%dB",
 			s.Translate, s.Liftoff, s.Turbofan, s.Execute, s.MorselsLiftoff, s.MorselsTurbofan, s.ModuleBytes)
+		if s.Workers > 1 {
+			fmt.Fprintf(sh.out, " workers=%d pipelines(par/ser)=%d/%d", s.Workers, s.PipelinesParallel, s.PipelinesSerial)
+		}
+		fmt.Fprintln(sh.out)
 	}
 }

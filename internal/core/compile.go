@@ -56,6 +56,20 @@ type ResultField struct {
 	Offset uint32
 }
 
+// AggGlobal describes one keyless-aggregation state global — the metadata
+// the parallel executor needs to merge per-worker partial aggregates
+// host-side (each worker instance accumulates into its own copy of the
+// global; the merge folds them with the aggregate's combine rule).
+type AggGlobal struct {
+	// Global is the module global index holding the running state.
+	Global uint32
+	// Func is the aggregate function (COUNT/SUM/MIN/MAX) selecting the
+	// combine rule.
+	Func sema.AggFunc
+	// T is the aggregate's state type (determines bit interpretation).
+	T types.Type
+}
+
 // CompiledQuery is the output of Compile: a binary Wasm module plus the
 // metadata the executor needs to wire memory and drive pipelines.
 type CompiledQuery struct {
@@ -74,6 +88,15 @@ type CompiledQuery struct {
 	HeapBase uint32
 	// MinPages is the initial memory size the executor must provide.
 	MinPages uint32
+
+	// AggGlobals lists the keyless-aggregation state globals (empty unless
+	// the query has a single global aggregation); AggCountGlobal is the
+	// matched-row counter feeding the zero-input guard. aggStateSets counts
+	// how many aggregation operators allocated global state — the parallel
+	// merge only applies when exactly one did.
+	AggGlobals     []AggGlobal
+	AggCountGlobal uint32
+	aggStateSets   int
 
 	Limit int64 // -1 if none
 }

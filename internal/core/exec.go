@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wasmdb/internal/engine"
@@ -62,6 +64,11 @@ type ExecOptions struct {
 	// trace's tier-up timeline and Turbofan timing are complete when Execute
 	// returns.
 	DrainBackground bool
+	// Parallelism sets the morsel worker-pool size (<= 1 runs serially).
+	// Each worker owns a private instance and linear memory created from the
+	// shared compiled module; pipelines whose state the host cannot merge
+	// fall back to serial execution (see ExecStats.SerialFallback).
+	Parallelism int
 }
 
 // ExecStats reports where time went, phase by phase (the paper's Fig. 10
@@ -93,11 +100,29 @@ type ExecStats struct {
 	TurbofanFailed int
 	// ModuleBytes is the size of the generated Wasm binary.
 	ModuleBytes int
-	// FuelUsed is the fuel consumed by the query (0 when unmetered).
+	// FuelUsed is the fuel consumed against a user-supplied ExecOptions.Fuel
+	// budget (0 when no budget was set). A cancellable context arms implicit
+	// metering so interruption can reach inside a morsel, but that synthetic
+	// budget is bookkeeping, not a user contract, and is never reported here.
 	FuelUsed int64
 	// PeakMemBytes is the high-water linear-memory size (pages never
-	// shrink, so the final size is the peak).
+	// shrink, so the final size is the peak). Under parallel execution it is
+	// the sum across all worker memories — the query's total footprint.
 	PeakMemBytes uint64
+	// Workers is the size of the morsel worker pool the query ran with (1
+	// when serial).
+	Workers int
+	// PipelinesParallel and PipelinesSerial count morsel-driven pipelines by
+	// how they were executed (run-once pipelines, which dispatch a single
+	// call, are counted in neither). A query that requested parallelism but
+	// has PipelinesSerial > 0 fell back — see SerialFallback.
+	PipelinesParallel int
+	PipelinesSerial   int
+	// SerialFallback names why a query that requested parallelism ran its
+	// pipelines serially ("" when parallel execution applied or was never
+	// requested): chunked-rewiring, fuel-budget, limit, float-sum-order, or
+	// unmergeable-pipeline-state.
+	SerialFallback string
 }
 
 // ResultSet holds decoded query results.
@@ -105,6 +130,21 @@ type ResultSet struct {
 	Names []string
 	Types []types.Type
 	Rows  [][]types.Value
+}
+
+// worker is one execution lane of the morsel pool: a private instance and
+// linear memory created from the shared compiled module, plus the rows its
+// result_flush calls have decoded so far. Serial queries use a single worker.
+type worker struct {
+	id   int
+	mem  *wmem.Memory
+	inst *engine.Instance
+	// rows are this worker's decoded results; the merge pass concatenates
+	// them in worker order.
+	rows [][]types.Value
+	// limitHit is set by the drain once the query's LIMIT is satisfied; the
+	// morsel loop treats it like the guest's stop signal.
+	limitHit bool
 }
 
 // Execute runs a compiled query against its bound tables on the given
@@ -165,33 +205,100 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		}
 	}
 
+	// Choose the execution strategy: a worker pool when every stateful
+	// pipeline can be merged afterwards, serial otherwise — with the
+	// fallback recorded, never silent.
+	workers := opt.Parallelism
+	if workers <= 1 {
+		workers = 1
+	}
+	mode, fallback := classifyParallel(cq, opt, workers)
+	if mode == parNone {
+		workers = 1
+	}
+	stats.Workers = workers
+	stats.SerialFallback = fallback
+	if fallback != "" {
+		tr.Event(obs.EvSerialFallback, obs.S("reason", fallback))
+	}
+	if workers > 1 {
+		tr.Event(obs.EvParallel, obs.I("workers", int64(workers)))
+	}
+
+	// Fuel metering. A cancellable context needs metering too: the fuel
+	// checks double as interruption points, which is the only way to stop
+	// generated code in the middle of a morsel. That implicit budget is
+	// distinct from a user Fuel budget: only the latter is reported in
+	// FuelUsed and fuel trace events (the stat's documented contract).
+	userFuel := opt.Fuel > 0
+	meterFuel := opt.Fuel
+	if !userFuel && ctx.Done() != nil {
+		meterFuel = math.MaxInt64
+	}
+
+	res := &ResultSet{}
+	for _, rf := range cq.ResultFields {
+		res.Names = append(res.Names, rf.Name)
+		res.Types = append(res.Types, rf.Type)
+	}
+
+	// drain decodes count rows from a worker's result buffer into its private
+	// row slice. The decode stops as soon as the query's LIMIT is satisfied —
+	// rows beyond it would be discarded anyway — and trips the worker's
+	// limitHit flag so the morsel loop short-circuits via the stop path.
+	drain := func(w *worker, m *wmem.Memory, count uint32) {
+		for i := uint32(0); i < count; i++ {
+			if cq.Limit >= 0 && int64(len(w.rows)) >= cq.Limit {
+				w.limitHit = true
+				return
+			}
+			w.rows = append(w.rows, decodeRow(m, cq, i))
+		}
+	}
+
+	// Build the worker pool: every worker owns a private memory with the
+	// same host columns rewired in, and a private instance of the shared
+	// module (background tier-up publishes optimized code to all of them at
+	// once). Worker 0 is the primary: serial pipelines and run-once output
+	// pipelines execute on it.
 	t0 := time.Now()
 	spRewire := tr.Begin(obs.SpanRewire)
-	mem := wmem.New(cq.MinPages, 65536)
-	mem.SetTracer(tr)
-	if opt.MemoryBudgetPages > 0 {
-		mem.SetBudget(opt.MemoryBudgetPages)
-	}
+	ws := make([]*worker, workers)
 	mapped := 0
-	for _, cm := range cq.Columns {
-		if chunked[cm.TableIdx] {
-			continue // mapped chunk-by-chunk while scanning
+	for wi := range ws {
+		w := &worker{id: wi}
+		w.mem = wmem.New(cq.MinPages, 65536)
+		w.mem.SetTracer(tr)
+		if opt.MemoryBudgetPages > 0 {
+			// The budget bounds each worker's heap: it exists to stop
+			// runaway per-query allocations, and parallel-eligible pipelines
+			// allocate almost nothing beyond the fixed layout.
+			w.mem.SetBudget(opt.MemoryBudgetPages)
 		}
-		col := q.Tables[cm.TableIdx].Table.Columns[cm.ColIdx]
-		if col.MappedBytes() == 0 {
-			continue
+		for _, cm := range cq.Columns {
+			if chunked[cm.TableIdx] {
+				continue // mapped chunk-by-chunk while scanning
+			}
+			col := q.Tables[cm.TableIdx].Table.Columns[cm.ColIdx]
+			if col.MappedBytes() == 0 {
+				continue
+			}
+			if err := w.mem.Map(cm.Base, col.Data()); err != nil {
+				return nil, nil, fmt.Errorf("core: rewiring column %s.%s: %w",
+					q.Tables[cm.TableIdx].Table.Name, col.Name, err)
+			}
+			mapped++
 		}
-		if err := mem.Map(cm.Base, col.Data()); err != nil {
-			return nil, nil, fmt.Errorf("core: rewiring column %s.%s: %w",
-				q.Tables[cm.TableIdx].Table.Name, col.Name, err)
-		}
-		mapped++
+		ws[wi] = w
 	}
-	spRewire.End(obs.I("columns", int64(mapped)))
+	spRewire.End(obs.I("columns", int64(mapped)), obs.I("workers", int64(workers)))
 	stats.Rewire = time.Since(t0)
 
+	primary := ws[0]
+
 	// mapChunk rewires rows [start, start+n) of every referenced column of
-	// table ti into the column's window.
+	// table ti into the column's window (serial execution only — chunking
+	// falls back, see classifyParallel).
 	mapChunk := func(ti, start, n int) error {
 		if err := faultpoint.Hit("core-rewire"); err != nil {
 			return fmt.Errorf("core: chunk rewiring: %w", err)
@@ -212,71 +319,60 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			if lo >= hi {
 				continue
 			}
-			if err := mem.Map(cm.Base, data[lo:hi]); err != nil {
+			if err := primary.mem.Map(cm.Base, data[lo:hi]); err != nil {
 				return fmt.Errorf("core: chunk rewiring %s.%s: %w", q.Tables[ti].Table.Name, col.Name, err)
 			}
 		}
 		return nil
 	}
 
-	res := &ResultSet{}
-	for _, rf := range cq.ResultFields {
-		res.Names = append(res.Names, rf.Name)
-		res.Types = append(res.Types, rf.Type)
-	}
-
-	drain := func(m *wmem.Memory, count uint32) {
-		for i := uint32(0); i < count; i++ {
-			res.Rows = append(res.Rows, decodeRow(m, cq, i))
+	spInst := tr.Begin(obs.SpanInstantiate)
+	for _, w := range ws {
+		w := w
+		imports := engine.Imports{
+			Memory: w.mem,
+			Funcs: map[string]*rt.HostFunc{
+				"env.result_flush": {
+					Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}},
+					Fn: func(env *rt.Env, args, out []uint64) {
+						drain(w, env.Mem, uint32(args[0]))
+						out[0] = 0
+					},
+				},
+			},
+		}
+		inst, err := mod.Instantiate(imports)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: instantiate: %w", err)
+		}
+		w.inst = inst
+		if meterFuel > 0 {
+			inst.SetFuel(meterFuel)
 		}
 	}
 
-	imports := engine.Imports{
-		Memory: mem,
-		Funcs: map[string]*rt.HostFunc{
-			"env.result_flush": {
-				Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}},
-				Fn: func(env *rt.Env, args, out []uint64) {
-					drain(env.Mem, uint32(args[0]))
-					out[0] = 0
-				},
-			},
-		},
-	}
-	spInst := tr.Begin(obs.SpanInstantiate)
-	inst, err := mod.Instantiate(imports)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: instantiate: %w", err)
-	}
-	spInst.End()
-
-	// Fuel metering. A cancellable context needs metering too: the fuel
-	// checks double as interruption points, which is the only way to stop
-	// generated code in the middle of a morsel.
-	fuel := opt.Fuel
-	if fuel <= 0 && ctx.Done() != nil {
-		fuel = math.MaxInt64
-	}
-	if fuel > 0 {
-		inst.SetFuel(fuel)
-	}
 	if ctx.Done() != nil {
-		// Watchdog: flips the instance's interrupt flag when the context
-		// fires, trapping the in-flight call at its next fuel check.
+		// Watchdog: flips every instance's interrupt flag when the context
+		// fires, trapping each in-flight call at its next fuel check.
 		watchdogDone := make(chan struct{})
 		defer close(watchdogDone)
 		go func() {
 			select {
 			case <-ctx.Done():
-				inst.Interrupt()
+				for _, w := range ws {
+					w.inst.Interrupt()
+				}
 			case <-watchdogDone:
 			}
 		}()
 	}
 
-	if _, err := inst.Call("q_init"); err != nil {
-		return nil, nil, fmt.Errorf("core: q_init: %w", wrapErr(err))
+	for _, w := range ws {
+		if _, err := w.inst.Call("q_init"); err != nil {
+			return nil, nil, fmt.Errorf("core: q_init: %w", wrapErr(err))
+		}
 	}
+	spInst.End(obs.I("workers", int64(workers)))
 	stats.Init = time.Since(t0)
 
 	if opt.WaitOptimized {
@@ -286,21 +382,23 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		_ = mod.WaitOptimized()
 	}
 
-	// callMorsel dispatches one morsel: faultpoint check, morsel count (the
-	// tier-up timeline is stamped against it), latency histogram, and —
-	// only when the trace asks for Detail — a per-morsel span.
-	callMorsel := func(export string, begin, end int) (bool, error) {
+	// callMorsel dispatches one morsel on one worker: faultpoint check,
+	// morsel count (the tier-up timeline is stamped against it), latency
+	// histogram, and — only when the trace asks for Detail — a per-morsel
+	// span carrying the worker id.
+	callMorsel := func(w *worker, export string, begin, end int) (bool, error) {
 		if ferr := faultpoint.Hit("core-morsel"); ferr != nil {
 			return false, fmt.Errorf("core: %s[%d,%d): %w", export, begin, end, ferr)
 		}
 		tr.AddMorsel()
 		tm := time.Now()
-		r, err := inst.Call(export, uint64(uint32(begin)), uint64(uint32(end)))
+		r, err := w.inst.Call(export, uint64(uint32(begin)), uint64(uint32(end)))
 		d := time.Since(tm)
 		mMorselLatency.Observe(d.Nanoseconds())
 		if tr != nil && tr.Detail {
 			tr.AddSpan(obs.SpanMorsel+export, tm, d,
-				obs.I("begin", int64(begin)), obs.I("end", int64(end)))
+				obs.I("begin", int64(begin)), obs.I("end", int64(end)),
+				obs.I("worker", int64(w.id)))
 		}
 		if err != nil {
 			return false, fmt.Errorf("core: %s[%d,%d): %w", export, begin, end, wrapErr(err))
@@ -308,8 +406,62 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		return r[0] != 0, nil
 	}
 
+	// runParallel drives one pipeline with the whole pool: morsels come off
+	// one atomic counter (work stealing by construction), each worker runs
+	// them on its private instance, and the first error or stop request
+	// halts everyone.
+	runParallel := func(export string, total int) error {
+		var next atomic.Int64
+		var stopFlag atomic.Bool
+		var mu sync.Mutex
+		var firstErr error
+		fail := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			stopFlag.Store(true)
+		}
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for !stopFlag.Load() {
+					if err := canceled(); err != nil {
+						fail(err)
+						return
+					}
+					begin := int(next.Add(int64(opt.MorselRows))) - opt.MorselRows
+					if begin >= total {
+						return
+					}
+					end := begin + opt.MorselRows
+					if end > total {
+						end = total
+					}
+					stop, err := callMorsel(w, export, begin, end)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if stop {
+						stopFlag.Store(true)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+
 	t1 := time.Now()
 	spRun := tr.Begin(obs.SpanExecute)
+	aggMerged := false
 	for _, p := range cq.Pipelines {
 		spPipe := tr.Begin(obs.SpanPipeline + p.Export)
 		var total int
@@ -317,19 +469,41 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		case PipeScanTable:
 			total = q.Tables[p.TableIdx].Table.Rows()
 		case PipeScanSlots:
-			total = int(uint32(inst.Global(int(p.CountGlobal)))) + 1
+			total = int(uint32(primary.inst.Global(int(p.CountGlobal)))) + 1
 		case PipeScanArray:
-			total = int(uint32(inst.Global(int(p.CountGlobal))))
+			total = int(uint32(primary.inst.Global(int(p.CountGlobal))))
 		case PipeScanBuckets:
-			ctrl := uint32(inst.Global(int(p.CountGlobal)))
-			total = int(mem.U32(ctrl+4)) + 1
+			ctrl := uint32(primary.inst.Global(int(p.CountGlobal)))
+			total = int(primary.mem.U32(ctrl+4)) + 1
 		case PipeRunOnce:
-			if _, err := inst.Call(p.Export, 0, 0); err != nil {
+			// A canceled context must be observed between consecutive
+			// run-once pipelines too, not only in morsel loops.
+			if err := canceled(); err != nil {
+				return nil, nil, err
+			}
+			if mode == parAgg && !aggMerged {
+				// Pipeline barrier: fold every worker's partial aggregation
+				// state into the primary before its output pipeline runs.
+				mergeAggGlobals(cq, ws)
+				aggMerged = true
+			}
+			if _, err := primary.inst.Call(p.Export, 0, 0); err != nil {
 				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, wrapErr(err))
 			}
 			spPipe.End()
 			continue
 		}
+		if workers > 1 && p.Kind == PipeScanTable {
+			// Parallel morsel dispatch (classifyParallel guarantees the
+			// pipeline's state is mergeable afterwards).
+			if err := runParallel(p.Export, total); err != nil {
+				return nil, nil, err
+			}
+			stats.PipelinesParallel++
+			spPipe.End(obs.I("rows", int64(total)), obs.I("workers", int64(workers)))
+			continue
+		}
+		stats.PipelinesSerial++
 		stop := false
 		if p.Kind == PipeScanTable && chunked[p.TableIdx] {
 			// Chunked rewiring: remap the window, then drive morsels with
@@ -351,14 +525,15 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 						end = ce - cs
 					}
 					var err error
-					if stop, err = callMorsel(p.Export, begin, end); err != nil {
+					if stop, err = callMorsel(primary, p.Export, begin, end); err != nil {
 						return nil, nil, err
 					}
+					stop = stop || primary.limitHit
 				}
 			}
 			spPipe.End(obs.I("rows", int64(total)))
-			if fuel > 0 {
-				tr.Event(obs.EvFuel, obs.I("remaining", inst.FuelLeft()))
+			if userFuel {
+				tr.Event(obs.EvFuel, obs.I("remaining", primary.inst.FuelLeft()))
 			}
 			continue
 		}
@@ -371,19 +546,28 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 				end = total
 			}
 			var err error
-			if stop, err = callMorsel(p.Export, begin, end); err != nil {
+			if stop, err = callMorsel(primary, p.Export, begin, end); err != nil {
 				return nil, nil, err
 			}
+			// Host-side LIMIT guard: once the drain has cq.Limit rows, the
+			// remaining morsels cannot contribute — short-circuit them.
+			stop = stop || primary.limitHit
 		}
 		spPipe.End(obs.I("rows", int64(total)))
 		// Fuel checkpoint at every pipeline boundary on metered queries —
 		// the audit trail of where the budget went.
-		if fuel > 0 {
-			tr.Event(obs.EvFuel, obs.I("remaining", inst.FuelLeft()))
+		if userFuel {
+			tr.Event(obs.EvFuel, obs.I("remaining", primary.inst.FuelLeft()))
 		}
 	}
-	// Drain the rows still in the buffer.
-	drain(mem, uint32(inst.Global(int(cq.CursorGlobal))))
+	// Drain the rows still in each worker's buffer; the merge for parallel
+	// scans is this concatenation, in worker order.
+	for _, w := range ws {
+		drain(w, w.mem, uint32(w.inst.Global(int(cq.CursorGlobal))))
+	}
+	for _, w := range ws {
+		res.Rows = append(res.Rows, w.rows...)
+	}
 	spRun.End()
 	stats.Run = time.Since(t1)
 
@@ -400,13 +584,23 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	stats.Decode, stats.Validate = es.Decode, es.Validate
 	stats.Liftoff, stats.Turbofan = es.Liftoff, es.Turbofan
 	stats.TurbofanFailed = es.TurbofanFailed
-	stats.MorselsLiftoff, stats.MorselsTurbofan = inst.TierCalls()
-	if left := inst.FuelLeft(); left >= 0 && fuel > 0 {
-		stats.FuelUsed = fuel - left
+	for _, w := range ws {
+		lo, tf := w.inst.TierCalls()
+		stats.MorselsLiftoff += lo
+		stats.MorselsTurbofan += tf
+		stats.PeakMemBytes += uint64(w.mem.Pages()) * wmem.PageSize
+		mPeakHeapPages.SetMax(int64(w.mem.Pages()))
+		if workers > 1 {
+			tr.Set(obs.WorkerCtr(w.id, obs.CtrMorselsLiftoff), int64(lo))
+			tr.Set(obs.WorkerCtr(w.id, obs.CtrMorselsTurbofan), int64(tf))
+		}
 	}
-	stats.PeakMemBytes = uint64(mem.Pages()) * wmem.PageSize
-	mFuelConsumed.Add(stats.FuelUsed)
-	mPeakHeapPages.SetMax(int64(mem.Pages()))
+	if userFuel {
+		if left := primary.inst.FuelLeft(); left >= 0 {
+			stats.FuelUsed = opt.Fuel - left
+		}
+		mFuelConsumed.Add(stats.FuelUsed)
+	}
 	if tr != nil {
 		tr.Set(obs.CtrMorselsLiftoff, int64(stats.MorselsLiftoff))
 		tr.Set(obs.CtrMorselsTurbofan, int64(stats.MorselsTurbofan))
@@ -415,6 +609,9 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		tr.Set(obs.CtrFuelUsed, stats.FuelUsed)
 		tr.Set(obs.CtrPeakMemBytes, int64(stats.PeakMemBytes))
 		tr.Set(obs.CtrResultRows, int64(len(res.Rows)))
+		tr.Set(obs.CtrWorkers, int64(stats.Workers))
+		tr.Set(obs.CtrPipelinesParallel, int64(stats.PipelinesParallel))
+		tr.Set(obs.CtrPipelinesSerial, int64(stats.PipelinesSerial))
 	}
 
 	if cq.Limit >= 0 && int64(len(res.Rows)) > cq.Limit {

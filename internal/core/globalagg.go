@@ -64,12 +64,16 @@ type globalAggState struct {
 }
 
 // newGlobalAggStates allocates one global per aggregate (initialized to the
-// aggregate's identity) plus a matched-row counter.
+// aggregate's identity) plus a matched-row counter, and records the merge
+// metadata the parallel executor uses to combine per-worker partial states.
 func (c *compiler) newGlobalAggStates(gr *plan.Group) ([]globalAggState, uint32) {
 	states := make([]globalAggState, len(gr.Aggs))
 	gCount := c.b.AddGlobal(wasm.I64, true, 0)
+	c.out.AggCountGlobal = gCount
+	c.out.aggStateSets++
 	for i, a := range gr.Aggs {
 		states[i] = globalAggState{glob: c.b.AddGlobal(wasmType(a.T), true, 0), t: wasmType(a.T)}
+		c.out.AggGlobals = append(c.out.AggGlobals, AggGlobal{Global: states[i].glob, Func: a.Func, T: a.T})
 		st := states[i]
 		a := a
 		c.initSteps = append(c.initSteps, func(g *gen) {

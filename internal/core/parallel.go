@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+)
+
+// Intra-query parallelism (morsel-driven, Leis et al. adapted to the paper's
+// host-driven design): a pool of workers, each owning a private rt instance
+// and linear memory instantiated from the *shared* compiled Module, pulls
+// morsels off one atomic counter — work stealing by construction, and
+// background TurboFan tier-up benefits every worker at once because the
+// published code objects are shared at function granularity.
+//
+// Only pipelines whose state the host can merge afterwards are eligible:
+//
+//	scan/filter/project   → per-worker result buffers, merged by concatenation
+//	keyless aggregation   → per-worker partial states in module globals,
+//	                        merged with the aggregate's combine rule
+//
+// Pipelines whose state lives in guest data structures the host cannot
+// combine (hash-join builds, group-by hash tables, sort arrays) fall back to
+// serial execution; the fallback is recorded in ExecStats.PipelinesSerial,
+// ExecStats.SerialFallback, and an EvSerialFallback trace event — observable,
+// never silent.
+
+// parMode is the parallel execution strategy chosen for a query.
+type parMode int
+
+const (
+	// parNone drives every pipeline serially on one worker.
+	parNone parMode = iota
+	// parScan parallelizes a single scan/filter/project pipeline; workers
+	// flush into private result buffers and the merge concatenates them.
+	parScan
+	// parAgg parallelizes the scan feeding a keyless aggregation; workers
+	// accumulate private partial states and the merge combines them before
+	// the run-once output pipeline executes on the primary worker.
+	parAgg
+)
+
+// Serial-fallback reasons (the "serial-fallback matrix" of DESIGN.md §9).
+const (
+	fallbackChunked     = "chunked-rewiring"
+	fallbackFuel        = "fuel-budget"
+	fallbackLimit       = "limit"
+	fallbackFloatSum    = "float-sum-order"
+	fallbackUnmergeable = "unmergeable-pipeline-state"
+)
+
+// classifyParallel decides whether the compiled query's pipelines can be
+// driven by a worker pool of the requested size, and if not, why. The reason
+// string is empty when parallel execution applies or when the caller never
+// asked for parallelism.
+func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int) (parMode, string) {
+	if workers <= 1 {
+		return parNone, ""
+	}
+	if opt.ChunkRows > 0 {
+		// Chunked rewiring remaps column windows between morsel batches; the
+		// window position is per-memory state the dispatch counter cannot
+		// share.
+		return parNone, fallbackChunked
+	}
+	if opt.Fuel > 0 {
+		// A user fuel budget is a single sequential account; splitting it
+		// across workers would change which morsel exhausts it.
+		return parNone, fallbackFuel
+	}
+	if cq.Limit >= 0 {
+		// LIMIT without a total order picks whichever rows arrive first;
+		// serial execution keeps the choice deterministic.
+		return parNone, fallbackLimit
+	}
+	ps := cq.Pipelines
+	switch {
+	case len(ps) == 1 && ps[0].Kind == PipeScanTable && cq.aggStateSets == 0:
+		return parScan, ""
+	case len(ps) == 2 && ps[0].Kind == PipeScanTable && ps[1].Kind == PipeRunOnce &&
+		cq.aggStateSets == 1 && len(cq.AggGlobals) > 0:
+		for _, ag := range cq.AggGlobals {
+			if ag.Func == sema.AggSum && ag.T.Kind == types.Float64 {
+				// Float addition is not associative: merging per-worker
+				// partial sums could differ from the serial row-order sum in
+				// the last ulps, breaking the bit-identical differential
+				// oracle. Serial keeps results reproducible.
+				return parNone, fallbackFloatSum
+			}
+		}
+		return parAgg, ""
+	}
+	return parNone, fallbackUnmergeable
+}
+
+// mergeAggGlobals folds every worker's partial aggregation state into the
+// primary worker (ws[0]) — the host-side merge pass at the pipeline barrier.
+// After it returns, the primary's globals hold the combined state and its
+// run-once output pipeline produces the same row serial execution would.
+func mergeAggGlobals(cq *CompiledQuery, ws []*worker) {
+	primary := ws[0]
+	var count int64
+	for _, w := range ws {
+		count += int64(w.inst.Global(int(cq.AggCountGlobal)))
+	}
+	primary.inst.SetGlobal(int(cq.AggCountGlobal), uint64(count))
+	for _, ag := range cq.AggGlobals {
+		idx := int(ag.Global)
+		acc := primary.inst.Global(idx)
+		for _, w := range ws[1:] {
+			acc = combineAgg(ag, acc, w.inst.Global(idx))
+		}
+		primary.inst.SetGlobal(idx, acc)
+	}
+}
+
+// combineAgg combines two partial aggregate states under the aggregate's
+// merge rule. Values use the wasm value representation (i32 states occupy
+// the low 32 bits).
+func combineAgg(ag AggGlobal, a, b uint64) uint64 {
+	switch ag.Func {
+	case sema.AggCountStar, sema.AggCount:
+		return uint64(int64(a) + int64(b))
+	case sema.AggSum:
+		switch ag.T.Kind {
+		case types.Float64:
+			return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+		case types.Int32, types.Date, types.Bool:
+			return uint64(uint32(int32(a) + int32(b)))
+		default: // Int64, Decimal
+			return uint64(int64(a) + int64(b))
+		}
+	case sema.AggMin:
+		if aggLess(ag.T, a, b) {
+			return a
+		}
+		return b
+	case sema.AggMax:
+		if aggLess(ag.T, a, b) {
+			return b
+		}
+		return a
+	}
+	return a
+}
+
+// aggLess orders two aggregate states of type t.
+func aggLess(t types.Type, a, b uint64) bool {
+	switch t.Kind {
+	case types.Int32, types.Date, types.Bool:
+		return int32(a) < int32(b)
+	case types.Float64:
+		return math.Float64frombits(a) < math.Float64frombits(b)
+	default: // Int64, Decimal
+		return int64(a) < int64(b)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/workload"
+)
+
+// compileOn compiles src against cat.
+func compileOn(t *testing.T, cat *catalog.Catalog, src string) (*CompiledQuery, *sema.Query) {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Compile(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq, q
+}
+
+func parCatalog(t *testing.T, rows int) *catalog.Catalog {
+	t.Helper()
+	cat, err := workload.Catalog(workload.Spec{Name: "t", Rows: rows, IntCols: 2, FloatCols: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestClassifyParallel pins the serial-fallback matrix: every condition that
+// forces serial execution must be named, and the two mergeable shapes must
+// be recognized.
+func TestClassifyParallel(t *testing.T) {
+	cat := parCatalog(t, 1000)
+	agg, _ := compileOn(t, cat, "SELECT COUNT(*), SUM(i0), MIN(i1) FROM t WHERE i0 < 0")
+	scan, _ := compileOn(t, cat, "SELECT i0, i1 FROM t WHERE i0 < 0")
+	fagg, _ := compileOn(t, cat, "SELECT SUM(f0) FROM t")
+	lim, _ := compileOn(t, cat, "SELECT i0 FROM t LIMIT 10")
+	grp, _ := compileOn(t, cat, "SELECT i0, COUNT(*) FROM t GROUP BY i0")
+
+	cases := []struct {
+		name    string
+		cq      *CompiledQuery
+		opt     ExecOptions
+		workers int
+		mode    parMode
+		reason  string
+	}{
+		{"serial-request", agg, ExecOptions{}, 1, parNone, ""},
+		{"agg", agg, ExecOptions{}, 4, parAgg, ""},
+		{"scan", scan, ExecOptions{}, 4, parScan, ""},
+		{"chunked", agg, ExecOptions{ChunkRows: 65536}, 4, parNone, fallbackChunked},
+		{"fuel", agg, ExecOptions{Fuel: 1 << 40}, 4, parNone, fallbackFuel},
+		{"limit", lim, ExecOptions{}, 4, parNone, fallbackLimit},
+		{"float-sum", fagg, ExecOptions{}, 4, parNone, fallbackFloatSum},
+		{"group-by", grp, ExecOptions{}, 4, parNone, fallbackUnmergeable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mode, reason := classifyParallel(c.cq, c.opt, c.workers)
+			if mode != c.mode || reason != c.reason {
+				t.Errorf("classifyParallel = (%v, %q), want (%v, %q)", mode, reason, c.mode, c.reason)
+			}
+		})
+	}
+}
+
+// TestParallelAggMatchesSerial checks the host-side merge pass: a keyless
+// aggregation executed by 4 workers must produce the exact row serial
+// execution does, including over an empty match set, and must report full
+// parallel coverage in the stats.
+func TestParallelAggMatchesSerial(t *testing.T) {
+	cat := parCatalog(t, 100_000)
+	for _, src := range []string{
+		"SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 1000000",
+		"SELECT COUNT(*), MIN(f0), MAX(f1) FROM t WHERE i1 > 0",
+		// Zero matching rows: merged COUNT must be 0 and MIN/MAX fall back to
+		// the zero-group convention.
+		"SELECT COUNT(*), SUM(i0), MIN(i1) FROM t WHERE i0 < -2147483647",
+	} {
+		cq, q := compileOn(t, cat, src)
+		eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+		serial, _, err := Execute(cq, q, eng, ExecOptions{})
+		if err != nil {
+			t.Fatalf("serial %s: %v", src, err)
+		}
+		par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4, MorselRows: 4096})
+		if err != nil {
+			t.Fatalf("parallel %s: %v", src, err)
+		}
+		if got, want := fmt.Sprint(sortedRows(par)), fmt.Sprint(sortedRows(serial)); got != want {
+			t.Errorf("%s: parallel %s != serial %s", src, got, want)
+		}
+		if st.Workers != 4 || st.PipelinesParallel != 1 || st.PipelinesSerial != 0 || st.SerialFallback != "" {
+			t.Errorf("%s: stats = workers %d, parallel %d, serial %d, fallback %q",
+				src, st.Workers, st.PipelinesParallel, st.PipelinesSerial, st.SerialFallback)
+		}
+	}
+}
+
+// TestParallelScanMatchesSerial checks the concatenation merge: a parallel
+// filter+project must produce the same multiset of rows as serial execution
+// (order may differ across workers).
+func TestParallelScanMatchesSerial(t *testing.T) {
+	cat := parCatalog(t, 100_000)
+	src := "SELECT i0, i1, f0 FROM t WHERE i0 < 0"
+	cq, q := compileOn(t, cat, src)
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+	serial, _, err := Execute(cq, q, eng, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4, MorselRows: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Rows) == 0 {
+		t.Fatal("predicate selected no rows; test is vacuous")
+	}
+	a, b := sortedRows(serial), sortedRows(par)
+	if len(a) != len(b) {
+		t.Fatalf("parallel returned %d rows, serial %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row multiset differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if st.PipelinesParallel != 1 || st.SerialFallback != "" {
+		t.Errorf("stats = %+v, want one parallel pipeline and no fallback", st)
+	}
+}
+
+// TestParallelUnmergeableFallsBack checks that a hash-join query under
+// requested parallelism runs serially — correct results, recorded fallback.
+func TestParallelUnmergeableFallsBack(t *testing.T) {
+	cat, err := workload.JoinPair(2000, 8000, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk"
+	cq, q := compileOn(t, cat, src)
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+	serial, _, err := Execute(cq, q, eng, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sortedRows(par)) != fmt.Sprint(sortedRows(serial)) {
+		t.Errorf("join under fallback disagrees with serial")
+	}
+	if st.SerialFallback != fallbackUnmergeable || st.PipelinesParallel != 0 || st.PipelinesSerial == 0 {
+		t.Errorf("stats = workers %d, parallel %d, serial %d, fallback %q; want recorded unmergeable fallback",
+			st.Workers, st.PipelinesParallel, st.PipelinesSerial, st.SerialFallback)
+	}
+}
+
+// TestParallelFaultInjection injects a morsel failure while 4 workers are
+// dispatching; the first failure must stop the pool and surface. Run under
+// -race this also exercises the dispatch counter and stop flag.
+func TestParallelFaultInjection(t *testing.T) {
+	cat := parCatalog(t, 200_000)
+	cq, q := compileOn(t, cat, "SELECT COUNT(*), SUM(i0) FROM t WHERE i0 < 1000000")
+	boom := errors.New("injected parallel morsel failure")
+	faultpoint.Enable("core-morsel", faultpoint.AtHit(5, boom))
+	defer faultpoint.Disable("core-morsel")
+	_, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 4096})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Execute returned %v, want injected failure", err)
+	}
+}
+
+// TestParallelCancellationMidPipeline cancels the context while the pool is
+// mid-pipeline; every worker must stop and the query must report the
+// context's error.
+func TestParallelCancellationMidPipeline(t *testing.T) {
+	cat := parCatalog(t, 200_000)
+	cq, q := compileOn(t, cat, "SELECT COUNT(*), SUM(i0) FROM t WHERE i0 < 1000000")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultpoint.Enable("core-morsel", func(hit int) error {
+		if hit == 3 {
+			cancel()
+		}
+		return nil
+	})
+	defer faultpoint.Disable("core-morsel")
+	_, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 4096, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute returned %v, want context.Canceled", err)
+	}
+}
+
+// TestFuelUsedContract pins the ExecStats.FuelUsed contract: consumption is
+// reported against a user budget, and the implicit metering a cancellable
+// context arms is never reported as consumption.
+func TestFuelUsedContract(t *testing.T) {
+	cat := parCatalog(t, 50_000)
+	cq, q := compileOn(t, cat, "SELECT COUNT(*) FROM t WHERE i0 < 1000000")
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+
+	// User budget: ample fuel, consumption must be positive and bounded.
+	budget := int64(1) << 40
+	_, st, err := Execute(cq, q, eng, ExecOptions{Fuel: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FuelUsed <= 0 || st.FuelUsed >= budget {
+		t.Errorf("FuelUsed = %d with budget %d, want 0 < used < budget", st.FuelUsed, budget)
+	}
+
+	// Cancellable context, no user budget: metering is armed internally (the
+	// watchdog needs interruption points) but FuelUsed must stay 0.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, st, err = Execute(cq, q, eng, ExecOptions{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FuelUsed != 0 {
+		t.Errorf("FuelUsed = %d under implicit metering, want 0", st.FuelUsed)
+	}
+
+	// A user fuel budget also forces serial execution (one sequential
+	// account), recorded as such.
+	_, st, err = Execute(cq, q, eng, ExecOptions{Fuel: budget, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SerialFallback != fallbackFuel || st.Workers != 1 {
+		t.Errorf("fuel+parallelism: workers %d fallback %q, want serial with %q",
+			st.Workers, st.SerialFallback, fallbackFuel)
+	}
+}
+
+// TestLimitShortCircuit checks the host-side LIMIT guard: once the drain has
+// LIMIT rows the remaining morsels must be skipped, observable as a morsel
+// count far below the scan's total.
+func TestLimitShortCircuit(t *testing.T) {
+	cat := parCatalog(t, 200_000)
+	cq, q := compileOn(t, cat, "SELECT i0 FROM t LIMIT 5")
+	faultpoint.Enable("core-morsel", func(int) error { return nil })
+	defer faultpoint.Disable("core-morsel")
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{MorselRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("LIMIT 5 returned %d rows", len(res.Rows))
+	}
+	// 200k rows at 1k per morsel is 200 morsels; the first already satisfies
+	// the limit.
+	if hits := faultpoint.Hits("core-morsel"); hits > 3 {
+		t.Errorf("scan ran %d morsels after the limit was satisfied", hits)
+	}
+
+	// LIMIT 0 must decode nothing at all.
+	cq0, q0 := compileOn(t, cat, "SELECT i0 FROM t LIMIT 0")
+	res0, _, err := Execute(cq0, q0, engine.New(engine.Config{Tier: engine.TierLiftoff}), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res0.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(res0.Rows))
+	}
+}

@@ -28,6 +28,9 @@ type Record struct {
 	// Morsel counts per tier under adaptive execution.
 	MorselsLiftoff  uint64 `json:"morsels_liftoff"`
 	MorselsTurbofan uint64 `json:"morsels_turbofan"`
+	// Workers is the morsel worker-pool size (scaling experiment; 0 when
+	// the experiment does not vary parallelism).
+	Workers int `json:"workers,omitempty"`
 }
 
 func recordFromTimings(name, backend string, rows int, tm Timings) Record {

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wasmdb/internal/core"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/harness"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/workload"
+)
+
+// ScalingWorkers are the worker-pool sizes the scaling experiment sweeps.
+var ScalingWorkers = []int{1, 2, 4}
+
+// Scaling measures intra-query parallel speedup: one selective global
+// aggregation over an integer column, compiled once, executed with 1, 2,
+// and 4 morsel workers on fully optimized code. The query is chosen to be
+// parallel-eligible (keyless aggregation without float SUM, LIMIT, or fuel),
+// so any PipelinesSerial in the run indicates a classifier regression — the
+// experiment fails rather than silently reporting serial numbers as scaling.
+func Scaling(o Options) ([]Record, error) {
+	o.norm()
+	cat, err := workload.Catalog(workload.Spec{
+		Name: "t", Rows: o.Rows, IntCols: 2, FloatCols: 2, Seed: 4343,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src := "SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 0"
+
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := core.Compile(q, p)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := engine.New(engine.Config{Tier: engine.TierTurbofan})
+	var recs []Record
+	for _, w := range ScalingWorkers {
+		w := w
+		var stats *core.ExecStats
+		exec := harness.Median(o.Reps, func() time.Duration {
+			var err error
+			_, stats, err = core.Execute(cq, q, eng, core.ExecOptions{
+				WaitOptimized: true,
+				Parallelism:   w,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("scaling w=%d: %v", w, err))
+			}
+			return stats.Run
+		})
+		if w > 1 && stats.PipelinesSerial > 0 {
+			return nil, fmt.Errorf("scaling w=%d: fell back to serial (%s)", w, stats.SerialFallback)
+		}
+		recs = append(recs, Record{
+			Name:    fmt.Sprintf("scaling:w%d", w),
+			Backend: "mutable",
+			Rows:    o.Rows,
+			ExecNs:  exec.Nanoseconds(),
+			Workers: w,
+		})
+	}
+	return recs, nil
+}

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,12 @@ const (
 	// EvFaultpoint marks an armed fault-injection point being evaluated
 	// (args: point, hit, injected).
 	EvFaultpoint = "faultpoint"
+	// EvParallel marks the start of intra-query parallel execution
+	// (args: workers — the size of the morsel worker pool).
+	EvParallel = "parallel-exec"
+	// EvSerialFallback marks a query that requested parallelism but ran its
+	// pipelines serially (args: reason — e.g. unmergeable pipeline state).
+	EvSerialFallback = "serial-fallback"
 )
 
 // Counter names stored on the trace (set by the executor at query end).
@@ -68,7 +75,19 @@ const (
 	CtrFuelUsed        = "fuel_used"
 	CtrPeakMemBytes    = "peak_mem_bytes"
 	CtrResultRows      = "result_rows"
+	// CtrWorkers is the size of the morsel worker pool the query ran with.
+	CtrWorkers = "workers"
+	// CtrPipelinesParallel / CtrPipelinesSerial count pipelines driven by the
+	// worker pool vs. pipelines that fell back to serial execution.
+	CtrPipelinesParallel = "pipelines_parallel"
+	CtrPipelinesSerial   = "pipelines_serial"
 )
+
+// WorkerCtr names a per-worker trace counter, e.g. "worker.2.morsels_turbofan"
+// — the per-worker breakdown of adaptive tier usage under parallel execution.
+func WorkerCtr(worker int, name string) string {
+	return "worker." + strconv.Itoa(worker) + "." + name
+}
 
 // Arg is one key/value annotation on a span or event. Val carries numeric
 // arguments; Str, when non-empty, wins over Val.

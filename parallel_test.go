@@ -1,0 +1,103 @@
+package wasmdb_test
+
+import (
+	"strings"
+	"testing"
+
+	"wasmdb"
+)
+
+// parallelCorpus spans every pipeline shape: parallel-eligible scans and
+// keyless aggregations, plus queries that must fall back (group-by, joins,
+// sorts, LIMIT, float SUM) and still agree with serial execution.
+var parallelCorpus = []struct {
+	src     string
+	ordered bool
+}{
+	{"SELECT COUNT(*) FROM lineitem", false},
+	{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25", false},
+	{"SELECT COUNT(*), MIN(l_shipdate), MAX(l_shipdate) FROM lineitem", false},
+	{"SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_discount < 0.05", false},
+	{"SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity < 3", false},
+	{"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag", false},
+	{"SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_totalprice > 200000.0", false},
+	{"SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 25", true},
+	{"SELECT l_orderkey FROM lineitem WHERE l_quantity < 10 LIMIT 50", false},
+	{"SELECT COUNT(*), AVG(l_quantity) FROM lineitem WHERE l_discount = 0.03", false},
+	{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0", false},
+}
+
+// TestParallelDifferential is the serial-vs-parallel oracle: every corpus
+// query must produce the same result multiset with a 4-worker pool as with
+// serial execution (row order is compared only for ORDER BY queries).
+func TestParallelDifferential(t *testing.T) {
+	db := tpchDB(t)
+	for _, c := range parallelCorpus {
+		serial, err := db.Query(c.src, wasmdb.WithBackend(wasmdb.BackendWasm))
+		if err != nil {
+			t.Fatalf("serial: %v\nquery: %s", err, c.src)
+		}
+		par, err := db.Query(c.src, wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+		if err != nil {
+			t.Fatalf("parallel: %v\nquery: %s", err, c.src)
+		}
+		// LIMIT without ORDER BY is non-deterministic in principle, but the
+		// executor runs those serially (see the fallback matrix), so exact
+		// agreement is still required.
+		want := formatSorted(t, serial, c.ordered)
+		got := formatSorted(t, par, c.ordered)
+		if got != want {
+			t.Errorf("parallel disagrees with serial on %q:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				c.src, clip(want), clip(got))
+		}
+		if par.Stats.Workers < 1 {
+			t.Errorf("%s: stats did not record a worker count", c.src)
+		}
+	}
+
+	// TPC-H: the full reproduced queries under parallelism.
+	for _, id := range []string{"Q1", "Q3", "Q6", "Q12", "Q14"} {
+		src, _ := wasmdb.TPCHQuery(id)
+		ordered := strings.Contains(src, "ORDER BY")
+		serial, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm))
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		par, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if got, want := formatSorted(t, par, ordered), formatSorted(t, serial, ordered); got != want {
+			t.Errorf("%s: parallel disagrees with serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, clip(want), clip(got))
+		}
+	}
+}
+
+// TestParallelStatsSurface checks the public stats plumbing: an eligible
+// aggregation reports its pool size and parallel pipeline, a join reports
+// the serial fallback.
+func TestParallelStatsSurface(t *testing.T) {
+	db := tpchDB(t)
+	res, err := db.Query("SELECT COUNT(*), MIN(l_quantity) FROM lineitem",
+		wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Workers != 2 || s.PipelinesParallel != 1 || s.PipelinesSerial != 0 {
+		t.Errorf("aggregation stats = workers %d, parallel %d, serial %d; want 2/1/0",
+			s.Workers, s.PipelinesParallel, s.PipelinesSerial)
+	}
+
+	res, err = db.Query("SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+		wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = res.Stats
+	if s.Workers != 1 || s.PipelinesParallel != 0 || s.PipelinesSerial == 0 {
+		t.Errorf("join stats = workers %d, parallel %d, serial %d; want serial fallback",
+			s.Workers, s.PipelinesParallel, s.PipelinesSerial)
+	}
+}

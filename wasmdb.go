@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -229,13 +230,14 @@ var (
 type Option func(*queryOpts)
 
 type queryOpts struct {
-	backend    Backend
-	morselRows int
-	wait       bool
-	timeout    time.Duration
-	fuel       int64
-	memBudget  uint32
-	trace      *obs.Trace
+	backend     Backend
+	morselRows  int
+	wait        bool
+	timeout     time.Duration
+	fuel        int64
+	memBudget   uint32
+	trace       *obs.Trace
+	parallelism int
 }
 
 // Trace is a query-scoped recording of timed spans (parse, compile tiers,
@@ -284,6 +286,22 @@ func WithTimeout(d time.Duration) Option { return func(o *queryOpts) { o.timeout
 // matching ErrFuelExhausted. Applies to the Wasm backends.
 func WithFuel(n int64) Option { return func(o *queryOpts) { o.fuel = n } }
 
+// WithParallelism runs the query's morsel loops on a pool of n workers, each
+// owning a private instance and linear memory created from the shared
+// compiled module (n <= 0 means GOMAXPROCS). Pipelines whose state the host
+// cannot merge — hash-join builds, group-by tables, sorts — run serially;
+// Stats.PipelinesSerial and the trace record the fallback. Applies to the
+// Wasm backends; result row order may differ from serial execution for
+// unordered scan queries.
+func WithParallelism(n int) Option {
+	return func(o *queryOpts) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		o.parallelism = n
+	}
+}
+
 // WithTrace records the query's full execution timeline — phase spans,
 // tier-up events, memory growth, fuel checkpoints — into tr. The query
 // additionally waits for background optimization to settle before
@@ -328,11 +346,22 @@ type Stats struct {
 	TurbofanFailed int
 	// ModuleBytes is the size of the generated Wasm module.
 	ModuleBytes int
-	// FuelUsed is the guest execution budget consumed (0 when the query ran
-	// unmetered, i.e. without WithFuel or a cancellable context).
+	// FuelUsed is the fuel consumed against a WithFuel budget (0 when none
+	// was set; the implicit metering a cancellable context arms is internal
+	// bookkeeping and is not reported).
 	FuelUsed int64
-	// PeakMemBytes is the high-water linear-memory size of the query.
+	// PeakMemBytes is the high-water linear-memory size of the query, summed
+	// across all workers under parallel execution.
 	PeakMemBytes uint64
+	// Workers is the morsel worker-pool size the query ran with (1 when
+	// serial; see WithParallelism).
+	Workers int
+	// PipelinesParallel and PipelinesSerial count morsel-driven pipelines by
+	// how they executed. PipelinesSerial > 0 on a query that requested
+	// parallelism means some pipeline's state could not be merged by the
+	// host and fell back to serial execution.
+	PipelinesParallel int
+	PipelinesSerial   int
 }
 
 // statsFromTrace derives the public Stats from the query trace — the single
@@ -347,12 +376,15 @@ func statsFromTrace(tr *obs.Trace, b Backend) Stats {
 		Turbofan: tr.Dur(obs.SpanTurbofan),
 		Execute: tr.Dur(obs.SpanRewire) + tr.Dur(obs.SpanInstantiate) +
 			tr.Dur(obs.SpanExecute),
-		MorselsLiftoff:  uint64(tr.Value(obs.CtrMorselsLiftoff)),
-		MorselsTurbofan: uint64(tr.Value(obs.CtrMorselsTurbofan)),
-		TurbofanFailed:  int(tr.Value(obs.CtrTurbofanFailed)),
-		ModuleBytes:     int(tr.Value(obs.CtrModuleBytes)),
-		FuelUsed:        tr.Value(obs.CtrFuelUsed),
-		PeakMemBytes:    uint64(tr.Value(obs.CtrPeakMemBytes)),
+		MorselsLiftoff:    uint64(tr.Value(obs.CtrMorselsLiftoff)),
+		MorselsTurbofan:   uint64(tr.Value(obs.CtrMorselsTurbofan)),
+		TurbofanFailed:    int(tr.Value(obs.CtrTurbofanFailed)),
+		ModuleBytes:       int(tr.Value(obs.CtrModuleBytes)),
+		FuelUsed:          tr.Value(obs.CtrFuelUsed),
+		PeakMemBytes:      uint64(tr.Value(obs.CtrPeakMemBytes)),
+		Workers:           int(tr.Value(obs.CtrWorkers)),
+		PipelinesParallel: int(tr.Value(obs.CtrPipelinesParallel)),
+		PipelinesSerial:   int(tr.Value(obs.CtrPipelinesSerial)),
 	}
 }
 
@@ -535,6 +567,7 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 			Ctx:               ctx,
 			Fuel:              o.fuel,
 			MemoryBudgetPages: o.memBudget,
+			Parallelism:       o.parallelism,
 			Trace:             tr,
 			// A caller-supplied trace gets the complete tier-up timeline.
 			DrainBackground: o.trace != nil,
