@@ -21,20 +21,31 @@ verify: lint-layers
 # internal/obs must stay at the bottom of the dependency graph: it may
 # import nothing from this module, or every layer recording into it would
 # risk an import cycle. Fails if any wasmdb-internal import appears.
+# internal/plancache sits above core and engine and below the public API:
+# it may import only core, engine, and obs, and nothing under core or
+# engine may import it back.
 lint-layers:
 	@if grep -n '"wasmdb/' internal/obs/*.go; then \
 		echo "lint-layers: internal/obs must not import other wasmdb packages" >&2; \
 		exit 1; \
 	fi
-	@echo "lint-layers: ok (internal/obs imports stdlib only)"
+	@if grep -rn '"wasmdb/internal/plancache"' internal/core internal/engine; then \
+		echo "lint-layers: core/engine must not import internal/plancache (it sits above them)" >&2; \
+		exit 1; \
+	fi
+	@if grep -n '"wasmdb/' internal/plancache/*.go | grep -v 'wasmdb/internal/core"\|wasmdb/internal/engine"\|wasmdb/internal/obs"'; then \
+		echo "lint-layers: internal/plancache may import only core, engine, and obs" >&2; \
+		exit 1; \
+	fi
+	@echo "lint-layers: ok (internal/obs imports stdlib only; plancache between core/engine and the API)"
 
-# bench-smoke runs one micro-benchmark per backend at a small scale plus the
-# 1/2/4-worker scaling experiment, and validates that the emitted
-# BENCH_*.json parse (the bench binary re-reads and unmarshals what it
-# wrote).
+# bench-smoke runs one micro-benchmark per backend at a small scale, the
+# 1/2/4-worker scaling experiment, and the plan-cache cold/warm experiment,
+# and validates that the emitted BENCH_*.json parse (the bench binary
+# re-reads and unmarshals what it wrote).
 bench-smoke:
-	$(GO) run ./cmd/bench -experiment smoke,scaling -rows 100000 -reps 1 -json
-	@rm -f BENCH_smoke.json BENCH_scaling.json
+	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache -rows 100000 -reps 1 -sf 0.01 -json
+	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json
 
 # fuzz the adversarial-module executor for a short budget.
 fuzz:

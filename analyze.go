@@ -132,6 +132,29 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 		fmt.Fprintf(&sb, "  workers            %d (%d pipelines parallel, %d serial)\n",
 			st.Workers, st.PipelinesParallel, st.PipelinesSerial)
 	}
+	// Plan-cache outcome: whether this execution reused a cached module, and
+	// which tier the module dispatched from the first morsel on.
+	for _, ev := range tr.Events() {
+		if ev.Name != obs.EvPlanCache {
+			continue
+		}
+		var result, fp, tier string
+		for _, a := range ev.Args {
+			switch a.Key {
+			case "result":
+				result = a.Str
+			case "fingerprint":
+				fp = a.Str
+			case "tier":
+				tier = a.Str
+			}
+		}
+		if result == "hit" {
+			fmt.Fprintf(&sb, "  plan cache         hit (fingerprint=%s, tier=%s)\n", fp, tier)
+		} else {
+			fmt.Fprintf(&sb, "  plan cache         miss (fingerprint=%s)\n", fp)
+		}
+	}
 	// A query that requested parallelism but could not use it says why.
 	for _, ev := range tr.Events() {
 		if ev.Name == obs.EvSerialFallback {

@@ -12,6 +12,7 @@
 //	bench -experiment fig6a,fig6c -systems mutable,vectorized -csv
 //	bench -experiment smoke -rows 100000 -json   # health check, BENCH_smoke.json
 //	bench -experiment scaling -json              # 1/2/4-worker parallel speedup
+//	bench -experiment plancache -json            # cold vs warm plan-cache latency
 package main
 
 import (
@@ -30,7 +31,7 @@ var allExperiments = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d",
 	"fig8a", "fig8b", "fig9", "fig10",
 	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
-	"smoke", "scaling",
+	"smoke", "scaling", "plancache",
 }
 
 func main() {
@@ -118,6 +119,15 @@ func main() {
 			}
 		case "scaling":
 			r, err := experiments.Scaling(opts)
+			if err != nil {
+				fail(err)
+			}
+			recs = r
+			if err := experiments.WriteRecords(os.Stdout, recs); err != nil {
+				fail(err)
+			}
+		case "plancache":
+			r, err := experiments.PlanCache(opts)
 			if err != nil {
 				fail(err)
 			}

@@ -58,3 +58,38 @@ func TestSmokeEmitsValidJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheBenchEmitsValidJSON runs the plan-cache cold/warm experiment
+// at a tiny scale and proves its BENCH_plancache.json round-trips and shows
+// the cache contract: the cold record pays compilation, the warm record
+// reports zero compile time and runs entirely on the optimizing tier.
+func TestPlanCacheBenchEmitsValidJSON(t *testing.T) {
+	recs, err := experiments.PlanCache(experiments.Options{SF: 0.005, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want cold+warm", len(recs))
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_plancache.json")
+	if err := writeAndValidate(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]experiments.Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	cold, warm := byName["plancache:cold"], byName["plancache:warm"]
+	if cold.TranslateNs <= 0 || cold.LiftoffNs <= 0 {
+		t.Errorf("cold record missing compile phases: %+v", cold)
+	}
+	if warm.LiftoffNs != 0 || warm.TurbofanNs != 0 {
+		t.Errorf("warm record reports compile time: %+v", warm)
+	}
+	if warm.MorselsLiftoff != 0 || warm.MorselsTurbofan == 0 {
+		t.Errorf("warm record not fully on the optimizing tier: %+v", warm)
+	}
+	if warm.ExecNs <= 0 {
+		t.Errorf("warm record has no execution time: %+v", warm)
+	}
+}

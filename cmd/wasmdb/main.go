@@ -15,6 +15,8 @@
 //	                      hyper, vectorized, volcano)
 //	\set parallelism <n>  morsel worker-pool size for the Wasm backends
 //	                      (1 = serial, 0 = GOMAXPROCS)
+//	\set plancache on|off reuse compiled modules across same-shaped queries
+//	                      (default on; applies to the Wasm backends)
 //	\explain <sql>        show the plan and pipeline dissection
 //	\wat <sql>            dump the generated WebAssembly (text form)
 //	\timing               toggle per-query phase timings
@@ -64,6 +66,9 @@ type shell struct {
 	// parallelism is the morsel worker-pool size for Wasm-backed queries
 	// (0 or 1 = serial execution, matching the engine default).
 	parallelism int
+	// plancacheOff disables compiled-module reuse across same-shaped
+	// queries (\set plancache off).
+	plancacheOff bool
 	// tracing, when set, collects one trace per executed query for the
 	// session-wide trace_event export written at exit.
 	tracing bool
@@ -162,8 +167,19 @@ func (sh *shell) meta(line string) bool {
 			}
 			sh.parallelism = n
 			fmt.Fprintf(sh.out, "parallelism %d\n", n)
+		case "plancache":
+			switch strings.TrimSpace(val) {
+			case "on":
+				sh.plancacheOff = false
+			case "off":
+				sh.plancacheOff = true
+			default:
+				fmt.Fprintln(sh.out, "usage: \\set plancache on|off")
+				return true
+			}
+			fmt.Fprintf(sh.out, "plancache %s\n", strings.TrimSpace(val))
 		default:
-			fmt.Fprintln(sh.out, "settable: parallelism")
+			fmt.Fprintln(sh.out, "settable: parallelism, plancache")
 		}
 	case "\\explain":
 		out, err := sh.db.Explain(arg)
@@ -216,6 +232,9 @@ func (sh *shell) runSQL(src string) {
 	}
 	if sh.parallelism > 1 {
 		opts = append(opts, wasmdb.WithParallelism(sh.parallelism))
+	}
+	if sh.plancacheOff {
+		opts = append(opts, wasmdb.WithPlanCache(false))
 	}
 	if strings.HasPrefix(upper, "EXPLAIN ANALYZE") {
 		rest := strings.TrimSpace(src)[len("EXPLAIN ANALYZE"):]

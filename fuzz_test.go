@@ -131,12 +131,13 @@ func TestFeatureMatrix(t *testing.T) {
 
 	// Fast JIT compilation: the baseline tier compiles faster than the
 	// optimizing tier (take the best of a few runs — timings jitter under
-	// CPU contention).
+	// CPU contention). The plan cache is off: a cache hit reports zero
+	// compile time, and this test exists to measure compilation.
 	best := func(b wasmdb.Backend, pick func(wasmdb.Stats) int64) (int64, *wasmdb.Result) {
 		bestV := int64(1 << 62)
 		var last *wasmdb.Result
 		for i := 0; i < 3; i++ {
-			res, err := db.Query(src, wasmdb.WithBackend(b))
+			res, err := db.Query(src, wasmdb.WithBackend(b), wasmdb.WithPlanCache(false))
 			if err != nil {
 				t.Fatal(err)
 			}

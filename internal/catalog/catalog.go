@@ -19,6 +19,10 @@ type ColumnDef struct {
 // Catalog is the set of tables of one database.
 type Catalog struct {
 	tables map[string]*storage.Table
+	// version counts schema changes (create/add/drop). Compiled-query
+	// fingerprints include it, so any DDL invalidates every cached module
+	// built against the old schema.
+	version uint64
 }
 
 // New creates an empty catalog.
@@ -44,6 +48,7 @@ func (c *Catalog) Create(name string, cols []ColumnDef) (*storage.Table, error) 
 	}
 	t := storage.NewTable(name, names, ts)
 	c.tables[name] = t
+	c.version++
 	return t, nil
 }
 
@@ -53,6 +58,7 @@ func (c *Catalog) Add(t *storage.Table) error {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.version++
 	return nil
 }
 
@@ -62,8 +68,13 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, name)
+	c.version++
 	return nil
 }
+
+// Version reports the schema version: a counter bumped by every Create, Add,
+// and Drop.
+func (c *Catalog) Version() uint64 { return c.version }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*storage.Table, error) {

@@ -99,6 +99,33 @@ type CompiledQuery struct {
 	aggStateSets   int
 
 	Limit int64 // -1 if none
+
+	// ParamSlots lists the parameter-region slots the generated code reads,
+	// ordered by parameter ordinal. The executor writes the execution's
+	// parameter values into these slots (in every worker's memory) before
+	// calling q_init. Empty for fully constant-baked queries.
+	ParamSlots []ParamSlot
+	// LimitSlot is the parameter ordinal the generated LIMIT check reads,
+	// or -1 when the limit (if any) is baked as a constant. When ≥ 0 the
+	// executor takes the effective limit from the parameter vector rather
+	// than from Limit.
+	LimitSlot int
+
+	// Uncacheable marks a module whose generated code was perturbed by an
+	// armed fault-injection point: it is not a pure function of the plan
+	// fingerprint, so the plan cache must not retain it.
+	Uncacheable bool
+}
+
+// ParamSlot is one parameter's home in the parameter region.
+type ParamSlot struct {
+	// Idx is the parameter ordinal in the execution parameter vector.
+	Idx int
+	// Off is the byte offset from paramBase.
+	Off uint32
+	// T is the slot's type: numeric slots hold the value's machine
+	// representation; CHAR slots hold T.Length raw bytes.
+	T types.Type
 }
 
 // Compile translates a physical plan (with its bound query) to WebAssembly
@@ -132,12 +159,13 @@ func CompileStyled(q *sema.Query, root plan.Node, style Style) (*CompiledQuery, 
 	c := &compiler{
 		q:     q,
 		style: style,
-		out:   &CompiledQuery{Limit: q.Limit},
+		out:   &CompiledQuery{Limit: q.Limit, LimitSlot: -1},
 		b:     wasm.NewModuleBuilder(),
 
 		constStrings: map[string]uint32{},
 		strcmps:      map[[2]int]*wasm.FuncBuilder{},
 		likes:        map[string]*wasm.FuncBuilder{},
+		paramSlots:   map[int]ParamSlot{},
 	}
 	if err := c.compile(root); err != nil {
 		return nil, err
@@ -175,6 +203,9 @@ type compiler struct {
 	constCursor  uint32
 	constData    []byte
 
+	// Parameter region slots, by parameter ordinal.
+	paramSlots map[int]ParamSlot
+
 	// Column addresses.
 	colBase map[[2]int]uint32
 
@@ -194,6 +225,11 @@ type compiler struct {
 }
 
 func (c *compiler) compile(root plan.Node) error {
+	// --- Parameter region layout -----------------------------------------
+	if err := c.layoutParams(); err != nil {
+		return err
+	}
+
 	// --- Address space layout -------------------------------------------
 	c.colBase = map[[2]int]uint32{}
 	cursor := uint32(columnsBase)
@@ -324,6 +360,7 @@ func (c *compiler) newPipeline(kind PipelineKind, tableIdx int, countGlobal uint
 		f.Loop(wasm.BlockVoid)
 		f.Br(0)
 		f.End()
+		c.out.Uncacheable = true
 	}
 	return &gen{c: c, f: f}
 }

@@ -69,6 +69,18 @@ type ExecOptions struct {
 	// shared compiled module; pipelines whose state the host cannot merge
 	// fall back to serial execution (see ExecStats.SerialFallback).
 	Parallelism int
+	// Precompiled, when non-nil, is an already-compiled engine module for
+	// cq.Bin (a plan-cache hit): Execute skips engine compilation entirely —
+	// no decode/validate/liftoff spans are recorded and the returned stats
+	// report zero compile time — and instantiates this module instead. The
+	// module may already be serving turbofan code from earlier executions.
+	Precompiled *engine.Module
+	// Params is the execution-time parameter vector, indexed by parameter
+	// ordinal (explicit placeholders first, then literals hoisted by
+	// sema.Parameterize). Its values are written into the parameter region
+	// of every worker memory before q_init. Required when cq.ParamSlots is
+	// non-empty.
+	Params []types.Value
 }
 
 // ExecStats reports where time went, phase by phase (the paper's Fig. 10
@@ -186,9 +198,27 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		return nil
 	}
 
-	mod, err := eng.CompileTraced(cq.Bin, tr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: engine compile: %w", err)
+	// Effective LIMIT: a parameterized limit lives in the parameter vector
+	// (cq.Limit is the value the module was first compiled with and may be
+	// stale on a plan-cache hit).
+	limit := cq.Limit
+	if cq.LimitSlot >= 0 {
+		if cq.LimitSlot >= len(opt.Params) {
+			return nil, nil, fmt.Errorf("core: missing value for limit parameter ?%d", cq.LimitSlot)
+		}
+		limit = opt.Params[cq.LimitSlot].I
+		if limit < 0 {
+			return nil, nil, fmt.Errorf("core: negative LIMIT %d", limit)
+		}
+	}
+
+	mod := opt.Precompiled
+	if mod == nil {
+		var err error
+		mod, err = eng.CompileTraced(cq.Bin, tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: engine compile: %w", err)
+		}
 	}
 
 	if opt.ChunkRows != 0 && opt.ChunkRows%wmem.PageSize != 0 {
@@ -248,7 +278,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	// limitHit flag so the morsel loop short-circuits via the stop path.
 	drain := func(w *worker, m *wmem.Memory, count uint32) {
 		for i := uint32(0); i < count; i++ {
-			if cq.Limit >= 0 && int64(len(w.rows)) >= cq.Limit {
+			if limit >= 0 && int64(len(w.rows)) >= limit {
 				w.limitHit = true
 				return
 			}
@@ -288,6 +318,13 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 					q.Tables[cm.TableIdx].Table.Name, col.Name, err)
 			}
 			mapped++
+		}
+		if len(cq.ParamSlots) > 0 {
+			// The execution's parameter values become plain memory contents
+			// before q_init; the shared module never changes.
+			if err := writeParams(w.mem, cq.ParamSlots, opt.Params); err != nil {
+				return nil, nil, err
+			}
 		}
 		ws[wi] = w
 	}
@@ -341,7 +378,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 				},
 			},
 		}
-		inst, err := mod.Instantiate(imports)
+		inst, err := mod.InstantiateWithTrace(imports, tr)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: instantiate: %w", err)
 		}
@@ -581,8 +618,13 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	// Fold the compile-side stats and runtime counters into the flat struct,
 	// and mirror them onto the trace and the process-wide metrics.
 	es := mod.Stats()
-	stats.Decode, stats.Validate = es.Decode, es.Validate
-	stats.Liftoff, stats.Turbofan = es.Liftoff, es.Turbofan
+	if opt.Precompiled == nil {
+		// On a plan-cache hit the module's compile phases belong to the
+		// execution that populated the cache; this one paid nothing and
+		// reports nothing.
+		stats.Decode, stats.Validate = es.Decode, es.Validate
+		stats.Liftoff, stats.Turbofan = es.Liftoff, es.Turbofan
+	}
 	stats.TurbofanFailed = es.TurbofanFailed
 	for _, w := range ws {
 		lo, tf := w.inst.TierCalls()
@@ -614,30 +656,36 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		tr.Set(obs.CtrPipelinesSerial, int64(stats.PipelinesSerial))
 	}
 
-	if cq.Limit >= 0 && int64(len(res.Rows)) > cq.Limit {
-		res.Rows = res.Rows[:cq.Limit]
+	if limit >= 0 && int64(len(res.Rows)) > limit {
+		res.Rows = res.Rows[:limit]
 	}
 	// SQL semantics: a global aggregation over zero input rows still yields
 	// one row (COUNT = 0, SUM/MIN/MAX = 0 by this system's convention).
-	if len(res.Rows) == 0 && q.Grouped && len(q.GroupBy) == 0 && (cq.Limit != 0) {
-		res.Rows = append(res.Rows, zeroAggregateRow(q))
+	if len(res.Rows) == 0 && q.Grouped && len(q.GroupBy) == 0 && (limit != 0) {
+		res.Rows = append(res.Rows, zeroAggregateRow(q, opt.Params))
 	}
 	return res, stats, nil
 }
 
-// zeroAggregateRow fabricates the zero-group output row.
-func zeroAggregateRow(q *sema.Query) []types.Value {
+// zeroAggregateRow fabricates the zero-group output row. params resolves
+// hoisted literals so the parameterized query yields the same row the
+// constant-folded one would.
+func zeroAggregateRow(q *sema.Query, params []types.Value) []types.Value {
 	out := make([]types.Value, len(q.Select))
 	for i, oc := range q.Select {
-		out[i] = evalZero(oc.Expr, q)
+		out[i] = evalZero(oc.Expr, q, params)
 	}
 	return out
 }
 
-func evalZero(e sema.Expr, q *sema.Query) types.Value {
+func evalZero(e sema.Expr, q *sema.Query, params []types.Value) types.Value {
 	switch x := e.(type) {
 	case *sema.Const:
 		return x.V
+	case *sema.Param:
+		if x.Idx < len(params) {
+			return params[x.Idx]
+		}
 	case *sema.AggRef:
 		t := q.Aggs[x.Idx].T
 		switch t.Kind {
@@ -653,13 +701,13 @@ func evalZero(e sema.Expr, q *sema.Query) types.Value {
 			return types.NewInt64(0)
 		}
 	case *sema.Binary:
-		l := evalZero(x.L, q)
+		l := evalZero(x.L, q, params)
 		if x.Op == sema.OpDiv {
 			return types.NewFloat64(0) // 0/0 reported as 0
 		}
 		return l
 	case *sema.Cast:
-		v := evalZero(x.E, q)
+		v := evalZero(x.E, q, params)
 		if x.To.Kind == types.Float64 {
 			return types.NewFloat64(0)
 		}

@@ -95,6 +95,31 @@ func (g *gen) expr(e *env, ex sema.Expr) {
 		default:
 			g.fail("unsupported constant type %s", x.V.Type)
 		}
+	case *sema.Param:
+		// Typed load from the parameter region: the slot address is a
+		// compile-time constant, only its contents vary per execution — the
+		// code is byte-identical for every literal the slot may hold.
+		slot, ok := g.c.paramSlots[x.Idx]
+		if !ok {
+			g.fail("parameter ?%d has no slot", x.Idx)
+			return
+		}
+		addr := uint32(paramBase) + slot.Off
+		switch x.T.Kind {
+		case types.Bool, types.Int32, types.Date:
+			f.I32Const(0)
+			f.I32Load(addr)
+		case types.Int64, types.Decimal:
+			f.I32Const(0)
+			f.I64Load(addr)
+		case types.Float64:
+			f.I32Const(0)
+			f.F64Load(addr)
+		case types.Char:
+			f.I32Const(int32(addr))
+		default:
+			g.fail("unsupported parameter type %s", x.T)
+		}
 	case *sema.ColRef:
 		g.fail("unbound column reference %s", x)
 	case *sema.AggRef:

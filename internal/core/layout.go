@@ -20,14 +20,18 @@ import (
 )
 
 // Address-space plan (§6): page 0 traps, a small constant region holds
-// string literals and LIKE patterns, referenced table columns are rewired
-// page-aligned after it, then the result buffer, then the bump-allocated
-// heap for generated data structures.
+// string literals and LIKE patterns, a writable parameter region holds the
+// per-execution query parameters (hoisted literals and prepared-statement
+// arguments — written by the host before q_init, read by generated code),
+// referenced table columns are rewired page-aligned after it, then the
+// result buffer, then the bump-allocated heap for generated data structures.
 const (
 	pageSize    = 64 * 1024
 	constBase   = pageSize // string constants live in page 1
 	constSize   = pageSize
-	columnsBase = constBase + constSize
+	paramBase   = constBase + constSize // parameter region is page 2
+	paramSize   = pageSize
+	columnsBase = paramBase + paramSize
 )
 
 // resultCapacityRows is the size of the result buffer in rows; when full,

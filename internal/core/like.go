@@ -8,9 +8,12 @@ import (
 )
 
 // like compiles a LIKE predicate. Every pattern becomes a monomorphic
-// generated matcher specialized to the pattern text and the operand's CHAR
-// width — ad-hoc library generation in miniature (§5): no generic regex
-// machinery exists at runtime, only the loop this pattern needs.
+// generated matcher specialized to the pattern class, the needle length, and
+// the operand's CHAR width — ad-hoc library generation in miniature (§5): no
+// generic regex machinery exists at runtime, only the loop this pattern
+// needs. A parameterized pattern (Like.PIdx ≥ 0) reads its needle bytes from
+// the parameter region instead of the constant region; the matcher's shape is
+// unchanged, so queries differing only in the pattern text share a module.
 func (g *gen) like(e *env, x *sema.Like) {
 	w := x.E.Type().Length
 	fn := g.c.likeFunc(x, w)
@@ -22,7 +25,31 @@ func (g *gen) like(e *env, x *sema.Like) {
 }
 
 func (c *compiler) likeFunc(x *sema.Like, w int) *wasm.FuncBuilder {
-	key := fmt.Sprintf("%d|%d|%s", x.Kind, w, x.Pattern)
+	needle := x.Needle
+	if x.Kind == sema.LikeComplex {
+		needle = x.Pattern
+	}
+	var key string
+	var addr uint32
+	if x.PIdx >= 0 {
+		slot, ok := c.paramSlots[x.PIdx]
+		if !ok {
+			if c.err == nil {
+				c.err = fmt.Errorf("core: LIKE parameter ?%d has no slot", x.PIdx)
+			}
+			stub := c.b.NewFunc(fmt.Sprintf("like_err_%d", len(c.likes)),
+				wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+			stub.I32Const(0)
+			return stub
+		}
+		addr = uint32(paramBase) + slot.Off
+		// Each parameter slot holds exactly one needle, so the slot index
+		// identifies the matcher.
+		key = fmt.Sprintf("%d|%d|p%d", x.Kind, w, x.PIdx)
+	} else {
+		addr = c.internString(needle)
+		key = fmt.Sprintf("%d|%d|%s", x.Kind, w, x.Pattern)
+	}
 	if f, ok := c.likes[key]; ok {
 		return f
 	}
@@ -32,23 +59,23 @@ func (c *compiler) likeFunc(x *sema.Like, w int) *wasm.FuncBuilder {
 
 	switch x.Kind {
 	case sema.LikeExact:
-		c.emitLikeExact(f, x.Needle, w)
+		c.emitLikeExact(f, addr, len(needle), w)
 	case sema.LikePrefix:
-		c.emitLikePrefix(f, x.Needle, w)
+		c.emitLikePrefix(f, addr, len(needle), w)
 	case sema.LikeSuffix:
-		c.emitLikeSuffix(f, x.Needle, w)
+		c.emitLikeSuffix(f, addr, len(needle), w)
 	case sema.LikeContains:
-		c.emitLikeContains(f, x.Needle, w)
+		c.emitLikeContains(f, addr, len(needle), w)
 	default:
-		c.emitLikeComplex(f, x.Pattern, w)
+		c.emitLikeComplex(f, addr, len(needle), w)
 	}
 	return f
 }
 
-// emitMemEqConst emits code pushing 1 if the w bytes at (ptr + off) equal
-// the constant needle, where off is an i32 local; needle address is baked.
-func (c *compiler) emitMemEqConst(f *wasm.FuncBuilder, ptr wasm.Local, offset wasm.Local, needle string) {
-	addr := c.internString(needle)
+// emitMemEq emits code pushing 1 if the nlen bytes at (ptr + off) equal the
+// nlen bytes at the fixed address addr (constant region for baked needles,
+// parameter region for hoisted ones), where off is an i32 local.
+func (c *compiler) emitMemEq(f *wasm.FuncBuilder, ptr wasm.Local, offset wasm.Local, addr uint32, nlen int) {
 	i := f.AddLocal(wasm.I32)
 	f.I32Const(0)
 	f.LocalSet(i)
@@ -57,7 +84,7 @@ func (c *compiler) emitMemEqConst(f *wasm.FuncBuilder, ptr wasm.Local, offset wa
 	// if i >= len: all equal
 	f.I32Const(1)
 	f.LocalGet(i)
-	f.I32Const(int32(len(needle)))
+	f.I32Const(int32(nlen))
 	f.I32GeU()
 	f.BrIf(1)
 	f.Drop()
@@ -83,8 +110,8 @@ func (c *compiler) emitMemEqConst(f *wasm.FuncBuilder, ptr wasm.Local, offset wa
 	f.End()
 }
 
-func (c *compiler) emitLikeExact(f *wasm.FuncBuilder, needle string, w int) {
-	if len(needle) > w {
+func (c *compiler) emitLikeExact(f *wasm.FuncBuilder, addr uint32, nlen, w int) {
+	if nlen > w {
 		f.I32Const(0)
 		return
 	}
@@ -93,26 +120,26 @@ func (c *compiler) emitLikeExact(f *wasm.FuncBuilder, needle string, w int) {
 	emitLogicalLen(f, f.Param(0), llen, w)
 	// llen == len(needle) && memeq
 	f.LocalGet(llen)
-	f.I32Const(int32(len(needle)))
+	f.I32Const(int32(nlen))
 	f.I32Eq()
 	f.If(wasm.BlockOf(wasm.I32))
-	c.emitMemEqConst(f, f.Param(0), zero, needle)
+	c.emitMemEq(f, f.Param(0), zero, addr, nlen)
 	f.Else()
 	f.I32Const(0)
 	f.End()
 }
 
-func (c *compiler) emitLikePrefix(f *wasm.FuncBuilder, needle string, w int) {
-	if len(needle) > w {
+func (c *compiler) emitLikePrefix(f *wasm.FuncBuilder, addr uint32, nlen, w int) {
+	if nlen > w {
 		f.I32Const(0)
 		return
 	}
 	zero := f.AddLocal(wasm.I32)
-	c.emitMemEqConst(f, f.Param(0), zero, needle)
+	c.emitMemEq(f, f.Param(0), zero, addr, nlen)
 }
 
-func (c *compiler) emitLikeSuffix(f *wasm.FuncBuilder, needle string, w int) {
-	if len(needle) > w {
+func (c *compiler) emitLikeSuffix(f *wasm.FuncBuilder, addr uint32, nlen, w int) {
+	if nlen > w {
 		f.I32Const(0)
 		return
 	}
@@ -121,21 +148,21 @@ func (c *compiler) emitLikeSuffix(f *wasm.FuncBuilder, needle string, w int) {
 	emitLogicalLen(f, f.Param(0), llen, w)
 	// llen >= len && memeq at llen-len
 	f.LocalGet(llen)
-	f.I32Const(int32(len(needle)))
+	f.I32Const(int32(nlen))
 	f.I32GeU()
 	f.If(wasm.BlockOf(wasm.I32))
 	f.LocalGet(llen)
-	f.I32Const(int32(len(needle)))
+	f.I32Const(int32(nlen))
 	f.I32Sub()
 	f.LocalSet(off)
-	c.emitMemEqConst(f, f.Param(0), off, needle)
+	c.emitMemEq(f, f.Param(0), off, addr, nlen)
 	f.Else()
 	f.I32Const(0)
 	f.End()
 }
 
-func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, needle string, w int) {
-	if len(needle) > w {
+func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, addr uint32, nlen, w int) {
+	if nlen > w {
 		f.I32Const(0)
 		return
 	}
@@ -149,7 +176,7 @@ func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, needle string, w int) {
 	// if off + len > llen: no match
 	f.I32Const(0)
 	f.LocalGet(off)
-	f.I32Const(int32(len(needle)))
+	f.I32Const(int32(nlen))
 	f.I32Add()
 	f.LocalGet(llen)
 	f.Op(wasm.OpI32GtU)
@@ -157,7 +184,7 @@ func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, needle string, w int) {
 	f.Drop()
 	// if memeq at off: match
 	f.I32Const(1)
-	c.emitMemEqConst(f, f.Param(0), off, needle)
+	c.emitMemEq(f, f.Param(0), off, addr, nlen)
 	f.BrIf(1)
 	f.Drop()
 	f.LocalGet(off)
@@ -170,11 +197,11 @@ func (c *compiler) emitLikeContains(f *wasm.FuncBuilder, needle string, w int) {
 }
 
 // emitLikeComplex generates the classic iterative glob matcher with
-// single-star backtracking over the logical string, with the pattern baked
-// into the constant region.
-func (c *compiler) emitLikeComplex(f *wasm.FuncBuilder, pattern string, w int) {
-	pAddr := c.internString(pattern)
-	plen := int32(len(pattern))
+// single-star backtracking over the logical string, reading the pattern from
+// the fixed address pAddr (constant region, or parameter region when the
+// pattern is hoisted).
+func (c *compiler) emitLikeComplex(f *wasm.FuncBuilder, pAddr uint32, patLen, w int) {
+	plen := int32(patLen)
 
 	llen := f.AddLocal(wasm.I32)
 	s := f.AddLocal(wasm.I32)

@@ -69,9 +69,11 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int) (parMode,
 		// across workers would change which morsel exhausts it.
 		return parNone, fallbackFuel
 	}
-	if cq.Limit >= 0 {
+	if cq.Limit >= 0 || cq.LimitSlot >= 0 {
 		// LIMIT without a total order picks whichever rows arrive first;
-		// serial execution keeps the choice deterministic.
+		// serial execution keeps the choice deterministic. A parameterized
+		// limit (LimitSlot) counts even before its value is known — the
+		// check is per-module, and limited queries always fall back.
 		return parNone, fallbackLimit
 	}
 	ps := cq.Pipelines

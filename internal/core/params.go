@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wasmdb/internal/engine/wmem"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+)
+
+// ErrParamRegionOverflow reports a query whose hoisted literals and
+// placeholders need more bytes than the parameter region holds. Callers
+// respond by recompiling the query with its literals baked (uncached).
+var ErrParamRegionOverflow = errors.New("core: parameters exceed the parameter region")
+
+// layoutParams assigns a parameter-region slot to every parameter the query's
+// expressions reference (plus the hoisted LIMIT). Offsets are deterministic —
+// ordinal order, 8-byte aligned — so two queries with the same fingerprint
+// compile to byte-identical modules and can share one plan-cache entry.
+func (c *compiler) layoutParams() error {
+	used := map[int]types.Type{}
+	for _, e := range c.q.Conjuncts {
+		paramsUsed(e, used)
+	}
+	for _, e := range c.q.GroupBy {
+		paramsUsed(e, used)
+	}
+	for _, a := range c.q.Aggs {
+		if a.Arg != nil {
+			paramsUsed(a.Arg, used)
+		}
+	}
+	for _, oc := range c.q.Select {
+		paramsUsed(oc.Expr, used)
+	}
+	for _, k := range c.q.OrderBy {
+		paramsUsed(k.Expr, used)
+	}
+	if c.q.LimitSlot >= 0 {
+		used[c.q.LimitSlot] = types.TInt64
+		c.out.LimitSlot = c.q.LimitSlot
+	}
+	if len(used) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(used))
+	for i := range used {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var off uint32
+	for _, i := range idxs {
+		t := used[i]
+		slot := ParamSlot{Idx: i, Off: off, T: t}
+		c.paramSlots[i] = slot
+		c.out.ParamSlots = append(c.out.ParamSlots, slot)
+		off += (uint32(t.Size()) + 7) &^ 7
+	}
+	if off > paramSize {
+		return fmt.Errorf("core: %d parameter bytes do not fit the %d-byte region: %w",
+			off, paramSize, ErrParamRegionOverflow)
+	}
+	return nil
+}
+
+// paramsUsed records every parameter slot referenced by e: Param nodes and
+// parameterized LIKE needles (whose slot type is CHAR of the needle's byte
+// length).
+func paramsUsed(e sema.Expr, out map[int]types.Type) {
+	switch x := e.(type) {
+	case *sema.Param:
+		out[x.Idx] = x.T
+	case *sema.Binary:
+		paramsUsed(x.L, out)
+		paramsUsed(x.R, out)
+	case *sema.Not:
+		paramsUsed(x.E, out)
+	case *sema.Cast:
+		paramsUsed(x.E, out)
+	case *sema.Like:
+		paramsUsed(x.E, out)
+		if x.PIdx >= 0 {
+			n := len(x.Needle)
+			if x.Kind == sema.LikeComplex {
+				n = len(x.Pattern)
+			}
+			out[x.PIdx] = types.Type{Kind: types.Char, Length: n}
+		}
+	case *sema.Case:
+		for _, w := range x.Whens {
+			paramsUsed(w.Cond, out)
+			paramsUsed(w.Then, out)
+		}
+		paramsUsed(x.Else, out)
+	case *sema.ExtractYear:
+		paramsUsed(x.E, out)
+	}
+}
+
+// writeParams encodes the execution's parameter values into the parameter
+// region of one worker memory. The generated code reads the slots with plain
+// typed loads, so values use the wasm little-endian machine representation;
+// CHAR slots are space-padded to the slot width (SQL padded semantics, same
+// as column storage).
+func writeParams(mem *wmem.Memory, slots []ParamSlot, vals []types.Value) error {
+	for _, s := range slots {
+		if s.Idx >= len(vals) {
+			return fmt.Errorf("core: missing value for parameter ?%d (have %d values)", s.Idx, len(vals))
+		}
+		v := vals[s.Idx]
+		if v.Type.Kind != s.T.Kind {
+			return fmt.Errorf("core: parameter ?%d is %s, slot expects %s", s.Idx, v.Type, s.T)
+		}
+		switch s.T.Kind {
+		case types.Bool, types.Int32, types.Date:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(int32(v.I)))
+			mem.WriteBytes(paramBase+s.Off, b[:])
+		case types.Int64, types.Decimal:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+			mem.WriteBytes(paramBase+s.Off, b[:])
+		case types.Float64:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+			mem.WriteBytes(paramBase+s.Off, b[:])
+		case types.Char:
+			n := s.T.Length
+			if len(v.S) > n {
+				return fmt.Errorf("core: CHAR parameter ?%d is %d bytes, slot holds %d", s.Idx, len(v.S), n)
+			}
+			if n == 0 {
+				continue
+			}
+			b := make([]byte, n)
+			copy(b, v.S)
+			for i := len(v.S); i < n; i++ {
+				b[i] = ' '
+			}
+			mem.WriteBytes(paramBase+s.Off, b)
+		default:
+			return fmt.Errorf("core: unsupported parameter type %s", s.T)
+		}
+	}
+	return nil
+}

@@ -45,8 +45,30 @@ func (c *compiler) resultConsumer(proj *plan.Project) consumer {
 		f.I32Add()
 		f.GlobalSet(c.gCursor)
 
-		// LIMIT: totalRows++; if totalRows >= N return 1.
-		if c.out.Limit >= 0 {
+		// LIMIT: totalRows++; if totalRows >= N return 1. A parameterized
+		// limit is read from its parameter-region slot (i64), so the same
+		// module serves every LIMIT value; a baked limit stays an i32
+		// immediate.
+		if c.out.LimitSlot >= 0 {
+			slot, ok := c.paramSlots[c.out.LimitSlot]
+			if !ok {
+				g.fail("limit parameter ?%d has no slot", c.out.LimitSlot)
+				return
+			}
+			f.GlobalGet(c.gTotalRows)
+			f.I32Const(1)
+			f.I32Add()
+			f.GlobalSet(c.gTotalRows)
+			f.GlobalGet(c.gTotalRows)
+			f.Op(wasm.OpI64ExtendI32U)
+			f.I32Const(0)
+			f.I64Load(uint32(paramBase) + slot.Off)
+			f.Op(wasm.OpI64GeS)
+			f.If(wasm.BlockVoid)
+			f.I32Const(1)
+			f.Return()
+			f.End()
+		} else if c.out.Limit >= 0 {
 			f.GlobalGet(c.gTotalRows)
 			f.I32Const(1)
 			f.I32Add()

@@ -279,6 +279,18 @@ func (m *Module) optimize(rounds int) {
 	close(m.optimized)
 }
 
+// Optimized reports, without blocking, whether background optimization has
+// finished — on an adaptive module that has been alive a while (a plan-cache
+// hit), true means calls dispatch straight to turbofan code.
+func (m *Module) Optimized() bool {
+	select {
+	case <-m.optimized:
+		return true
+	default:
+		return false
+	}
+}
+
 // WaitOptimized blocks until background optimization has finished (it
 // returns immediately for non-adaptive tiers) and reports any compile error;
 // execution continues on baseline code for functions that failed.
@@ -310,18 +322,33 @@ type Instance struct {
 	mod *Module
 	env *rt.Env
 
+	// tr receives this instance's tier-switch events. It defaults to the
+	// module's compile trace but can differ when a cached module is shared
+	// across queries (InstantiateWithTrace) — each execution's events land
+	// on its own trace.
+	tr *obs.Trace
+
 	// Per-tier counts of exported calls, for observing adaptive switching.
 	callsLiftoff  atomic.Uint64
 	callsTurbofan atomic.Uint64
 	// tierSeen marks functions whose first turbofan-served call was already
-	// recorded as a tier-switch event. Allocated only when the module carries
-	// a trace, so untraced dispatch pays nothing.
+	// recorded as a tier-switch event. Allocated only when the instance
+	// carries a trace, so untraced dispatch pays nothing.
 	tierSeen []atomic.Bool
 }
 
 // Instantiate links a compiled module against imports, initializes globals,
-// table, and data segments, and runs the start function if present.
+// table, and data segments, and runs the start function if present. The
+// instance reports tier-switch events to the module's compile trace.
 func (m *Module) Instantiate(imp Imports) (*Instance, error) {
+	return m.InstantiateWithTrace(imp, m.tr)
+}
+
+// InstantiateWithTrace is Instantiate with the instance's tier-switch events
+// routed to tr instead of the module's compile trace — the shape a plan
+// cache needs, where one compiled module outlives the query that compiled it
+// and each execution records into its own trace. tr may be nil.
+func (m *Module) InstantiateWithTrace(imp Imports, tr *obs.Trace) (*Instance, error) {
 	wm := m.wmod
 	env := &rt.Env{Types: wm.Types}
 
@@ -398,8 +425,8 @@ func (m *Module) Instantiate(imp Imports) (*Instance, error) {
 		env.Mem.WriteBytes(d.Offset, d.Bytes)
 	}
 
-	inst := &Instance{mod: m, env: env}
-	if m.tr != nil {
+	inst := &Instance{mod: m, env: env, tr: tr}
+	if tr != nil {
 		inst.tierSeen = make([]atomic.Bool, len(env.Funcs))
 	}
 	if wm.Start >= 0 {
@@ -450,8 +477,8 @@ func (i *Instance) CallIndex(idx uint32, args ...uint64) (results []uint64, err 
 			// moment dispatch actually switched tiers (tier-up is when the
 			// code was published; this is when it started running).
 			if i.tierSeen != nil && !i.tierSeen[idx].Swap(true) {
-				i.mod.tr.Event(obs.EvTierSwitch,
-					obs.I("func", int64(idx)), obs.I("morsel", i.mod.tr.MorselCount()))
+				i.tr.Event(obs.EvTierSwitch,
+					obs.I("func", int64(idx)), obs.I("morsel", i.tr.MorselCount()))
 			}
 		} else {
 			i.callsLiftoff.Add(1)

@@ -20,6 +20,14 @@ const (
 	MetricPeakHeapPages    = "core_peak_heap_pages"
 	MetricMorselLatency    = "core_morsel_latency_ns"
 	MetricFaultpointHits   = "faultpoint_hits_total" // + "." + point
+
+	// Plan-cache outcomes: lookups that found a live compiled module, lookups
+	// that compiled, entries dropped by the LRU budget, and entries dropped by
+	// DDL invalidation.
+	MetricPlanCacheHits          = "plancache_hits_total"
+	MetricPlanCacheMisses        = "plancache_misses_total"
+	MetricPlanCacheEvictions     = "plancache_evictions_total"
+	MetricPlanCacheInvalidations = "plancache_invalidations_total"
 )
 
 // Counter is a monotonically increasing atomic count.

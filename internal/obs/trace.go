@@ -64,6 +64,10 @@ const (
 	// EvSerialFallback marks a query that requested parallelism but ran its
 	// pipelines serially (args: reason — e.g. unmergeable pipeline state).
 	EvSerialFallback = "serial-fallback"
+	// EvPlanCache marks a plan-cache lookup (args: result — "hit" or "miss",
+	// fingerprint — the plan fingerprint's short prefix, tier — the tier the
+	// cached module currently dispatches to on a hit).
+	EvPlanCache = "plan-cache"
 )
 
 // Counter names stored on the trace (set by the executor at query end).

@@ -1,0 +1,229 @@
+// Package plancache caches compiled queries keyed by plan fingerprint.
+//
+// A cache entry pairs the generated CompiledQuery (layout, pipelines,
+// parameter slots — immutable after compilation) with the engine Module
+// already compiled from it. Because the module is shared, its background
+// TurboFan tier-up survives across queries: the first execution of a query
+// shape pays liftoff compilation and tiers up mid-query, while a later
+// cache hit instantiates the same module and dispatches optimized code from
+// the very first morsel. Per-execution state — instances, linear memories,
+// parameter-region contents — is created fresh by the executor and never
+// lives here.
+//
+// The cache is bounded by entry count and by total generated-code bytes
+// (LRU eviction), and is invalidated wholesale on DDL; fingerprints also
+// embed the catalog schema version, so even a stale entry that survived a
+// missed flush could never be returned for a new schema. Concurrent misses
+// on one fingerprint are collapsed by a singleflight: the first caller
+// compiles, the rest wait and share the result (counted as hits — they
+// paid no compile). A failed compile is returned to every waiter and caches
+// nothing.
+//
+// Layering: plancache sits above core and engine and below the public API;
+// it must never be imported by them (`make verify` checks).
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"wasmdb/internal/core"
+	"wasmdb/internal/engine"
+	"wasmdb/internal/obs"
+)
+
+// Process-wide mirrors of every cache's outcome counters.
+var (
+	mHits          = obs.Default.Counter(obs.MetricPlanCacheHits)
+	mMisses        = obs.Default.Counter(obs.MetricPlanCacheMisses)
+	mEvictions     = obs.Default.Counter(obs.MetricPlanCacheEvictions)
+	mInvalidations = obs.Default.Counter(obs.MetricPlanCacheInvalidations)
+)
+
+// Default capacity bounds.
+const (
+	DefaultMaxEntries = 128
+	DefaultMaxBytes   = 64 << 20
+)
+
+// Entry is one cached compilation.
+type Entry struct {
+	// Fingerprint is the key the entry was stored under (core.Fingerprint).
+	Fingerprint string
+	// CQ is the compiled query: module bytes, pipelines, result layout, and
+	// parameter slots. Immutable — shared by every execution that hits.
+	CQ *core.CompiledQuery
+	// Mod is the engine module compiled from CQ.Bin, with whatever tier-up
+	// progress it has accumulated.
+	Mod *engine.Module
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	// Entries and CodeBytes describe current occupancy.
+	Entries   int
+	CodeBytes int64
+}
+
+// Cache is a bounded LRU of compiled queries. Safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	lru        *list.List // front = most recently used; values are *Entry
+	byFP       map[string]*list.Element
+	bytes      int64
+	flights    map[string]*flight
+
+	hits, misses, evictions, invalidations int64
+}
+
+// flight is one in-progress compilation that concurrent identical queries
+// attach to instead of compiling again.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// New creates a cache with the given bounds; values <= 0 select the
+// defaults.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		lru:        list.New(),
+		byFP:       map[string]*list.Element{},
+		flights:    map[string]*flight{},
+	}
+}
+
+// GetOrCompile returns the cached entry for fp, or runs compile to create
+// it. hit reports whether the caller avoided compilation — true both for a
+// present entry and for a singleflight waiter that shared another caller's
+// compile. A compile error is propagated to every attached waiter and
+// nothing is cached.
+func (c *Cache) GetOrCompile(fp string, compile func() (*core.CompiledQuery, *engine.Module, error)) (e *Entry, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byFP[fp]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		mHits.Add(1)
+		return el.Value.(*Entry), true, nil
+	}
+	if fl, ok := c.flights[fp]; ok {
+		// Someone is compiling this fingerprint right now: wait for their
+		// result instead of duplicating the work.
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		mHits.Add(1)
+		return fl.e, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[fp] = fl
+	c.mu.Unlock()
+
+	cq, mod, cerr := compile()
+
+	c.mu.Lock()
+	delete(c.flights, fp)
+	if cerr != nil {
+		fl.err = cerr
+		c.mu.Unlock()
+		close(fl.done)
+		return nil, false, cerr
+	}
+	fl.e = &Entry{Fingerprint: fp, CQ: cq, Mod: mod}
+	c.misses++
+	if !cq.Uncacheable {
+		// A fault-injection-perturbed module is handed to its waiters but
+		// never retained: its code is not a pure function of the fingerprint.
+		el := c.lru.PushFront(fl.e)
+		c.byFP[fp] = el
+		c.bytes += int64(len(cq.Bin))
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	mMisses.Add(1)
+	close(fl.done)
+	return fl.e, false, nil
+}
+
+// evictLocked drops least-recently-used entries until both budgets hold.
+// The newest entry is allowed to stand alone even if it exceeds the byte
+// budget by itself — evicting it immediately would make the cache useless
+// for that query shape while still paying the bookkeeping.
+func (c *Cache) evictLocked() {
+	for (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*Entry)
+		c.lru.Remove(el)
+		delete(c.byFP, e.Fingerprint)
+		c.bytes -= int64(len(e.CQ.Bin))
+		c.evictions++
+		mEvictions.Add(1)
+	}
+}
+
+// Flush drops every entry (DDL invalidation) and returns how many were
+// dropped. In-progress flights are unaffected: their fingerprints embed the
+// old schema version, so once inserted they can never match a post-DDL
+// lookup.
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.lru.Init()
+	c.byFP = map[string]*list.Element{}
+	c.bytes = 0
+	c.invalidations += int64(n)
+	c.mu.Unlock()
+	mInvalidations.Add(int64(n))
+	return n
+}
+
+// Stats snapshots the cache's counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		CodeBytes:     c.bytes,
+	}
+}
+
+// SetLimits adjusts the bounds (values <= 0 select the defaults) and evicts
+// immediately if the new bounds are tighter.
+func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c.mu.Lock()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evictLocked()
+	c.mu.Unlock()
+}

@@ -40,11 +40,38 @@ type Query struct {
 	Select    []OutputCol
 	OrderBy   []OrderKey
 	Limit     int64
+
+	// NumParams counts the explicit ? placeholders; ParamTypes[i] is the
+	// type inferred for placeholder i at bind time.
+	NumParams  int
+	ParamTypes []types.Type
+	// LimitParam is the placeholder ordinal of an explicit LIMIT ?, or -1.
+	// The caller resolves it into Limit before planning.
+	LimitParam int
+	// TotalParams is the size of the execution-time parameter vector:
+	// NumParams explicit placeholders plus any literals hoisted by
+	// Parameterize (and the limit, when parameterized).
+	TotalParams int
+	// LimitSlot is the parameter ordinal holding the LIMIT value when
+	// Parameterize hoisted it, or -1 when the limit is compiled literally.
+	LimitSlot int
 }
 
 // Analyze binds a parsed SELECT against the catalog.
 func Analyze(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Query, error) {
-	b := &binder{cat: cat, q: &Query{Limit: stmt.Limit}}
+	b := &binder{cat: cat, q: &Query{
+		Limit:       stmt.Limit,
+		NumParams:   stmt.NumParams,
+		LimitParam:  stmt.LimitParam,
+		TotalParams: stmt.NumParams,
+		LimitSlot:   -1,
+	}}
+	if stmt.NumParams > 0 {
+		b.q.ParamTypes = make([]types.Type, stmt.NumParams)
+	}
+	if stmt.LimitParam >= 0 {
+		b.q.ParamTypes[stmt.LimitParam] = types.TInt64
+	}
 	// Tables and join conditions.
 	seen := map[string]bool{}
 	for _, fi := range stmt.From {
@@ -202,6 +229,25 @@ type binder struct {
 	q   *Query
 }
 
+// cmpOps maps comparison operator spellings to OpKind.
+var cmpOps = map[string]OpKind{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+
+// bindPlaceholder types an explicit ? placeholder and records its type for
+// argument conversion at execution time.
+func (b *binder) bindPlaceholder(ph *sql.Placeholder, t types.Type) *Param {
+	b.q.ParamTypes[ph.Idx] = t
+	return &Param{Idx: ph.Idx, T: t}
+}
+
+// bindOperand binds a comparison operand, typing a ? placeholder from the
+// already-bound opposite operand.
+func (b *binder) bindOperand(e sql.Expr, opposite Expr) (Expr, error) {
+	if ph, ok := e.(*sql.Placeholder); ok {
+		return b.bindPlaceholder(ph, opposite.Type()), nil
+	}
+	return b.bind(e)
+}
+
 // addConjuncts flattens a boolean expression's top-level AND chain.
 func (b *binder) addConjuncts(e Expr) {
 	if bin, ok := e.(*Binary); ok && bin.Op == OpAnd {
@@ -323,6 +369,11 @@ func (b *binder) bind(e sql.Expr) (Expr, error) {
 		return &Const{V: types.NewDate(x.Days)}, nil
 	case *sql.IntervalLit:
 		return nil, fmt.Errorf("sema: INTERVAL is only valid in date arithmetic")
+	case *sql.Placeholder:
+		// Reached only outside the typed positions handled explicitly
+		// (comparison operands, BETWEEN bounds, IN lists, LIMIT): without an
+		// opposite operand there is nothing to infer the type from.
+		return nil, fmt.Errorf("sema: ? placeholder is only supported as a comparison operand, BETWEEN bound, IN list item, or LIMIT")
 	case *sql.BinaryExpr:
 		return b.bindBinary(x)
 	case *sql.UnaryExpr:
@@ -344,11 +395,11 @@ func (b *binder) bind(e sql.Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lo, err := b.bind(x.Lo)
+		lo, err := b.bindOperand(x.Lo, v)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := b.bind(x.Hi)
+		hi, err := b.bindOperand(x.Hi, v)
 		if err != nil {
 			return nil, err
 		}
@@ -372,7 +423,7 @@ func (b *binder) bind(e sql.Expr) (Expr, error) {
 		}
 		var out Expr
 		for _, item := range x.List {
-			it, err := b.bind(item)
+			it, err := b.bindOperand(item, v)
 			if err != nil {
 				return nil, err
 			}
@@ -399,7 +450,7 @@ func (b *binder) bind(e sql.Expr) (Expr, error) {
 			return nil, fmt.Errorf("sema: LIKE requires a CHAR operand")
 		}
 		kind, needle := ClassifyLike(x.Pattern)
-		return &Like{E: v, Pattern: x.Pattern, Kind: kind, Needle: needle, Not: x.Not}, nil
+		return &Like{E: v, Pattern: x.Pattern, Kind: kind, Needle: needle, Not: x.Not, PIdx: -1}, nil
 	case *sql.CaseExpr:
 		return b.bindCase(x)
 	case *sql.FuncCall:
@@ -466,6 +517,29 @@ func (b *binder) bindBinary(x *sql.BinaryExpr) (Expr, error) {
 		return &Const{V: types.NewDate(days)}, nil
 	}
 
+	// A ? placeholder as a comparison operand takes the opposite operand's
+	// type, so the compiled code shape is fixed at prepare time.
+	if op, isCmp := cmpOps[x.Op]; isCmp {
+		lph, lok := x.L.(*sql.Placeholder)
+		rph, rok := x.R.(*sql.Placeholder)
+		switch {
+		case lok && rok:
+			return nil, fmt.Errorf("sema: cannot infer the type of ? compared with ?")
+		case lok:
+			r, err := b.bind(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return b.compare(op, b.bindPlaceholder(lph, r.Type()), r)
+		case rok:
+			l, err := b.bind(x.L)
+			if err != nil {
+				return nil, err
+			}
+			return b.compare(op, l, b.bindPlaceholder(rph, l.Type()))
+		}
+	}
+
 	l, err := b.bind(x.L)
 	if err != nil {
 		return nil, err
@@ -485,8 +559,7 @@ func (b *binder) bindBinary(x *sql.BinaryExpr) (Expr, error) {
 		}
 		return &Binary{Op: op, L: l, R: r, T: types.TBool}, nil
 	case "=", "<>", "<", "<=", ">", ">=":
-		ops := map[string]OpKind{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
-		return b.compare(ops[x.Op], l, r)
+		return b.compare(cmpOps[x.Op], l, r)
 	case "+", "-", "*", "/", "%":
 		ops := map[string]OpKind{"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod}
 		return b.arith(ops[x.Op], l, r)

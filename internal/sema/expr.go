@@ -70,6 +70,21 @@ type Const struct{ V types.Value }
 func (c *Const) Type() types.Type { return c.V.Type }
 func (c *Const) String() string   { return c.V.String() }
 
+// Param is a query parameter: an explicit ? placeholder bound during
+// analysis, or a literal hoisted out of the expression tree by Parameterize
+// so that queries differing only in constants share one compiled module.
+// Idx is the slot in the execution-time parameter vector; T is fixed at bind
+// time (from the opposite comparison operand), so the compiled code shape
+// does not depend on the parameter's value.
+type Param struct {
+	Idx int
+	T   types.Type
+}
+
+// Type implements Expr.
+func (p *Param) Type() types.Type { return p.T }
+func (p *Param) String() string   { return fmt.Sprintf("?%d", p.Idx) }
+
 // Binary is a primitive binary operation over same-typed operands (casts
 // have been inserted).
 type Binary struct {
@@ -123,6 +138,11 @@ type Like struct {
 	// Needle is the literal part for Exact/Prefix/Suffix/Contains.
 	Needle string
 	Not    bool
+	// PIdx, when ≥ 0, is the parameter slot holding the needle (or, for
+	// LikeComplex, the full pattern) bytes: the generated matcher reads them
+	// from the parameter region instead of baking them into the constant
+	// region. Kind and the byte length stay fixed per compiled module.
+	PIdx int
 }
 
 // Type implements Expr.
@@ -260,7 +280,10 @@ func Equal(a, b Expr) bool {
 		return ok && x.To == y.To && Equal(x.E, y.E)
 	case *Like:
 		y, ok := b.(*Like)
-		return ok && x.Pattern == y.Pattern && x.Not == y.Not && Equal(x.E, y.E)
+		return ok && x.Pattern == y.Pattern && x.Not == y.Not && x.PIdx == y.PIdx && Equal(x.E, y.E)
+	case *Param:
+		y, ok := b.(*Param)
+		return ok && x.Idx == y.Idx && x.T == y.T
 	case *Case:
 		y, ok := b.(*Case)
 		if !ok || len(x.Whens) != len(y.Whens) || x.T != y.T {

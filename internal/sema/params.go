@@ -1,0 +1,175 @@
+package sema
+
+import "wasmdb/internal/types"
+
+// Parameterize hoists the value-carrying literals of a bound query into the
+// execution-time parameter vector: comparison operands, LIKE needles, and
+// the LIMIT count become Param references (loaded from the writable
+// parameter region of linear memory) instead of constants baked into
+// generated code. Two queries that differ only in those literals therefore
+// produce identical compiled modules and share one plan-cache entry.
+//
+// The pass runs after Analyze and before plan.Build. It is value-preserving
+// by construction: each hoisted literal keeps its bound (aligned) type, so
+// the generated comparison code is byte-identical to the constant version
+// except for the operand load. Plan shape is unaffected — cardinality
+// estimation is value-independent and conjunct placement depends only on
+// TablesUsed, which a Param never contributes to.
+//
+// Parameter ordinals continue after the explicit ? placeholders; the
+// returned slice holds the hoisted values in ordinal order, and the caller
+// appends them to the user-supplied arguments to form the full vector.
+// When the query has a LIMIT it is always hoisted (last), and q.LimitSlot
+// records its ordinal.
+func Parameterize(q *Query) []types.Value {
+	p := &paramizer{q: q}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i] = p.rewrite(q.Conjuncts[i])
+	}
+	for i := range q.GroupBy {
+		q.GroupBy[i] = p.rewrite(q.GroupBy[i])
+	}
+	for i := range q.Aggs {
+		if q.Aggs[i].Arg != nil {
+			q.Aggs[i].Arg = p.rewrite(q.Aggs[i].Arg)
+		}
+	}
+	for i := range q.Select {
+		q.Select[i].Expr = p.rewrite(q.Select[i].Expr)
+	}
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = p.rewrite(q.OrderBy[i].Expr)
+	}
+	if q.Limit >= 0 {
+		q.LimitSlot = q.TotalParams
+		q.TotalParams++
+		p.extracted = append(p.extracted, types.NewInt64(q.Limit))
+	}
+	return p.extracted
+}
+
+type paramizer struct {
+	q         *Query
+	extracted []types.Value
+}
+
+// param allocates the next ordinal for a hoisted constant.
+func (p *paramizer) param(c *Const) *Param {
+	idx := p.q.TotalParams
+	p.q.TotalParams++
+	p.extracted = append(p.extracted, c.V)
+	return &Param{Idx: idx, T: c.V.Type}
+}
+
+// rewrite replaces eligible constants in place and returns the (possibly
+// new) node. Mutation is in place so shared subtrees stay consistent.
+func (p *paramizer) rewrite(e Expr) Expr {
+	switch x := e.(type) {
+	case *Binary:
+		if x.Op.IsComparison() {
+			lc, lok := x.L.(*Const)
+			rc, rok := x.R.(*Const)
+			// Hoist a constant compared against a non-constant; an
+			// all-constant predicate stays baked (and fingerprinted).
+			if lok != rok {
+				if lok {
+					x.L = p.param(lc)
+					x.R = p.rewrite(x.R)
+				} else {
+					x.L = p.rewrite(x.L)
+					x.R = p.param(rc)
+				}
+				return x
+			}
+		}
+		x.L = p.rewrite(x.L)
+		x.R = p.rewrite(x.R)
+	case *Not:
+		x.E = p.rewrite(x.E)
+	case *Cast:
+		x.E = p.rewrite(x.E)
+	case *Like:
+		x.E = p.rewrite(x.E)
+		// The needle (or, for complex patterns, the whole pattern) moves to
+		// a parameter slot; its length and the pattern class stay baked, so
+		// only same-shaped patterns share a module.
+		if x.PIdx < 0 {
+			s := x.Needle
+			if x.Kind == LikeComplex {
+				s = x.Pattern
+			}
+			if len(s) > 0 {
+				x.PIdx = p.q.TotalParams
+				p.q.TotalParams++
+				p.extracted = append(p.extracted, types.NewChar(s, len(s)))
+			}
+		}
+	case *Case:
+		for i := range x.Whens {
+			x.Whens[i].Cond = p.rewrite(x.Whens[i].Cond)
+			x.Whens[i].Then = p.rewrite(x.Whens[i].Then)
+		}
+		x.Else = p.rewrite(x.Else)
+	case *ExtractYear:
+		x.E = p.rewrite(x.E)
+	}
+	return e
+}
+
+// SubstituteParams folds the given argument values back into the query as
+// constants, removing every Param node. It is the non-caching counterpart of
+// prepared execution: baselines (volcano, vectorized) and cache-disabled
+// runs evaluate the exact constant-folded query, which keeps them usable as
+// differential oracles for the parameterized path. vals is indexed by
+// parameter ordinal and must cover q.NumParams entries.
+func SubstituteParams(q *Query, vals []types.Value) {
+	s := &substituter{vals: vals}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i] = s.rewrite(q.Conjuncts[i])
+	}
+	for i := range q.GroupBy {
+		q.GroupBy[i] = s.rewrite(q.GroupBy[i])
+	}
+	for i := range q.Aggs {
+		if q.Aggs[i].Arg != nil {
+			q.Aggs[i].Arg = s.rewrite(q.Aggs[i].Arg)
+		}
+	}
+	for i := range q.Select {
+		q.Select[i].Expr = s.rewrite(q.Select[i].Expr)
+	}
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = s.rewrite(q.OrderBy[i].Expr)
+	}
+}
+
+type substituter struct {
+	vals []types.Value
+}
+
+func (s *substituter) rewrite(e Expr) Expr {
+	switch x := e.(type) {
+	case *Param:
+		if x.Idx < len(s.vals) {
+			return &Const{V: s.vals[x.Idx]}
+		}
+	case *Binary:
+		x.L = s.rewrite(x.L)
+		x.R = s.rewrite(x.R)
+	case *Not:
+		x.E = s.rewrite(x.E)
+	case *Cast:
+		x.E = s.rewrite(x.E)
+	case *Like:
+		x.E = s.rewrite(x.E)
+	case *Case:
+		for i := range x.Whens {
+			x.Whens[i].Cond = s.rewrite(x.Whens[i].Cond)
+			x.Whens[i].Then = s.rewrite(x.Whens[i].Then)
+		}
+		x.Else = s.rewrite(x.Else)
+	case *ExtractYear:
+		x.E = s.rewrite(x.E)
+	}
+	return e
+}

@@ -14,6 +14,11 @@ type SelectStmt struct {
 	OrderBy []OrderItem
 	// Limit is -1 when absent.
 	Limit int64
+	// LimitParam is the placeholder ordinal of LIMIT ?, or -1 when the
+	// limit is a literal or absent.
+	LimitParam int
+	// NumParams counts the ? placeholders in the statement.
+	NumParams int
 }
 
 func (*SelectStmt) stmt() {}
@@ -143,6 +148,10 @@ type WhenClause struct {
 	Cond, Then Expr
 }
 
+// Placeholder is a positional query parameter (?). Idx is the zero-based
+// ordinal by order of appearance in the statement.
+type Placeholder struct{ Idx int }
+
 // FuncCall is an aggregate or builtin call. Star marks COUNT(*).
 type FuncCall struct {
 	Name string // upper-case: COUNT, SUM, MIN, MAX, AVG, EXTRACT_YEAR
@@ -164,4 +173,5 @@ func (*BetweenExpr) expr() {}
 func (*InExpr) expr()      {}
 func (*LikeExpr) expr()    {}
 func (*CaseExpr) expr()    {}
+func (*Placeholder) expr() {}
 func (*FuncCall) expr()    {}

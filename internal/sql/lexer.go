@@ -119,7 +119,7 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
-		case strings.ContainsRune("(),.*+-/%;", rune(c)):
+		case strings.ContainsRune("(),.*+-/%;?", rune(c)):
 			l.pos++
 			l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
 		case c == '<':

@@ -52,6 +52,8 @@ func ParseSelect(src string) (*SelectStmt, error) {
 type parser struct {
 	toks []token
 	pos  int
+	// nParams counts ? placeholders, assigning ordinals by appearance.
+	nParams int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -110,7 +112,7 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	s := &SelectStmt{Limit: -1}
+	s := &SelectStmt{Limit: -1, LimitParam: -1}
 	for {
 		if p.acceptOp("*") {
 			s.Items = append(s.Items, SelectItem{Star: true})
@@ -225,17 +227,23 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		}
 	}
 	if p.acceptKeyword("LIMIT") {
-		t := p.cur()
-		if t.kind != tokInt {
-			return nil, fmt.Errorf("sql: expected integer after LIMIT")
+		if p.acceptOp("?") {
+			s.LimitParam = p.nParams
+			p.nParams++
+		} else {
+			t := p.cur()
+			if t.kind != tokInt {
+				return nil, fmt.Errorf("sql: expected integer after LIMIT")
+			}
+			p.pos++
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+			}
+			s.Limit = n
 		}
-		p.pos++
-		n, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
-		}
-		s.Limit = n
 	}
+	s.NumParams = p.nParams
 	return s, nil
 }
 
@@ -619,6 +627,12 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.text == "?" {
+			p.pos++
+			ph := &Placeholder{Idx: p.nParams}
+			p.nParams++
+			return ph, nil
 		}
 	case tokKeyword:
 		switch t.text {

@@ -23,6 +23,7 @@ package wasmdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"wasmdb/internal/engine"
 	"wasmdb/internal/obs"
 	"wasmdb/internal/plan"
+	"wasmdb/internal/plancache"
 	"wasmdb/internal/sema"
 	"wasmdb/internal/sql"
 	"wasmdb/internal/tpch"
@@ -88,12 +90,19 @@ const hyperOptRounds = 10
 
 // DB is an in-memory database.
 type DB struct {
-	mu  sync.Mutex
-	cat *catalog.Catalog
+	// mu is a readers-writer lock: queries (including prepared executions)
+	// share it, DDL and data loads take it exclusively. Concurrent identical
+	// queries therefore really race on the plan cache, which collapses them
+	// into one compilation.
+	mu     sync.RWMutex
+	cat    *catalog.Catalog
+	pcache *plancache.Cache
 }
 
 // Open creates an empty database.
-func Open() *DB { return &DB{cat: catalog.New()} }
+func Open() *DB {
+	return &DB{cat: catalog.New(), pcache: plancache.New(0, 0)}
+}
 
 // LoadTPCH populates the database with TPC-H tables at the given scale
 // factor (deterministic for a fixed seed).
@@ -110,6 +119,7 @@ func (db *DB) LoadTPCH(scaleFactor float64, seed int64) error {
 			return err
 		}
 	}
+	db.pcache.Flush()
 	return nil
 }
 
@@ -134,8 +144,14 @@ func (db *DB) Exec(src string) error {
 		for _, c := range x.Columns {
 			defs = append(defs, catalog.ColumnDef{Name: c.Name, Type: c.Type})
 		}
-		_, err := db.cat.Create(x.Name, defs)
-		return err
+		if _, err := db.cat.Create(x.Name, defs); err != nil {
+			return err
+		}
+		// DDL invalidates every cached plan: fingerprints embed the schema
+		// version, so stale entries could never hit again — flushing just
+		// frees their code immediately.
+		db.pcache.Flush()
+		return nil
 	case *sql.InsertStmt:
 		return db.execInsert(x)
 	case *sql.SelectStmt:
@@ -230,14 +246,15 @@ var (
 type Option func(*queryOpts)
 
 type queryOpts struct {
-	backend     Backend
-	morselRows  int
-	wait        bool
-	timeout     time.Duration
-	fuel        int64
-	memBudget   uint32
-	trace       *obs.Trace
-	parallelism int
+	backend      Backend
+	morselRows   int
+	wait         bool
+	timeout      time.Duration
+	fuel         int64
+	memBudget    uint32
+	trace        *obs.Trace
+	parallelism  int
+	planCacheOff bool
 }
 
 // Trace is a query-scoped recording of timed spans (parse, compile tiers,
@@ -308,6 +325,17 @@ func WithParallelism(n int) Option {
 // returning (without changing adaptive behavior during execution), so the
 // tier-up timeline in tr is complete.
 func WithTrace(tr *Trace) Option { return func(o *queryOpts) { o.trace = tr } }
+
+// WithPlanCache enables or disables the compiled-query plan cache for this
+// query (default on). With the cache on, value-carrying literals (comparison
+// operands, LIKE needles, LIMIT counts) are hoisted into a writable
+// parameter region of linear memory, so queries differing only in those
+// literals share one compiled module — and its accumulated TurboFan tier-up.
+// With the cache off, literals compile as constants and nothing is cached or
+// reused. Applies to the Wasm backends.
+func WithPlanCache(enabled bool) Option {
+	return func(o *queryOpts) { o.planCacheOff = !enabled }
+}
 
 // WithMemoryLimit caps the query's linear-memory heap at roughly maxBytes
 // (rounded up to whole 64 KiB Wasm pages). A query that tries to grow
@@ -469,6 +497,13 @@ func (db *DB) Query(src string, opts ...Option) (*Result, error) {
 // inside a running morsel of generated code — and the returned error matches
 // ctx.Err(). WithTimeout layers a per-query deadline on top of ctx.
 func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Result, error) {
+	return db.queryContext(ctx, src, nil, opts...)
+}
+
+// queryContext is the shared execution path behind Query and Stmt.Query.
+// args carries the values for the statement's explicit ? placeholders (nil
+// for ad-hoc queries, which must not contain placeholders).
+func (db *DB) queryContext(ctx context.Context, src string, args []types.Value, opts ...Option) (*Result, error) {
 	o := queryOpts{}
 	for _, f := range opts {
 		f(&o)
@@ -481,8 +516,8 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("wasmdb: query canceled: %w", err)
 	}
@@ -511,6 +546,44 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 	if err != nil {
 		return nil, err
 	}
+
+	// Bind explicit ? placeholders. An ad-hoc query must not contain any;
+	// prepared execution must supply exactly one value per placeholder. An
+	// explicit LIMIT ? resolves on the host before planning — the plan's
+	// limit node depends on its presence.
+	if args == nil && q.NumParams > 0 {
+		return nil, fmt.Errorf("wasmdb: query has %d placeholder(s); use Prepare", q.NumParams)
+	}
+	if args != nil {
+		if len(args) != q.NumParams {
+			return nil, fmt.Errorf("wasmdb: statement expects %d argument(s), got %d", q.NumParams, len(args))
+		}
+		if q.LimitParam >= 0 {
+			n := args[q.LimitParam].I
+			if n < 0 {
+				return nil, fmt.Errorf("wasmdb: negative LIMIT argument %d", n)
+			}
+			q.Limit = n
+		}
+	}
+
+	wasmBackend := o.backend != BackendVolcano && o.backend != BackendVectorized
+	useCache := wasmBackend && !o.planCacheOff
+
+	// With the plan cache on, hoist value-carrying literals into the
+	// parameter vector so same-shaped queries share one compiled module.
+	// Otherwise fold the placeholder arguments back into constants — the
+	// baselines and cache-off runs execute the literal query, which keeps
+	// them usable as differential oracles for the parameterized path.
+	var params []types.Value
+	if useCache {
+		params = make([]types.Value, 0, q.TotalParams)
+		params = append(params, args...)
+		params = append(params, sema.Parameterize(q)...)
+	} else if q.NumParams > 0 {
+		sema.SubstituteParams(q, args)
+	}
+
 	sp = tr.Begin(obs.SpanPlan)
 	p, err := plan.Build(q)
 	sp.End()
@@ -555,13 +628,67 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 			cfg.OptRounds = hyperOptRounds
 			style = core.Style{LibraryHT: true, LibrarySort: true, PredicatedSelection: true}
 		}
-		sp = tr.Begin(obs.SpanCodegen)
-		cq, err := core.CompileStyled(q, p, style)
-		sp.End()
-		if err != nil {
-			return nil, err
+		eng := engine.New(cfg)
+		var cq *core.CompiledQuery
+		var mod *engine.Module
+		if useCache {
+			fp := core.Fingerprint(q, p, db.cat.Version(), style, cfg.Tier, cfg.OptRounds)
+			ent, hit, cerr := db.pcache.GetOrCompile(fp, func() (*core.CompiledQuery, *engine.Module, error) {
+				csp := tr.Begin(obs.SpanCodegen)
+				c, err := core.CompileStyled(q, p, style)
+				csp.End()
+				if err != nil {
+					return nil, nil, err
+				}
+				m, err := eng.CompileTraced(c.Bin, tr)
+				if err != nil {
+					return nil, nil, err
+				}
+				return c, m, nil
+			})
+			switch {
+			case cerr == nil:
+				cq, mod = ent.CQ, ent.Mod
+				result, tier := "miss", "liftoff"
+				if hit {
+					result = "hit"
+				}
+				if mod.Optimized() {
+					tier = "turbofan"
+				}
+				tr.Event(obs.EvPlanCache,
+					obs.S("result", result),
+					obs.S("fingerprint", fp[:12]),
+					obs.S("tier", tier))
+			case errors.Is(cerr, core.ErrParamRegionOverflow):
+				// More literal bytes than the parameter region holds:
+				// re-derive the literal query and compile it below, uncached.
+				if q, err = sema.Analyze(stmt, db.cat); err != nil {
+					return nil, err
+				}
+				if q.LimitParam >= 0 {
+					q.Limit = args[q.LimitParam].I
+				}
+				if q.NumParams > 0 {
+					sema.SubstituteParams(q, args)
+				}
+				if p, err = plan.Build(q); err != nil {
+					return nil, err
+				}
+				params = nil
+			default:
+				return nil, cerr
+			}
 		}
-		out, _, err := core.Execute(cq, q, engine.New(cfg), core.ExecOptions{
+		if cq == nil && mod == nil {
+			sp = tr.Begin(obs.SpanCodegen)
+			cq, err = core.CompileStyled(q, p, style)
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+		}
+		out, _, err := core.Execute(cq, q, eng, core.ExecOptions{
 			MorselRows:        o.morselRows,
 			WaitOptimized:     o.wait,
 			Ctx:               ctx,
@@ -569,6 +696,9 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 			MemoryBudgetPages: o.memBudget,
 			Parallelism:       o.parallelism,
 			Trace:             tr,
+			// A cache-managed module skips the per-query compile entirely.
+			Precompiled: mod,
+			Params:      params,
 			// A caller-supplied trace gets the complete tier-up timeline.
 			DrainBackground: o.trace != nil,
 		})
@@ -582,10 +712,19 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 	return res, nil
 }
 
+// analyze parses and binds a SELECT without running it. Caller holds db.mu.
+func (db *DB) analyze(src string) (*sema.Query, error) {
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return sema.Analyze(stmt, db.cat)
+}
+
 // Explain returns the physical plan and its pipeline dissection.
 func (db *DB) Explain(src string) (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	stmt, err := sql.ParseSelect(src)
 	if err != nil {
 		return "", err
@@ -611,8 +750,8 @@ func (db *DB) Explain(src string) (string, error) {
 // the module the engine JIT-compiles, including the ad-hoc generated
 // library code (hash tables, quicksort, string matchers).
 func (db *DB) ExplainWAT(src string) (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	stmt, err := sql.ParseSelect(src)
 	if err != nil {
 		return "", err
