@@ -132,6 +132,9 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 		fmt.Fprintf(&sb, "  workers            %d (%d pipelines parallel, %d serial)\n",
 			st.Workers, st.PipelinesParallel, st.PipelinesSerial)
 	}
+	if st.GroupsMerged > 0 {
+		fmt.Fprintf(&sb, "  groups merged      %d\n", st.GroupsMerged)
+	}
 	// Plan-cache outcome: whether this execution reused a cached module, and
 	// which tier the module dispatched from the first morsel on.
 	for _, ev := range tr.Events() {

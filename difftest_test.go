@@ -118,6 +118,16 @@ func TestMicroDifferential(t *testing.T) {
 		{"SELECT COUNT(*) FROM lineitem WHERE l_commitdate < l_receiptdate", false},
 		{"SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1996-01-01'", false},
 		{"SELECT COUNT(*), AVG(l_quantity) FROM lineitem WHERE l_discount = 0.03", false},
+		// HAVING: grouped, keyless, and zero-input cases.
+		{"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 100", false},
+		{"SELECT l_shipmode, SUM(l_quantity), COUNT(*) FROM lineitem GROUP BY l_shipmode HAVING MIN(l_quantity) < 5 OR COUNT(*) > 500", false},
+		{"SELECT l_returnflag, AVG(l_quantity) FROM lineitem GROUP BY l_returnflag HAVING AVG(l_quantity) > 25 ORDER BY l_returnflag", true},
+		{"SELECT COUNT(*) FROM lineitem HAVING COUNT(*) > 0", false},
+		{"SELECT COUNT(*) FROM lineitem HAVING COUNT(*) < 0", false},
+		// Zero input rows: the zero group exists and HAVING decides its fate.
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0 HAVING COUNT(*) = 0", false},
+		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0 HAVING COUNT(*) > 0", false},
+		{"SELECT l_returnflag, COUNT(*) FROM lineitem WHERE l_quantity < 0 GROUP BY l_returnflag HAVING COUNT(*) > 0", false},
 		// Empty result sets.
 		{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0", false},
 		{"SELECT l_returnflag, COUNT(*) FROM lineitem WHERE l_quantity < 0 GROUP BY l_returnflag", false},

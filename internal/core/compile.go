@@ -70,6 +70,78 @@ type AggGlobal struct {
 	T types.Type
 }
 
+// MergeField locates one group-key field inside a partial group record
+// (offsets are relative to the record base, which mirrors a hash-table
+// entry including its occupancy flag word).
+type MergeField struct {
+	Offset uint32
+	T      types.Type
+}
+
+// MergeAgg locates one aggregate state field inside a partial group record
+// and names the fold rule the host applies when two partials collide.
+type MergeAgg struct {
+	Offset uint32
+	T      types.Type
+	Func   sema.AggFunc
+}
+
+// GroupMerge describes the ad-hoc exports a keyed group-by module provides
+// for parallel partial-state merging. Each worker builds a private group
+// hash table during the parallel scan; at the barrier the host drains every
+// secondary worker's table via DumpExport, folds records per key, and feeds
+// the merged records into the primary worker through RecvExport +
+// MergeExport (a morsel-shaped probe-or-combine loop over the primary's own
+// table). Serial execution never calls these exports.
+type GroupMerge struct {
+	// DumpExport compacts the occupied entries of the worker's group table
+	// into a fresh allocation and returns its base address; the record count
+	// is read from CountGlobal.
+	DumpExport string
+	// RecvExport allocates room for n merged records on the primary worker
+	// and returns the base address the host writes them to.
+	RecvExport string
+	// MergeExport folds received records [begin, end) into the primary
+	// worker's group table (insert new keys, combine colliding partials).
+	MergeExport string
+	// CountGlobal is the module global holding the live group count.
+	CountGlobal uint32
+	// Stride is the record size in bytes, occupancy flag word included.
+	Stride uint32
+	// Keys identifies the group-key fields (host fold key = their raw bytes).
+	Keys []MergeField
+	// Aggs identifies the aggregate state fields and their fold rules.
+	Aggs []MergeAgg
+}
+
+// SortKeyField is one ORDER BY key inside a sorted-run tuple; the host-side
+// k-way merge comparator mirrors the generated quicksort's emitLess over
+// these fields exactly.
+type SortKeyField struct {
+	Offset uint32
+	T      types.Type
+	Desc   bool
+}
+
+// SortMerge describes the metadata a sort module provides for parallel
+// sorted-run merging: every worker quicksorts its private tuple array at
+// the barrier, the host k-way merges the runs, and RecvExport installs the
+// merged array (gBase/gCount) on the primary worker so the output pipeline
+// scans it unchanged.
+type SortMerge struct {
+	// RecvExport allocates room for n tuples on the primary worker, points
+	// the sort array globals at it, and returns the base address.
+	RecvExport string
+	// BaseGlobal / CountGlobal are the sort array's base-address and
+	// tuple-count module globals (read per worker to locate each run).
+	BaseGlobal  uint32
+	CountGlobal uint32
+	// Stride is the tuple size in bytes.
+	Stride uint32
+	// Keys are the ORDER BY comparator fields, in significance order.
+	Keys []SortKeyField
+}
+
 // CompiledQuery is the output of Compile: a binary Wasm module plus the
 // metadata the executor needs to wire memory and drive pipelines.
 type CompiledQuery struct {
@@ -97,6 +169,17 @@ type CompiledQuery struct {
 	AggGlobals     []AggGlobal
 	AggCountGlobal uint32
 	aggStateSets   int
+
+	// GroupMerge describes the ad-hoc merge exports of a keyed group-by
+	// module (nil when the query has no specialized group hash table). The
+	// parallel executor uses it to drain each worker's partial groups, fold
+	// them per key host-side, and feed the result into the primary worker.
+	GroupMerge *GroupMerge
+	// SortMerge describes the sorted-run merge metadata of an order-by
+	// module (nil when the query has no specialized sort). The parallel
+	// executor k-way merges per-worker sorted runs host-side and installs
+	// the merged array into the primary worker.
+	SortMerge *SortMerge
 
 	Limit int64 // -1 if none
 
@@ -369,6 +452,22 @@ func (c *compiler) newPipeline(kind PipelineKind, tableIdx int, countGlobal uint
 // the environment provides the tuple's attribute bindings.
 type consumer func(g *gen, e *env)
 
+// havingConsumer gates a group consumer behind the HAVING conjunction: the
+// group tuple reaches the downstream consumer only when every conjunct holds.
+func havingConsumer(having []sema.Expr, consume consumer) consumer {
+	return func(g *gen, e *env) {
+		if g.err != nil {
+			return
+		}
+		if err := g.conjunction(e, having); err != nil {
+			return
+		}
+		g.f.If(wasm.BlockVoid)
+		consume(g, e)
+		g.f.End()
+	}
+}
+
 // produce compiles the subplan rooted at n, feeding each produced tuple to
 // consume (data-centric compilation, §4.2).
 func (c *compiler) produce(n plan.Node, consume consumer) error {
@@ -381,6 +480,13 @@ func (c *compiler) produce(n plan.Node, consume consumer) error {
 		}
 		return c.produceJoin(x, consume)
 	case *plan.Group:
+		if len(x.Having) > 0 {
+			// Wrap the consumer once, centrally: every group output path
+			// (ad-hoc slot scan, library bucket walk, keyless run-once) binds
+			// KeyRef/AggRef in its env, so the compiled HAVING conjunction
+			// gates emission uniformly across styles.
+			consume = havingConsumer(x.Having, consume)
+		}
 		if len(x.Keys) == 0 {
 			// Keyless aggregation never needs a hash table.
 			if c.style.PredicatedSelection {

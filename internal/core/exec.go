@@ -126,15 +126,21 @@ type ExecStats struct {
 	Workers int
 	// PipelinesParallel and PipelinesSerial count morsel-driven pipelines by
 	// how they were executed (run-once pipelines, which dispatch a single
-	// call, are counted in neither). A query that requested parallelism but
-	// has PipelinesSerial > 0 fell back — see SerialFallback.
+	// call, are counted in neither). PipelinesSerial > 0 alone does not mean
+	// the query fell back: under parallel grouped aggregation or sort the
+	// post-barrier output pipelines legitimately run serially on the primary
+	// worker over merged state. A fallback is indicated by SerialFallback
+	// being non-empty.
 	PipelinesParallel int
 	PipelinesSerial   int
 	// SerialFallback names why a query that requested parallelism ran its
 	// pipelines serially ("" when parallel execution applied or was never
-	// requested): chunked-rewiring, fuel-budget, limit, float-sum-order, or
-	// unmergeable-pipeline-state.
+	// requested): chunked-rewiring, fuel-budget, limit, float-sum-order,
+	// float-group-key, or unmergeable-pipeline-state.
 	SerialFallback string
+	// GroupsMerged counts the distinct groups folded at the parallel
+	// group-by barrier (0 when no group merge ran).
+	GroupsMerged int
 }
 
 // ResultSet holds decoded query results.
@@ -242,7 +248,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	if workers <= 1 {
 		workers = 1
 	}
-	mode, fallback := classifyParallel(cq, opt, workers)
+	mode, fallback := classifyParallel(cq, opt, workers, limit)
 	if mode == parNone {
 		workers = 1
 	}
@@ -496,9 +502,103 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		return firstErr
 	}
 
+	// mergeGroups drains every secondary worker's partial group table, folds
+	// the records per key host-side, and feeds the merged records into the
+	// primary worker's table — the parGroup pipeline barrier. The fold into
+	// the primary is driven morsel-wise through callMorsel so tracing and
+	// fault injection cover the merge like any pipeline; an error leaves the
+	// query failed, never partially merged.
+	mergeGroups := func() error {
+		gm := cq.GroupMerge
+		sp := tr.Begin(obs.SpanMerge)
+		runs := make([][]byte, 0, len(ws)-1)
+		records := 0
+		for _, w := range ws[1:] {
+			if err := canceled(); err != nil {
+				return err
+			}
+			r, err := w.inst.Call(gm.DumpExport)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", gm.DumpExport, wrapErr(err))
+			}
+			n := int(uint32(w.inst.Global(int(gm.CountGlobal))))
+			runs = append(runs, w.mem.ReadBytes(uint32(r[0]), uint32(n)*gm.Stride))
+			records += n
+		}
+		merged, n := foldGroupRecords(gm, runs)
+		if n > 0 {
+			r, err := primary.inst.Call(gm.RecvExport, uint64(uint32(n)))
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", gm.RecvExport, wrapErr(err))
+			}
+			primary.mem.WriteBytes(uint32(r[0]), merged)
+			for begin := 0; begin < n; begin += opt.MorselRows {
+				if err := canceled(); err != nil {
+					return err
+				}
+				end := begin + opt.MorselRows
+				if end > n {
+					end = n
+				}
+				if _, err := callMorsel(primary, gm.MergeExport, begin, end); err != nil {
+					return err
+				}
+			}
+		}
+		stats.GroupsMerged = n
+		tr.Event(obs.EvGroupMerge, obs.I("groups", int64(n)),
+			obs.I("records", int64(records)), obs.I("workers", int64(workers)))
+		sp.End(obs.I("groups", int64(n)))
+		return nil
+	}
+
+	// mergeSortRuns has every worker quicksort its private tuple run (the
+	// given run-once export) concurrently, k-way merges the sorted runs
+	// host-side with the emitLess-mirroring comparator, and installs the
+	// merged array on the primary — the parSort pipeline barrier.
+	mergeSortRuns := func(export string) error {
+		sm := cq.SortMerge
+		sp := tr.Begin(obs.SpanMerge)
+		var wg sync.WaitGroup
+		errs := make([]error, len(ws))
+		for i, w := range ws {
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				if _, err := w.inst.Call(export, 0, 0); err != nil {
+					errs[i] = fmt.Errorf("core: %s: %w", export, wrapErr(err))
+				}
+			}(i, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		total := 0
+		runs := make([][]byte, 0, len(ws))
+		for _, w := range ws {
+			base := uint32(w.inst.Global(int(sm.BaseGlobal)))
+			n := uint32(w.inst.Global(int(sm.CountGlobal)))
+			runs = append(runs, w.mem.ReadBytes(base, n*sm.Stride))
+			total += int(n)
+		}
+		merged := mergeSortedRuns(sm, runs)
+		r, err := primary.inst.Call(sm.RecvExport, uint64(uint32(total)))
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", sm.RecvExport, wrapErr(err))
+		}
+		primary.mem.WriteBytes(uint32(r[0]), merged)
+		tr.Event(obs.EvSortMerge, obs.I("tuples", int64(total)),
+			obs.I("workers", int64(workers)))
+		sp.End(obs.I("tuples", int64(total)))
+		return nil
+	}
+
 	t1 := time.Now()
 	spRun := tr.Begin(obs.SpanExecute)
-	aggMerged := false
+	aggMerged, groupMerged, sortMerged := false, false, false
 	for _, p := range cq.Pipelines {
 		spPipe := tr.Begin(obs.SpanPipeline + p.Export)
 		var total int
@@ -524,6 +624,18 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 				mergeAggGlobals(cq, ws)
 				aggMerged = true
 			}
+			if mode == parSort && !sortMerged {
+				// Sort barrier: this run-once pipeline is the quicksort call.
+				// Run it on every worker concurrently, merge the sorted runs
+				// into the primary, and skip the primary's (already spent)
+				// serial invocation.
+				sortMerged = true
+				if err := mergeSortRuns(p.Export); err != nil {
+					return nil, nil, err
+				}
+				spPipe.End()
+				continue
+			}
 			if _, err := primary.inst.Call(p.Export, 0, 0); err != nil {
 				return nil, nil, fmt.Errorf("core: %s: %w", p.Export, wrapErr(err))
 			}
@@ -537,6 +649,15 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 				return nil, nil, err
 			}
 			stats.PipelinesParallel++
+			if mode == parGroup && !groupMerged {
+				// Group barrier: the parallel scan just filled every worker's
+				// private group table; merge them into the primary before any
+				// downstream pipeline reads the groups.
+				groupMerged = true
+				if err := mergeGroups(); err != nil {
+					return nil, nil, err
+				}
+			}
 			spPipe.End(obs.I("rows", int64(total)), obs.I("workers", int64(workers)))
 			continue
 		}
@@ -654,14 +775,17 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		tr.Set(obs.CtrWorkers, int64(stats.Workers))
 		tr.Set(obs.CtrPipelinesParallel, int64(stats.PipelinesParallel))
 		tr.Set(obs.CtrPipelinesSerial, int64(stats.PipelinesSerial))
+		tr.Set(obs.CtrGroupsMerged, int64(stats.GroupsMerged))
 	}
 
 	if limit >= 0 && int64(len(res.Rows)) > limit {
 		res.Rows = res.Rows[:limit]
 	}
 	// SQL semantics: a global aggregation over zero input rows still yields
-	// one row (COUNT = 0, SUM/MIN/MAX = 0 by this system's convention).
-	if len(res.Rows) == 0 && q.Grouped && len(q.GroupBy) == 0 && (limit != 0) {
+	// one row (COUNT = 0, SUM/MIN/MAX = 0 by this system's convention) —
+	// unless a HAVING clause exists, in which case the generated code already
+	// evaluated it over the zero group and its verdict (zero rows) stands.
+	if len(res.Rows) == 0 && q.Grouped && len(q.GroupBy) == 0 && len(q.Having) == 0 && (limit != 0) {
 		res.Rows = append(res.Rows, zeroAggregateRow(q, opt.Params))
 	}
 	return res, stats, nil

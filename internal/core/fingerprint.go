@@ -16,7 +16,7 @@ import (
 // fpSalt versions the fingerprint format itself: any change to the
 // serialization below, or to codegen that is not otherwise captured, must
 // bump it so stale cache keys cannot alias new modules.
-const fpSalt = "wasmdb-plancache-v1"
+const fpSalt = "wasmdb-plancache-v2"
 
 // Fingerprint computes the plan-cache key of a parameterized query: a
 // sha256 over everything that determines the bytes of the compiled module —
@@ -137,6 +137,10 @@ func (w *fpWriter) node(q *sema.Query, n plan.Node) {
 			} else {
 				w.str("*")
 			}
+		}
+		w.u64(uint64(len(x.Having)))
+		for _, h := range x.Having {
+			w.expr(h)
 		}
 		w.node(q, x.Input)
 	case *plan.Sort:

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/types"
+	"wasmdb/internal/wasm"
+)
+
+// Parallel group-merge exports (host-side partial-state merge). Every worker
+// builds a private group hash table during the parallel scan; these three
+// ad-hoc exports let the host drain secondary workers' tables, fold the
+// partial records per key, and feed the merged records into the primary
+// worker, whose output pipeline then runs unchanged. Like the rest of the
+// module they are monomorphized against the QEP's types — the merge loop is
+// the same inlined probe/claim/combine code shape as the feeding pipeline,
+// except that colliding aggregates fold partial states instead of rows.
+// Serial execution never calls them.
+
+const (
+	groupDumpExport  = "q_groups_dump"
+	groupRecvExport  = "q_merge_recv"
+	groupMergeExport = "q_group_merge"
+)
+
+// genGroupMerge emits the dump/recv/merge exports for the group hash table
+// and records the metadata the parallel executor needs. Only the first
+// (and in practice only) keyed group of a query gets the exports.
+func (c *compiler) genGroupMerge(gr *plan.Group, ht *htInfo, aggSlots []*sema.AggRef) {
+	if c.out.GroupMerge != nil {
+		return
+	}
+	gm := &GroupMerge{
+		DumpExport:  groupDumpExport,
+		RecvExport:  groupRecvExport,
+		MergeExport: groupMergeExport,
+		CountGlobal: ht.gCount,
+		Stride:      ht.layout.stride,
+	}
+	for _, k := range gr.Keys {
+		fld, ok := ht.layout.find(k)
+		if !ok {
+			return
+		}
+		gm.Keys = append(gm.Keys, MergeField{Offset: fld.offset, T: fld.t})
+	}
+	for i, a := range gr.Aggs {
+		fld, ok := ht.layout.find(aggSlots[i])
+		if !ok {
+			return
+		}
+		gm.Aggs = append(gm.Aggs, MergeAgg{Offset: fld.offset, T: fld.t, Func: a.Func})
+	}
+
+	c.genGroupsDump(ht)
+	gRecv := c.genMergeRecv(ht)
+	c.genGroupMergeFunc(gr, ht, aggSlots, gRecv)
+	c.out.GroupMerge = gm
+}
+
+// genGroupsDump emits q_groups_dump() -> i32: compact the occupied entries
+// of the group table into a fresh allocation (flag word included, so each
+// record is a verbatim entry image) and return its base. The record count
+// is the live gCount, read host-side.
+func (c *compiler) genGroupsDump(ht *htInfo) {
+	f := c.b.NewFunc(groupDumpExport, wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
+	c.b.Export(groupDumpExport, wasm.ExternFunc, f.Index)
+	stride := int32(ht.layout.stride)
+
+	base := f.AddLocal(wasm.I32)
+	out := f.AddLocal(wasm.I32)
+	cap := f.AddLocal(wasm.I32)
+	i := f.AddLocal(wasm.I32)
+	entry := f.AddLocal(wasm.I32)
+
+	f.GlobalGet(ht.gCount)
+	f.I32Const(stride)
+	f.I32Mul()
+	f.Call(c.allocFunc().Index)
+	f.LocalTee(base)
+	f.LocalSet(out)
+	f.GlobalGet(ht.gMask)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(cap)
+
+	// for i in 0..cap: if occupied, copy entry to out, out += stride
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(i)
+	f.LocalGet(cap)
+	f.I32GeU()
+	f.BrIf(1)
+	f.GlobalGet(ht.gBase)
+	f.LocalGet(i)
+	f.I32Const(stride)
+	f.I32Mul()
+	f.I32Add()
+	f.LocalSet(entry)
+	f.LocalGet(entry)
+	f.Emit(wasm.OpI32Load, 0, 2) // occupancy flag
+	f.If(wasm.BlockVoid)
+	emitWordCopy(f, out, entry, stride)
+	f.LocalGet(out)
+	f.I32Const(stride)
+	f.I32Add()
+	f.LocalSet(out)
+	f.End()
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.LocalGet(base)
+}
+
+// genMergeRecv emits q_merge_recv(n) -> i32: allocate room for n merged
+// records, remember the base in a dedicated global (the merge loop reads
+// it), and return it so the host can write the records.
+func (c *compiler) genMergeRecv(ht *htInfo) uint32 {
+	gRecv := c.b.AddGlobal(wasm.I32, true, 0)
+	f := c.b.NewFunc(groupRecvExport, wasm.FuncType{
+		Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32},
+	})
+	c.b.Export(groupRecvExport, wasm.ExternFunc, f.Index)
+	f.LocalGet(f.Param(0))
+	f.I32Const(int32(ht.layout.stride))
+	f.I32Mul()
+	f.Call(c.allocFunc().Index)
+	f.GlobalSet(gRecv)
+	f.GlobalGet(gRecv)
+	return gRecv
+}
+
+// genGroupMergeFunc emits q_group_merge(begin, end) -> i32: fold received
+// records [begin, end) into this worker's group table — claim empty slots
+// with a verbatim record copy, combine colliding partial states. The
+// morsel-shaped signature lets the executor drive it through the same
+// callMorsel path as pipelines (tracing and fault injection apply).
+func (c *compiler) genGroupMergeFunc(gr *plan.Group, ht *htInfo, aggSlots []*sema.AggRef, gRecv uint32) {
+	f := c.b.NewFunc(groupMergeExport, wasm.FuncType{
+		Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32},
+	})
+	c.b.Export(groupMergeExport, wasm.ExternFunc, f.Index)
+	g := &gen{c: c, f: f}
+	stride := int32(ht.layout.stride)
+
+	i := f.AddLocal(wasm.I32)
+	rec := f.AddLocal(wasm.I32)
+	entry := f.AddLocal(wasm.I32)
+
+	f.LocalGet(f.Param(0))
+	f.LocalSet(i)
+
+	f.Block(wasm.BlockVoid) // all records done
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(i)
+	f.LocalGet(f.Param(1))
+	f.I32GeU()
+	f.BrIf(1)
+	f.GlobalGet(gRecv)
+	f.LocalGet(i)
+	f.I32Const(stride)
+	f.I32Mul()
+	f.I32Add()
+	f.LocalSet(rec)
+
+	// Key sources read from the record, which mirrors the entry layout.
+	keys := make([]keySrc, len(gr.Keys))
+	for ki, k := range gr.Keys {
+		fld, _ := ht.layout.find(k)
+		kf := fld
+		keys[ki] = keySrc{t: kf.t, pushVal: func() { g.loadField(rec, kf) }}
+	}
+	h := g.emitHash(keys)
+	idx := g.emitSlotIndex(ht, h)
+
+	f.Block(wasm.BlockVoid) // this record done
+	f.Loop(wasm.BlockVoid)
+	g.emitEntryPtr(ht, idx, entry)
+	f.LocalGet(entry)
+	f.Emit(wasm.OpI32Load, 0, 2)
+	f.I32Eqz()
+	f.If(wasm.BlockVoid)
+	// Claim: the record is a full entry image (flag, keys, partial states),
+	// so a verbatim copy installs the group.
+	emitWordCopy(f, entry, rec, stride)
+	f.GlobalGet(ht.gCount)
+	f.I32Const(1)
+	f.I32Add()
+	f.GlobalSet(ht.gCount)
+	g.emitMaybeGrow(ht)
+	f.Br(2) // this record done
+	f.End()
+	// Occupied: keys equal → fold partial states; else advance.
+	g.emitKeysEqual(ht, keys, entry)
+	f.If(wasm.BlockVoid)
+	for ai, a := range gr.Aggs {
+		fld, _ := ht.layout.find(aggSlots[ai])
+		af := fld
+		g.emitAggMerge(entry, af, a, func() { g.loadField(rec, af) })
+	}
+	f.Br(2) // this record done
+	f.End()
+	f.LocalGet(idx)
+	f.I32Const(1)
+	f.I32Add()
+	f.GlobalGet(ht.gMask)
+	f.I32And()
+	f.LocalSet(idx)
+	f.Br(0)
+	f.End()
+	f.End()
+
+	f.LocalGet(i)
+	f.I32Const(1)
+	f.I32Add()
+	f.LocalSet(i)
+	f.Br(0)
+	f.End()
+	f.End()
+	f.I32Const(0)
+	if g.err != nil && c.err == nil {
+		c.err = g.err
+	}
+}
+
+// emitAggMerge folds a partial aggregate state (pushed by pushPartial, same
+// type as the slot) into an entry's slot — the guest half of the parallel
+// group merge. It differs from emitAggUpdate in that COUNT adds the partial
+// count rather than 1; SUM and MIN/MAX fold the partial like a row value.
+func (g *gen) emitAggMerge(entry wasm.Local, fld field, a sema.Aggregate, pushPartial func()) {
+	f := g.f
+	switch a.Func {
+	case sema.AggCountStar, sema.AggCount:
+		g.storeFieldFromStack(entry, fld, func() {
+			g.loadField(entry, fld)
+			pushPartial()
+			f.I64Add()
+		})
+	case sema.AggSum:
+		g.storeFieldFromStack(entry, fld, func() {
+			g.loadField(entry, fld)
+			pushPartial()
+			if fld.t.Kind == types.Float64 {
+				f.F64Add()
+			} else {
+				f.I64Add()
+			}
+		})
+	case sema.AggMin, sema.AggMax:
+		g.storeFieldFromStack(entry, fld, func() {
+			// select(partial, old, cmp) — same branch-free shape as the
+			// per-row update.
+			pushPartial()
+			g.loadField(entry, fld)
+			pushPartial()
+			g.loadField(entry, fld)
+			f.Op(minMaxCmp(a.Func, fld.t))
+			f.Select()
+		})
+	default:
+		g.fail("no merge rule for aggregate %v", a.Func)
+	}
+}
+
+// sortRecvExport is the receive export of the parallel sorted-run merge.
+const sortRecvExport = "q_sort_recv"
+
+// genSortMerge emits q_sort_recv(n) -> i32 — allocate room for n merged
+// tuples, point the sort array globals at it, and return the base the host
+// writes the k-way-merged run to — and records the SortMerge metadata. Only
+// the first sort of a query gets the export.
+func (c *compiler) genSortMerge(s *plan.Sort, layout tupleLayout, gBase, gCount uint32) {
+	if c.out.SortMerge != nil {
+		return
+	}
+	sm := &SortMerge{
+		RecvExport:  sortRecvExport,
+		BaseGlobal:  gBase,
+		CountGlobal: gCount,
+		Stride:      layout.stride,
+	}
+	for _, k := range s.Keys {
+		fld, ok := layout.find(k.Expr)
+		if !ok {
+			return
+		}
+		sm.Keys = append(sm.Keys, SortKeyField{Offset: fld.offset, T: fld.t, Desc: k.Desc})
+	}
+
+	f := c.b.NewFunc(sortRecvExport, wasm.FuncType{
+		Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32},
+	})
+	c.b.Export(sortRecvExport, wasm.ExternFunc, f.Index)
+	f.LocalGet(f.Param(0))
+	f.I32Const(int32(layout.stride))
+	f.I32Mul()
+	f.Call(c.allocFunc().Index)
+	f.GlobalSet(gBase)
+	f.LocalGet(f.Param(0))
+	f.GlobalSet(gCount)
+	f.GlobalGet(gBase)
+	c.out.SortMerge = sm
+}
+
+// emitWordCopy copies stride bytes (a multiple of 8) from src to dst with
+// an i64 word loop — the same shape the grow function uses.
+func emitWordCopy(f *wasm.FuncBuilder, dst, src wasm.Local, stride int32) {
+	w := f.AddLocal(wasm.I32)
+	f.I32Const(0)
+	f.LocalSet(w)
+	f.Block(wasm.BlockVoid)
+	f.Loop(wasm.BlockVoid)
+	f.LocalGet(w)
+	f.I32Const(stride)
+	f.I32GeU()
+	f.BrIf(1)
+	f.LocalGet(dst)
+	f.LocalGet(w)
+	f.I32Add()
+	f.LocalGet(src)
+	f.LocalGet(w)
+	f.I32Add()
+	f.I64Load(0)
+	f.I64Store(0)
+	f.LocalGet(w)
+	f.I32Const(8)
+	f.I32Add()
+	f.LocalSet(w)
+	f.Br(0)
+	f.End()
+	f.End()
+}

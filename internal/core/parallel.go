@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"math"
 
 	"wasmdb/internal/sema"
@@ -19,12 +22,16 @@ import (
 //	scan/filter/project   → per-worker result buffers, merged by concatenation
 //	keyless aggregation   → per-worker partial states in module globals,
 //	                        merged with the aggregate's combine rule
+//	grouped aggregation   → per-worker partial group hash tables, drained via
+//	                        the module's ad-hoc merge exports, folded per key
+//	                        host-side, and fed into the primary worker
+//	order by              → per-worker sorted runs, k-way merged host-side
+//	                        and installed on the primary worker
 //
-// Pipelines whose state lives in guest data structures the host cannot
-// combine (hash-join builds, group-by hash tables, sort arrays) fall back to
-// serial execution; the fallback is recorded in ExecStats.PipelinesSerial,
-// ExecStats.SerialFallback, and an EvSerialFallback trace event — observable,
-// never silent.
+// Pipelines whose state the host cannot combine (hash-join builds,
+// library-style hash tables and sorts) fall back to serial execution; the
+// fallback is recorded in ExecStats.PipelinesSerial, ExecStats.SerialFallback,
+// and an EvSerialFallback trace event — observable, never silent.
 
 // parMode is the parallel execution strategy chosen for a query.
 type parMode int
@@ -39,6 +46,15 @@ const (
 	// accumulate private partial states and the merge combines them before
 	// the run-once output pipeline executes on the primary worker.
 	parAgg
+	// parGroup parallelizes the scan feeding a grouped aggregation; workers
+	// build private group hash tables and the barrier drains, folds, and
+	// feeds the partial groups into the primary worker, which then runs the
+	// output pipeline(s) serially.
+	parGroup
+	// parSort parallelizes the scan feeding an ORDER BY; every worker
+	// quicksorts its private tuple array at the barrier and the host k-way
+	// merges the sorted runs into the primary worker.
+	parSort
 )
 
 // Serial-fallback reasons (the "serial-fallback matrix" of DESIGN.md §9).
@@ -47,14 +63,19 @@ const (
 	fallbackFuel        = "fuel-budget"
 	fallbackLimit       = "limit"
 	fallbackFloatSum    = "float-sum-order"
+	fallbackFloatKey    = "float-group-key"
 	fallbackUnmergeable = "unmergeable-pipeline-state"
 )
 
 // classifyParallel decides whether the compiled query's pipelines can be
 // driven by a worker pool of the requested size, and if not, why. The reason
 // string is empty when parallel execution applies or when the caller never
-// asked for parallelism.
-func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int) (parMode, string) {
+// asked for parallelism. limit is the query's *effective* row limit (-1 for
+// none), resolved by the executor from the baked constant or the bound
+// LimitSlot parameter — a cached module compiled for `LIMIT ?` must be
+// classified against the value this execution runs with, not the
+// compile-time placeholder.
+func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int, limit int64) (parMode, string) {
 	if workers <= 1 {
 		return parNone, ""
 	}
@@ -69,20 +90,29 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int) (parMode,
 		// across workers would change which morsel exhausts it.
 		return parNone, fallbackFuel
 	}
-	if cq.Limit >= 0 || cq.LimitSlot >= 0 {
+	if limit >= 0 {
 		// LIMIT without a total order picks whichever rows arrive first;
-		// serial execution keeps the choice deterministic. A parameterized
-		// limit (LimitSlot) counts even before its value is known — the
-		// check is per-module, and limited queries always fall back.
+		// serial execution keeps the choice deterministic.
 		return parNone, fallbackLimit
 	}
 	ps := cq.Pipelines
+	scans := 0
+	for _, p := range ps {
+		if p.Kind == PipeScanTable {
+			scans++
+		}
+	}
 	switch {
 	case len(ps) == 1 && ps[0].Kind == PipeScanTable && cq.aggStateSets == 0:
 		return parScan, ""
 	case len(ps) == 2 && ps[0].Kind == PipeScanTable && ps[1].Kind == PipeRunOnce &&
 		cq.aggStateSets == 1 && len(cq.AggGlobals) > 0:
 		for _, ag := range cq.AggGlobals {
+			if !mergeableAggFunc(ag.Func) {
+				// An aggregate without a combine rule must never reach
+				// combineAgg, which panics on unknown functions.
+				return parNone, fallbackUnmergeable
+			}
 			if ag.Func == sema.AggSum && ag.T.Kind == types.Float64 {
 				// Float addition is not associative: merging per-worker
 				// partial sums could differ from the serial row-order sum in
@@ -92,8 +122,50 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int) (parMode,
 			}
 		}
 		return parAgg, ""
+	case cq.GroupMerge != nil && cq.aggStateSets == 0 &&
+		scans == 1 && ps[0].Kind == PipeScanTable:
+		// Single-level GROUP BY fed directly by the one table scan: workers
+		// build private partial tables, the barrier merges them into the
+		// primary, and every post-barrier pipeline (slot scan, and any sort
+		// on top) runs serially on the primary over the merged state.
+		gm := cq.GroupMerge
+		for _, k := range gm.Keys {
+			if k.T.Kind == types.Float64 {
+				// The host folds partial groups by raw key bytes; distinct
+				// NaN keys compare unequal in the guest (F64Eq) but can be
+				// bit-identical, so byte folding would merge groups serial
+				// execution keeps apart.
+				return parNone, fallbackFloatKey
+			}
+		}
+		for _, a := range gm.Aggs {
+			if !mergeableAggFunc(a.Func) {
+				return parNone, fallbackUnmergeable
+			}
+			if a.Func == sema.AggSum && a.T.Kind == types.Float64 {
+				return parNone, fallbackFloatSum
+			}
+		}
+		return parGroup, ""
+	case cq.SortMerge != nil && cq.GroupMerge == nil && cq.aggStateSets == 0 &&
+		len(ps) == 3 && ps[0].Kind == PipeScanTable &&
+		ps[1].Kind == PipeRunOnce && ps[2].Kind == PipeScanArray:
+		// ORDER BY directly over the one table scan: every worker sorts its
+		// private run at the run-once barrier and the host k-way merges.
+		return parSort, ""
 	}
 	return parNone, fallbackUnmergeable
+}
+
+// mergeableAggFunc reports whether the aggregate function has a partial-state
+// combine rule — the gate classifyParallel applies before any path that ends
+// in combineAgg.
+func mergeableAggFunc(fn sema.AggFunc) bool {
+	switch fn {
+	case sema.AggCountStar, sema.AggCount, sema.AggSum, sema.AggMin, sema.AggMax:
+		return true
+	}
+	return false
 }
 
 // mergeAggGlobals folds every worker's partial aggregation state into the
@@ -119,7 +191,10 @@ func mergeAggGlobals(cq *CompiledQuery, ws []*worker) {
 
 // combineAgg combines two partial aggregate states under the aggregate's
 // merge rule. Values use the wasm value representation (i32 states occupy
-// the low 32 bits).
+// the low 32 bits). The rule set is exhaustive over the functions
+// mergeableAggFunc admits; reaching the panic means classifyParallel let an
+// unknown aggregate through, which would silently drop partial state — fail
+// loudly instead.
 func combineAgg(ag AggGlobal, a, b uint64) uint64 {
 	switch ag.Func {
 	case sema.AggCountStar, sema.AggCount:
@@ -144,7 +219,7 @@ func combineAgg(ag AggGlobal, a, b uint64) uint64 {
 		}
 		return a
 	}
-	return a
+	panic(fmt.Sprintf("core: combineAgg: no merge rule for aggregate %v; classifyParallel must reject it", ag.Func))
 }
 
 // aggLess orders two aggregate states of type t.
@@ -157,4 +232,154 @@ func aggLess(t types.Type, a, b uint64) bool {
 	default: // Int64, Decimal
 		return int64(a) < int64(b)
 	}
+}
+
+// foldGroupRecords folds the drained per-worker partial group records into
+// one record list: records sharing a key collapse with combineAgg, distinct
+// keys keep first-seen order (Go map iteration order must not leak into the
+// merged feed — a fixed drain order gives a fixed output). Each record is a
+// verbatim hash-table entry image of gm.Stride bytes. Returns the merged
+// records and their count.
+func foldGroupRecords(gm *GroupMerge, runs [][]byte) ([]byte, int) {
+	stride := int(gm.Stride)
+	index := make(map[string]int)
+	var out []byte
+	for _, run := range runs {
+		for off := 0; off+stride <= len(run); off += stride {
+			rec := run[off : off+stride]
+			key := string(groupKeyBytes(gm, rec))
+			at, seen := index[key]
+			if !seen {
+				index[key] = len(out)
+				out = append(out, rec...)
+				continue
+			}
+			dst := out[at : at+stride]
+			for _, ma := range gm.Aggs {
+				st := combineAgg(AggGlobal{Func: ma.Func, T: ma.T},
+					loadAggState(ma.T, dst[ma.Offset:]),
+					loadAggState(ma.T, rec[ma.Offset:]))
+				storeAggState(ma.T, dst[ma.Offset:], st)
+			}
+		}
+	}
+	return out, len(out) / stride
+}
+
+// groupKeyBytes concatenates the raw bytes of a record's key fields. CHAR
+// keys are stored space-padded at fixed width, so byte equality coincides
+// with the guest's padded strcmp equality; Float64 keys never reach here
+// (classifyParallel rejects them — NaN bit patterns would alias).
+func groupKeyBytes(gm *GroupMerge, rec []byte) []byte {
+	key := make([]byte, 0, 16)
+	for _, k := range gm.Keys {
+		key = append(key, rec[k.Offset:int(k.Offset)+k.T.Size()]...)
+	}
+	return key
+}
+
+// loadAggState reads an aggregate state field in the wasm value
+// representation the guest uses (Bool via 8-bit unsigned load, Int32/Date
+// via 32-bit load, everything else 64-bit).
+func loadAggState(t types.Type, b []byte) uint64 {
+	switch t.Kind {
+	case types.Bool:
+		return uint64(b[0])
+	case types.Int32, types.Date:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default: // Int64, Decimal, Float64
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// storeAggState writes an aggregate state field, inverse of loadAggState.
+func storeAggState(t types.Type, b []byte, v uint64) {
+	switch t.Kind {
+	case types.Bool:
+		b[0] = byte(v)
+	case types.Int32, types.Date:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// mergeSortedRuns k-way merges per-worker sorted tuple runs. The comparator
+// mirrors the generated quicksort's inlined multi-key comparison exactly
+// (see genQuicksort's emitLess), so the merged array is ordered precisely as
+// a serial sort of the concatenation would be; ties resolve to the lowest
+// run index. Worker counts are small, so a linear head scan beats a heap.
+func mergeSortedRuns(sm *SortMerge, runs [][]byte) []byte {
+	stride := int(sm.Stride)
+	heads := make([]int, len(runs))
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]byte, 0, total)
+	for {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || sortTupleLess(sm,
+				r[heads[i]:heads[i]+stride],
+				runs[best][heads[best]:heads[best]+stride]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, runs[best][heads[best]:heads[best]+stride]...)
+		heads[best] += stride
+	}
+}
+
+// sortTupleLess is the host mirror of the generated emitLess: per key, a
+// differing field decides (DESC swaps operands), an equal field defers to
+// the next key. Char compares the full padded field byte-wise (equal widths
+// make this identical to the guest's padded strcmp); Float64 uses the
+// F64Ne-guarded F64Lt shape, which Go's != and < reproduce including NaN
+// behavior; integer classes compare signed.
+func sortTupleLess(sm *SortMerge, a, b []byte) bool {
+	for _, k := range sm.Keys {
+		off := int(k.Offset)
+		lo, hi := a, b
+		if k.Desc {
+			lo, hi = b, a
+		}
+		switch k.T.Kind {
+		case types.Char:
+			c := bytes.Compare(lo[off:off+k.T.Length], hi[off:off+k.T.Length])
+			if c != 0 {
+				return c < 0
+			}
+		case types.Float64:
+			x := math.Float64frombits(binary.LittleEndian.Uint64(lo[off:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(hi[off:]))
+			if x != y {
+				return x < y
+			}
+		case types.Int64, types.Decimal:
+			x := int64(binary.LittleEndian.Uint64(lo[off:]))
+			y := int64(binary.LittleEndian.Uint64(hi[off:]))
+			if x != y {
+				return x < y
+			}
+		case types.Bool:
+			x, y := int32(lo[off]), int32(hi[off])
+			if x != y {
+				return x < y
+			}
+		default: // Int32, Date
+			x := int32(binary.LittleEndian.Uint32(lo[off:]))
+			y := int32(binary.LittleEndian.Uint32(hi[off:]))
+			if x != y {
+				return x < y
+			}
+		}
+	}
+	return false
 }

@@ -47,41 +47,64 @@ func parCatalog(t *testing.T, rows int) *catalog.Catalog {
 }
 
 // TestClassifyParallel pins the serial-fallback matrix: every condition that
-// forces serial execution must be named, and the two mergeable shapes must
-// be recognized.
+// forces serial execution must be named, and the mergeable shapes must be
+// recognized.
 func TestClassifyParallel(t *testing.T) {
 	cat := parCatalog(t, 1000)
 	agg, _ := compileOn(t, cat, "SELECT COUNT(*), SUM(i0), MIN(i1) FROM t WHERE i0 < 0")
 	scan, _ := compileOn(t, cat, "SELECT i0, i1 FROM t WHERE i0 < 0")
 	fagg, _ := compileOn(t, cat, "SELECT SUM(f0) FROM t")
 	lim, _ := compileOn(t, cat, "SELECT i0 FROM t LIMIT 10")
-	grp, _ := compileOn(t, cat, "SELECT i0, COUNT(*) FROM t GROUP BY i0")
+	grp, _ := compileOn(t, cat, "SELECT i0, COUNT(*), SUM(i1), MIN(i1) FROM t GROUP BY i0")
+	grpOrd, _ := compileOn(t, cat, "SELECT i0, COUNT(*) FROM t GROUP BY i0 ORDER BY i0")
+	grpFKey, _ := compileOn(t, cat, "SELECT f0, COUNT(*) FROM t GROUP BY f0")
+	grpFSum, _ := compileOn(t, cat, "SELECT i0, SUM(f0) FROM t GROUP BY i0")
+	grpHav, _ := compileOn(t, cat, "SELECT i0, COUNT(*) FROM t GROUP BY i0 HAVING COUNT(*) > 1")
+	srt, _ := compileOn(t, cat, "SELECT i0, f0 FROM t ORDER BY i0 DESC, f0")
 
 	cases := []struct {
 		name    string
 		cq      *CompiledQuery
 		opt     ExecOptions
 		workers int
+		limit   int64
 		mode    parMode
 		reason  string
 	}{
-		{"serial-request", agg, ExecOptions{}, 1, parNone, ""},
-		{"agg", agg, ExecOptions{}, 4, parAgg, ""},
-		{"scan", scan, ExecOptions{}, 4, parScan, ""},
-		{"chunked", agg, ExecOptions{ChunkRows: 65536}, 4, parNone, fallbackChunked},
-		{"fuel", agg, ExecOptions{Fuel: 1 << 40}, 4, parNone, fallbackFuel},
-		{"limit", lim, ExecOptions{}, 4, parNone, fallbackLimit},
-		{"float-sum", fagg, ExecOptions{}, 4, parNone, fallbackFloatSum},
-		{"group-by", grp, ExecOptions{}, 4, parNone, fallbackUnmergeable},
+		{"serial-request", agg, ExecOptions{}, 1, -1, parNone, ""},
+		{"agg", agg, ExecOptions{}, 4, -1, parAgg, ""},
+		{"scan", scan, ExecOptions{}, 4, -1, parScan, ""},
+		{"chunked", agg, ExecOptions{ChunkRows: 65536}, 4, -1, parNone, fallbackChunked},
+		{"fuel", agg, ExecOptions{Fuel: 1 << 40}, 4, -1, parNone, fallbackFuel},
+		{"limit", lim, ExecOptions{}, 4, 10, parNone, fallbackLimit},
+		{"float-sum", fagg, ExecOptions{}, 4, -1, parNone, fallbackFloatSum},
+		{"group-by", grp, ExecOptions{}, 4, -1, parGroup, ""},
+		{"group-order", grpOrd, ExecOptions{}, 4, -1, parGroup, ""},
+		{"group-having", grpHav, ExecOptions{}, 4, -1, parGroup, ""},
+		{"group-float-key", grpFKey, ExecOptions{}, 4, -1, parNone, fallbackFloatKey},
+		{"group-float-sum", grpFSum, ExecOptions{}, 4, -1, parNone, fallbackFloatSum},
+		{"sort", srt, ExecOptions{}, 4, -1, parSort, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			mode, reason := classifyParallel(c.cq, c.opt, c.workers)
+			mode, reason := classifyParallel(c.cq, c.opt, c.workers, c.limit)
 			if mode != c.mode || reason != c.reason {
 				t.Errorf("classifyParallel = (%v, %q), want (%v, %q)", mode, reason, c.mode, c.reason)
 			}
 		})
 	}
+}
+
+// TestCombineAggUnknownFuncPanics pins the satellite fix: combineAgg used to
+// silently return the first operand for an aggregate it had no rule for,
+// dropping every other worker's partial state. It must fail loudly instead.
+func TestCombineAggUnknownFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("combineAgg accepted an unknown aggregate function")
+		}
+	}()
+	combineAgg(AggGlobal{Func: sema.AggFunc(127)}, 1, 2)
 }
 
 // TestParallelAggMatchesSerial checks the host-side merge pass: a keyless
@@ -114,6 +137,144 @@ func TestParallelAggMatchesSerial(t *testing.T) {
 			t.Errorf("%s: stats = workers %d, parallel %d, serial %d, fallback %q",
 				src, st.Workers, st.PipelinesParallel, st.PipelinesSerial, st.SerialFallback)
 		}
+	}
+}
+
+// grpCatalog generates a table with a bounded-cardinality group column g0
+// next to the usual int and float columns.
+func grpCatalog(t *testing.T, rows, distinct int) *catalog.Catalog {
+	t.Helper()
+	cat, err := workload.Catalog(workload.Spec{
+		Name: "t", Rows: rows, IntCols: 2, FloatCols: 2,
+		GroupCols: 1, GroupDistinct: distinct, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestParallelGroupMatchesSerial checks the group-merge barrier end to end:
+// grouped aggregations executed by 4 workers must produce the same rows as
+// serial execution — including HAVING, ORDER BY on top, and high-cardinality
+// keys that force the merge table to grow — with full parallel-scan coverage
+// and no recorded fallback.
+func TestParallelGroupMatchesSerial(t *testing.T) {
+	cat := grpCatalog(t, 100_000, 100)
+	for _, c := range []struct {
+		src     string
+		ordered bool
+	}{
+		{"SELECT g0, COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t GROUP BY g0", false},
+		{"SELECT g0, COUNT(*) FROM t WHERE i0 > 0 GROUP BY g0", false},
+		{"SELECT g0, MIN(f0), MAX(f1) FROM t GROUP BY g0", false},
+		{"SELECT g0, SUM(i0), AVG(i1) FROM t GROUP BY g0 ORDER BY g0", true},
+		{"SELECT g0, COUNT(*) FROM t GROUP BY g0 HAVING COUNT(*) > 1000 ORDER BY g0 DESC", true},
+		// High-cardinality keys: ~100k groups, so worker tables grow and the
+		// primary's merge path exercises emitMaybeGrow.
+		{"SELECT i0, COUNT(*) FROM t GROUP BY i0", false},
+	} {
+		cq, q := compileOn(t, cat, c.src)
+		eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+		serial, _, err := Execute(cq, q, eng, ExecOptions{})
+		if err != nil {
+			t.Fatalf("serial %s: %v", c.src, err)
+		}
+		par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4, MorselRows: 4096})
+		if err != nil {
+			t.Fatalf("parallel %s: %v", c.src, err)
+		}
+		if c.ordered {
+			if got, want := fmt.Sprint(par.Rows), fmt.Sprint(serial.Rows); got != want {
+				t.Errorf("%s: parallel order differs from serial", c.src)
+			}
+		} else if got, want := fmt.Sprint(sortedRows(par)), fmt.Sprint(sortedRows(serial)); got != want {
+			t.Errorf("%s: parallel %s != serial %s", c.src, got, want)
+		}
+		if st.Workers != 4 || st.PipelinesParallel != 1 || st.SerialFallback != "" {
+			t.Errorf("%s: stats = workers %d, parallel %d, fallback %q; want 4/1/none",
+				c.src, st.Workers, st.PipelinesParallel, st.SerialFallback)
+		}
+		if st.GroupsMerged == 0 {
+			t.Errorf("%s: GroupsMerged = 0, want > 0", c.src)
+		}
+	}
+}
+
+// TestParallelSortMatchesSerial checks the sorted-run merge: ORDER BY over a
+// scan executed by 4 workers must produce byte-identical row order to serial
+// execution. Select lists are subsets of the sort keys so key-tie
+// permutations (quicksort is unstable) cannot masquerade as order bugs.
+func TestParallelSortMatchesSerial(t *testing.T) {
+	cat := parCatalog(t, 100_000)
+	for _, src := range []string{
+		"SELECT i0 FROM t ORDER BY i0",
+		"SELECT i0 FROM t WHERE i1 > 0 ORDER BY i0 DESC",
+		"SELECT f0 FROM t ORDER BY f0",
+		"SELECT i0, i1 FROM t ORDER BY i0, i1 DESC",
+	} {
+		cq, q := compileOn(t, cat, src)
+		eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+		serial, _, err := Execute(cq, q, eng, ExecOptions{})
+		if err != nil {
+			t.Fatalf("serial %s: %v", src, err)
+		}
+		par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4, MorselRows: 4096})
+		if err != nil {
+			t.Fatalf("parallel %s: %v", src, err)
+		}
+		if got, want := fmt.Sprint(par.Rows), fmt.Sprint(serial.Rows); got != want {
+			t.Errorf("%s: parallel order differs from serial", src)
+		}
+		if st.Workers != 4 || st.PipelinesParallel != 1 || st.SerialFallback != "" {
+			t.Errorf("%s: stats = workers %d, parallel %d, fallback %q; want 4/1/none",
+				src, st.Workers, st.PipelinesParallel, st.SerialFallback)
+		}
+	}
+}
+
+// TestParallelGroupMergeFault injects a morsel failure into the q_group_merge
+// loop itself (the scan is 10 morsels, so hit 11 is the first merge morsel):
+// the barrier must surface the error and return no result — never a partially
+// merged one.
+func TestParallelGroupMergeFault(t *testing.T) {
+	cat := grpCatalog(t, 10_000, 100)
+	cq, q := compileOn(t, cat, "SELECT g0, COUNT(*), SUM(i0) FROM t GROUP BY g0")
+	boom := errors.New("injected group-merge failure")
+	faultpoint.Enable("core-morsel", faultpoint.AtHit(11, boom))
+	defer faultpoint.Disable("core-morsel")
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 1000})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Execute returned %v, want injected merge failure", err)
+	}
+	if res != nil {
+		t.Fatalf("Execute returned a result alongside the merge failure")
+	}
+}
+
+// TestParallelGroupMergeEnginePanic arms the engine's call-panic fault at the
+// first merge morsel: the engine guardrail converts the panic into a typed
+// error and the query must fail cleanly rather than return merged-so-far
+// groups.
+func TestParallelGroupMergeEnginePanic(t *testing.T) {
+	cat := grpCatalog(t, 10_000, 100)
+	cq, q := compileOn(t, cat, "SELECT g0, COUNT(*), SUM(i0) FROM t GROUP BY g0")
+	faultpoint.Enable("core-morsel", func(hit int) error {
+		if hit == 11 {
+			faultpoint.Enable("engine-call-panic", faultpoint.Always(errors.New("simulated engine bug")))
+		}
+		return nil
+	})
+	defer faultpoint.Disable("core-morsel")
+	defer faultpoint.Disable("engine-call-panic")
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 1000})
+	if err == nil {
+		t.Fatal("Execute succeeded with a panicking merge call")
+	}
+	if res != nil {
+		t.Fatal("Execute returned a result alongside the engine panic")
 	}
 }
 

@@ -37,6 +37,9 @@ func (c *compiler) layoutParams() error {
 	for _, oc := range c.q.Select {
 		paramsUsed(oc.Expr, used)
 	}
+	for _, e := range c.q.Having {
+		paramsUsed(e, used)
+	}
 	for _, k := range c.q.OrderBy {
 		paramsUsed(k.Expr, used)
 	}

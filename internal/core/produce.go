@@ -102,6 +102,8 @@ func (c *compiler) produceGroup(gr *plan.Group, consume consumer) error {
 	}
 	est := uint32(1024)
 	ht := c.newHashTable(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys, est)
+	// Merge exports for parallel execution (dead code on serial runs).
+	c.genGroupMerge(gr, ht, aggSlots)
 
 	// Feeding pipeline: insert-or-update.
 	err := c.produce(gr.Input, func(g *gen, e *env) {

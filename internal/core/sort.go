@@ -82,6 +82,11 @@ func (c *compiler) produceSort(s *plan.Sort, consume consumer) error {
 	// The generated quicksort and its helpers.
 	qs := c.genQuicksort(sortID, s.Keys, layout, gBase, gScratchA, gScratchB)
 
+	// Sorted-run merge metadata + receive export for parallel execution:
+	// the host k-way merges per-worker sorted runs and installs the merged
+	// array on the primary via q_sort_recv. Dead code on serial runs.
+	c.genSortMerge(s, layout, gBase, gCount)
+
 	// Run-once pipeline invoking qsort(0, count).
 	g := c.newPipeline(PipeRunOnce, -1, 0)
 	g.f.I32Const(0)

@@ -31,6 +31,9 @@ type Record struct {
 	// Workers is the morsel worker-pool size (scaling experiment; 0 when
 	// the experiment does not vary parallelism).
 	Workers int `json:"workers,omitempty"`
+	// Fallback is the serial-fallback reason reported by the executor
+	// (empty when the run parallelized as classified).
+	Fallback string `json:"fallback,omitempty"`
 }
 
 func recordFromTimings(name, backend string, rows int, tm Timings) Record {

@@ -16,65 +16,76 @@ import (
 // ScalingWorkers are the worker-pool sizes the scaling experiment sweeps.
 var ScalingWorkers = []int{1, 2, 4}
 
-// Scaling measures intra-query parallel speedup: one selective global
-// aggregation over an integer column, compiled once, executed with 1, 2,
-// and 4 morsel workers on fully optimized code. The query is chosen to be
-// parallel-eligible (keyless aggregation without float SUM, LIMIT, or fuel),
-// so any PipelinesSerial in the run indicates a classifier regression — the
-// experiment fails rather than silently reporting serial numbers as scaling.
+// scalingQueries are the parallel-eligible shapes the experiment sweeps:
+// a keyless aggregation (merged via ad-hoc partial-state exports) and a
+// grouped aggregation (merged host-side through the group-merge barrier).
+var scalingQueries = []struct {
+	name string
+	src  string
+}{
+	{"scaling", "SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 0"},
+	{"scaling-group", "SELECT g0, COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t GROUP BY g0"},
+}
+
+// Scaling measures intra-query parallel speedup: each query is compiled
+// once and executed with 1, 2, and 4 morsel workers on fully optimized
+// code. The queries are chosen to be parallel-eligible, so a serial
+// fallback at w > 1 indicates a classifier regression; rather than abort
+// the whole experiment, the fallback reason is recorded on the result row
+// so the regression is visible in BENCH_scaling.json next to the numbers.
 func Scaling(o Options) ([]Record, error) {
 	o.norm()
 	cat, err := workload.Catalog(workload.Spec{
-		Name: "t", Rows: o.Rows, IntCols: 2, FloatCols: 2, Seed: 4343,
+		Name: "t", Rows: o.Rows, IntCols: 2, FloatCols: 2,
+		GroupCols: 1, GroupDistinct: 64, Seed: 4343,
 	})
-	if err != nil {
-		return nil, err
-	}
-	src := "SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 0"
-
-	stmt, err := sql.ParseSelect(src)
-	if err != nil {
-		return nil, err
-	}
-	q, err := sema.Analyze(stmt, cat)
-	if err != nil {
-		return nil, err
-	}
-	p, err := plan.Build(q)
-	if err != nil {
-		return nil, err
-	}
-	cq, err := core.Compile(q, p)
 	if err != nil {
 		return nil, err
 	}
 
 	eng := engine.New(engine.Config{Tier: engine.TierTurbofan})
 	var recs []Record
-	for _, w := range ScalingWorkers {
-		w := w
-		var stats *core.ExecStats
-		exec := harness.Median(o.Reps, func() time.Duration {
-			var err error
-			_, stats, err = core.Execute(cq, q, eng, core.ExecOptions{
-				WaitOptimized: true,
-				Parallelism:   w,
-			})
-			if err != nil {
-				panic(fmt.Sprintf("scaling w=%d: %v", w, err))
-			}
-			return stats.Run
-		})
-		if w > 1 && stats.PipelinesSerial > 0 {
-			return nil, fmt.Errorf("scaling w=%d: fell back to serial (%s)", w, stats.SerialFallback)
+	for _, qry := range scalingQueries {
+		stmt, err := sql.ParseSelect(qry.src)
+		if err != nil {
+			return nil, err
 		}
-		recs = append(recs, Record{
-			Name:    fmt.Sprintf("scaling:w%d", w),
-			Backend: "mutable",
-			Rows:    o.Rows,
-			ExecNs:  exec.Nanoseconds(),
-			Workers: w,
-		})
+		q, err := sema.Analyze(stmt, cat)
+		if err != nil {
+			return nil, err
+		}
+		p, err := plan.Build(q)
+		if err != nil {
+			return nil, err
+		}
+		cq, err := core.Compile(q, p)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, w := range ScalingWorkers {
+			w := w
+			var stats *core.ExecStats
+			exec := harness.Median(o.Reps, func() time.Duration {
+				var err error
+				_, stats, err = core.Execute(cq, q, eng, core.ExecOptions{
+					WaitOptimized: true,
+					Parallelism:   w,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("%s w=%d: %v", qry.name, w, err))
+				}
+				return stats.Run
+			})
+			recs = append(recs, Record{
+				Name:     fmt.Sprintf("%s:w%d", qry.name, w),
+				Backend:  "mutable",
+				Rows:     o.Rows,
+				ExecNs:   exec.Nanoseconds(),
+				Workers:  w,
+				Fallback: stats.SerialFallback,
+			})
+		}
 	}
 	return recs, nil
 }

@@ -39,6 +39,10 @@ const (
 	// SpanMorsel prefixes per-morsel spans, recorded only when Trace.Detail
 	// is set (they are numerous).
 	SpanMorsel = "morsel:"
+	// SpanMerge covers the host-side merge barrier of parallel execution:
+	// draining per-worker partial group states (or sorted runs), folding
+	// them, and feeding the result into the primary worker.
+	SpanMerge = "merge"
 )
 
 // Point-event names.
@@ -68,6 +72,14 @@ const (
 	// fingerprint — the plan fingerprint's short prefix, tier — the tier the
 	// cached module currently dispatches to on a hit).
 	EvPlanCache = "plan-cache"
+	// EvGroupMerge marks the group-by pipeline barrier of parallel execution:
+	// every worker's partial groups were drained, folded per key, and fed
+	// into the primary worker (args: groups — distinct merged groups,
+	// records — partial records drained, workers).
+	EvGroupMerge = "group-merge"
+	// EvSortMerge marks the order-by barrier: per-worker sorted runs were
+	// k-way merged into the primary worker's array (args: tuples, workers).
+	EvSortMerge = "sort-merge"
 )
 
 // Counter names stored on the trace (set by the executor at query end).
@@ -85,6 +97,9 @@ const (
 	// worker pool vs. pipelines that fell back to serial execution.
 	CtrPipelinesParallel = "pipelines_parallel"
 	CtrPipelinesSerial   = "pipelines_serial"
+	// CtrGroupsMerged counts the distinct groups the host folded at the
+	// parallel group-by barrier (0 when no group merge ran).
+	CtrGroupsMerged = "groups_merged"
 )
 
 // WorkerCtr names a per-worker trace counter, e.g. "worker.2.morsels_turbofan"

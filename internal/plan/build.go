@@ -21,7 +21,7 @@ func Build(q *sema.Query) (Node, error) {
 		if est < 1 {
 			est = 1
 		}
-		root = &Group{Input: root, Keys: q.GroupBy, Aggs: q.Aggs, est: est}
+		root = &Group{Input: root, Keys: q.GroupBy, Aggs: q.Aggs, Having: q.Having, est: est}
 	}
 	if len(q.OrderBy) > 0 {
 		root = &Sort{Input: root, Keys: q.OrderBy}

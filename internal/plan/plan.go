@@ -103,7 +103,10 @@ type Group struct {
 	Input Node
 	Keys  []sema.Expr
 	Aggs  []sema.Aggregate
-	est   float64
+	// Having holds post-aggregation filter conjuncts (post-agg domain),
+	// applied to each group before it is emitted.
+	Having []sema.Expr
+	est    float64
 }
 
 // Rows implements Node.
@@ -121,6 +124,9 @@ func (g *Group) describe(sb *strings.Builder, indent int) {
 	sb.WriteString(" aggs:")
 	for _, a := range g.Aggs {
 		sb.WriteString(" " + a.String())
+	}
+	for _, h := range g.Having {
+		sb.WriteString(" having:" + h.String())
 	}
 	sb.WriteString("\n")
 	g.Input.describe(sb, indent+1)

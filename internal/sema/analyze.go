@@ -37,9 +37,13 @@ type Query struct {
 	GroupBy   []Expr
 	Aggs      []Aggregate
 	Grouped   bool
-	Select    []OutputCol
-	OrderBy   []OrderKey
-	Limit     int64
+	// Having holds the post-aggregation filter conjuncts (post-agg domain:
+	// KeyRef/AggRef/Const and scalar operations over them). Empty when the
+	// query has no HAVING clause.
+	Having  []Expr
+	Select  []OutputCol
+	OrderBy []OrderKey
+	Limit   int64
 
 	// NumParams counts the explicit ? placeholders; ParamTypes[i] is the
 	// type inferred for placeholder i at bind time.
@@ -116,8 +120,9 @@ func Analyze(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Query, error) {
 		b.q.GroupBy = append(b.q.GroupBy, e)
 	}
 
-	// Detect aggregation: any aggregate in SELECT/ORDER BY, or GROUP BY.
-	hasAgg := len(stmt.GroupBy) > 0
+	// Detect aggregation: any aggregate in SELECT/ORDER BY, GROUP BY, or a
+	// HAVING clause (which filters groups even without explicit keys).
+	hasAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
 	for _, it := range stmt.Items {
 		if !it.Star && containsAggregate(it.Expr) {
 			hasAgg = true
@@ -163,6 +168,20 @@ func Analyze(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Query, error) {
 		if it.Alias != "" {
 			aliases[it.Alias] = e
 		}
+	}
+
+	// HAVING: a post-aggregation boolean filter over the same domain as the
+	// grouped select list. Its top-level AND chain is flattened so codegen
+	// can evaluate the conjuncts without short-circuit plumbing.
+	if stmt.Having != nil {
+		h, err := b.bindMaybeAgg(stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		if h.Type().Kind != types.Bool {
+			return nil, fmt.Errorf("sema: HAVING clause is not boolean")
+		}
+		b.addHaving(h)
 	}
 
 	// ORDER BY, with select-alias resolution.
@@ -256,6 +275,16 @@ func (b *binder) addConjuncts(e Expr) {
 		return
 	}
 	b.q.Conjuncts = append(b.q.Conjuncts, e)
+}
+
+// addHaving flattens a HAVING expression's top-level AND chain.
+func (b *binder) addHaving(e Expr) {
+	if bin, ok := e.(*Binary); ok && bin.Op == OpAnd {
+		b.addHaving(bin.L)
+		b.addHaving(bin.R)
+		return
+	}
+	b.q.Having = append(b.q.Having, e)
 }
 
 // bindScalar binds an expression in which aggregates are not allowed.

@@ -156,6 +156,25 @@ func TestBindGroupByValidation(t *testing.T) {
 	}
 }
 
+func TestBindHaving(t *testing.T) {
+	cat := testCatalog(t)
+	q := analyze(t, cat, "SELECT x, COUNT(*) FROM r GROUP BY x HAVING COUNT(*) > 2 AND x < 10")
+	if len(q.Having) != 2 {
+		t.Fatalf("AND chain not flattened: %v", q.Having)
+	}
+	// HAVING alone makes the query a single-group aggregation.
+	q = analyze(t, cat, "SELECT COUNT(*) FROM r HAVING COUNT(*) > 0")
+	if !q.Grouped || len(q.Having) != 1 {
+		t.Errorf("keyless having: grouped=%v having=%v", q.Grouped, q.Having)
+	}
+	if _, err := sqlAnalyze(cat, "SELECT COUNT(*) FROM r HAVING y > 1"); err == nil {
+		t.Error("non-grouped column in HAVING accepted")
+	}
+	if _, err := sqlAnalyze(cat, "SELECT x, COUNT(*) FROM r GROUP BY x HAVING x + 1"); err == nil {
+		t.Error("non-boolean HAVING accepted")
+	}
+}
+
 func TestBindDateArithmeticFolds(t *testing.T) {
 	cat := testCatalog(t)
 	q := analyze(t, cat, "SELECT x FROM r WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY")

@@ -40,6 +40,11 @@ func Parameterize(q *Query) []types.Value {
 	for i := range q.OrderBy {
 		q.OrderBy[i].Expr = p.rewrite(q.OrderBy[i].Expr)
 	}
+	// HAVING literals stay baked (and fingerprinted): the clause runs once
+	// per group, not per row, so sharing modules across its literal variants
+	// buys little and the baked form keeps the group output pipeline branch
+	// layout identical to the serial oracle. Explicit ? placeholders inside
+	// HAVING are already Param nodes and flow through layoutParams as usual.
 	if q.Limit >= 0 {
 		q.LimitSlot = q.TotalParams
 		q.TotalParams++
@@ -137,6 +142,9 @@ func SubstituteParams(q *Query, vals []types.Value) {
 	}
 	for i := range q.Select {
 		q.Select[i].Expr = s.rewrite(q.Select[i].Expr)
+	}
+	for i := range q.Having {
+		q.Having[i] = s.rewrite(q.Having[i])
 	}
 	for i := range q.OrderBy {
 		q.OrderBy[i].Expr = s.rewrite(q.OrderBy[i].Expr)

@@ -11,6 +11,8 @@ type SelectStmt struct {
 	From    []FromItem
 	Where   Expr
 	GroupBy []Expr
+	// Having is the post-aggregation filter, nil when absent.
+	Having  Expr
 	OrderBy []OrderItem
 	// Limit is -1 when absent.
 	Limit int64

@@ -202,8 +202,12 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 			}
 		}
 	}
-	if p.peekKeyword("HAVING") {
-		return nil, fmt.Errorf("sql: HAVING is not supported")
+	if p.acceptKeyword("HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
 	}
 	if p.acceptKeyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {

@@ -98,6 +98,23 @@ func TestParseGroupOrder(t *testing.T) {
 	}
 }
 
+func TestParseHaving(t *testing.T) {
+	s := mustSelect(t, `SELECT x, COUNT(*) FROM r GROUP BY x HAVING COUNT(*) > 2 AND x < 10 ORDER BY x`)
+	be, ok := s.Having.(*BinaryExpr)
+	if !ok || be.Op != "AND" {
+		t.Fatalf("having: %+v", s.Having)
+	}
+	if fc := be.L.(*BinaryExpr).L.(*FuncCall); fc.Name != "COUNT" {
+		t.Errorf("having lhs: %+v", be.L)
+	}
+	// HAVING without GROUP BY is legal: the query becomes a single-group
+	// aggregation and sema enforces the post-agg domain.
+	s = mustSelect(t, `SELECT COUNT(*) FROM r HAVING COUNT(*) > 0`)
+	if s.Having == nil || len(s.GroupBy) != 0 {
+		t.Errorf("keyless having: %+v", s)
+	}
+}
+
 func TestParseTPCHQ1Shape(t *testing.T) {
 	q := `
 SELECT l_returnflag, l_linestatus,
@@ -213,7 +230,7 @@ func TestParseErrors(t *testing.T) {
 		"SELECT 1 FROM r GROUP x",
 		"SELECT 1 FROM r LIMIT x",
 		"SELECT COUNT(DISTINCT x) FROM r",
-		"SELECT 1 FROM r HAVING x > 1",
+		"SELECT 1 FROM r HAVING", // missing predicate
 		"SELECT 1 FROM r; SELECT 2 FROM s",
 		"SELECT CASE END FROM r",
 		"SELECT 1 FROM r WHERE x LIKE y",

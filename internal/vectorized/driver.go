@@ -150,8 +150,9 @@ func Run(q *sema.Query, root plan.Node) ([]string, [][]types.Value, *Stats, erro
 	if err := r.exec(inner, emit); err != nil && err != errLimitReached {
 		return nil, nil, nil, err
 	}
-	// SQL: global aggregation over zero rows yields one row.
-	if g, ok := inner.(*plan.Group); ok && len(g.Keys) == 0 && len(rows) == 0 {
+	// SQL: global aggregation over zero rows yields one row. With HAVING,
+	// execGlobalAgg already emitted (or filtered) the zero group itself.
+	if g, ok := inner.(*plan.Group); ok && len(g.Keys) == 0 && len(rows) == 0 && len(g.Having) == 0 {
 		rows = append(rows, zeroAggRow(proj.Cols, g.Aggs))
 	}
 	return names, rows, &r.stats, nil

@@ -190,6 +190,16 @@ func (r *Runner) execGroup(g *plan.Group, emit func(*batch) error) error {
 			r.call("entry_word", uint64(nOut), uint64(outPtrs.addr), uint64(slotOff(i)), uint64(v.addr))
 			b.vecs[leafKey(ref)] = v
 		}
+		// HAVING filters finished groups; the batch binds KeyRef/AggRef
+		// leaves so applyPred resolves them like any other predicate.
+		for _, h := range g.Having {
+			if err := r.applyPred(b, h); err != nil {
+				return err
+			}
+		}
+		if b.selN == 0 {
+			continue
+		}
 		if err := emit(b); err != nil {
 			return err
 		}
@@ -270,9 +280,11 @@ func (r *Runner) execGlobalAgg(g *plan.Group, emit func(*batch) error) error {
 	if err != nil {
 		return err
 	}
-	if rowsSeen == 0 {
+	if rowsSeen == 0 && len(g.Having) == 0 {
 		return nil // the driver fabricates the zero row
 	}
+	// With HAVING, fall through even on empty input: the zero-filled state
+	// entry is the zero group, and HAVING decides whether it is emitted.
 	r.resetScratch()
 	b := &batch{n: 1, sel: r.selA, start: -1, vecs: map[string]vec{}, chars: map[string]charBuf{}}
 	b.selN = int(int32(r.call("sel_seq", uint64(r.selA), 0, 1)))
@@ -283,6 +295,14 @@ func (r *Runner) execGlobalAgg(g *plan.Group, emit func(*batch) error) error {
 		v := r.newVec()
 		r.call("entry_word", 1, uint64(outPtrs.addr), uint64(slotOff(i)), uint64(v.addr))
 		b.vecs[leafKey(ref)] = v
+	}
+	for _, h := range g.Having {
+		if err := r.applyPred(b, h); err != nil {
+			return err
+		}
+	}
+	if b.selN == 0 {
+		return nil
 	}
 	return emit(b)
 }

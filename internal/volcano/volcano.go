@@ -428,8 +428,33 @@ func (g *groupIter) Close()          {}
 func (g *groupIter) Schema() *Schema { return g.sch }
 
 func (g *groupIter) Next() (Tuple, bool, error) {
+	for {
+		t, ok := g.nextGroup()
+		if !ok {
+			return nil, false, nil
+		}
+		// HAVING: the post-aggregation filter sees the group's output tuple
+		// (KeyRef/AggRef bind through the group schema). The fabricated
+		// zero group of a keyless aggregation is filtered like any other —
+		// matching the compiled engine, which evaluates HAVING in the
+		// run-once output pipeline.
+		qualifies := true
+		ctx := tupleCtx{s: g.sch, t: t}
+		for _, h := range g.g.Having {
+			if !eval.Eval(h, ctx).IsTrue() {
+				qualifies = false
+				break
+			}
+		}
+		if qualifies {
+			return t, true, nil
+		}
+	}
+}
+
+func (g *groupIter) nextGroup() (Tuple, bool) {
 	if g.pos >= len(g.groups) {
-		return nil, false, nil
+		return nil, false
 	}
 	st := g.groups[g.pos]
 	g.pos++
@@ -455,7 +480,7 @@ func (g *groupIter) Next() (Tuple, bool, error) {
 			t[len(g.g.Keys)+i] = acc.max
 		}
 	}
-	return t, true, nil
+	return t, true
 }
 
 // ---------------------------------------------------------------------------

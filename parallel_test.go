@@ -1,15 +1,16 @@
 package wasmdb_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"wasmdb"
 )
 
-// parallelCorpus spans every pipeline shape: parallel-eligible scans and
-// keyless aggregations, plus queries that must fall back (group-by, joins,
-// sorts, LIMIT, float SUM) and still agree with serial execution.
+// parallelCorpus spans every pipeline shape: parallel-eligible scans,
+// keyless and grouped aggregations, and sorts, plus queries that must fall
+// back (joins, LIMIT, float SUM) and still agree with serial execution.
 var parallelCorpus = []struct {
 	src     string
 	ordered bool
@@ -20,11 +21,16 @@ var parallelCorpus = []struct {
 	{"SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_discount < 0.05", false},
 	{"SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity < 3", false},
 	{"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag", false},
+	{"SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag, l_linestatus", false},
+	{"SELECT l_shipmode, MIN(l_quantity), MAX(l_quantity) FROM lineitem GROUP BY l_shipmode ORDER BY l_shipmode", true},
+	{"SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 100", false},
+	{"SELECT l_orderkey, l_linenumber FROM lineitem ORDER BY l_orderkey, l_linenumber", true},
 	{"SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_totalprice > 200000.0", false},
 	{"SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 25", true},
 	{"SELECT l_orderkey FROM lineitem WHERE l_quantity < 10 LIMIT 50", false},
 	{"SELECT COUNT(*), AVG(l_quantity) FROM lineitem WHERE l_discount = 0.03", false},
 	{"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 0", false},
+	{"SELECT l_returnflag, COUNT(*) FROM lineitem WHERE l_quantity < 0 GROUP BY l_returnflag", false},
 }
 
 // TestParallelDifferential is the serial-vs-parallel oracle: every corpus
@@ -99,5 +105,75 @@ func TestParallelStatsSurface(t *testing.T) {
 	if s.Workers != 1 || s.PipelinesParallel != 0 || s.PipelinesSerial == 0 {
 		t.Errorf("join stats = workers %d, parallel %d, serial %d; want serial fallback",
 			s.Workers, s.PipelinesParallel, s.PipelinesSerial)
+	}
+}
+
+// TestParallelGroupedTPCH is the headline acceptance check: TPC-H Q1 (grouped
+// aggregation over decimals with ORDER BY) under a 4-worker pool must scan in
+// parallel, merge partial groups, record no fallback, and produce
+// byte-identical rows to serial execution. The post-merge output and sort
+// pipelines legitimately run serially on the primary worker.
+func TestParallelGroupedTPCH(t *testing.T) {
+	db := tpchDB(t)
+	src, _ := wasmdb.TPCHQuery("Q1")
+	serial, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := formatSorted(t, par, true), formatSorted(t, serial, true); got != want {
+		t.Errorf("Q1 parallel differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			clip(want), clip(got))
+	}
+	s := par.Stats
+	if s.Workers != 4 || s.PipelinesParallel == 0 || s.SerialFallback != "" {
+		t.Errorf("Q1 stats = workers %d, parallel %d, fallback %q; want a merged parallel scan",
+			s.Workers, s.PipelinesParallel, s.SerialFallback)
+	}
+	if s.GroupsMerged == 0 {
+		t.Error("Q1 under parallelism reported no merged groups")
+	}
+}
+
+// TestPreparedLimitParallel pins the classifier × plan-cache interaction: a
+// cached module compiled for LIMIT ? must be classified against the limit
+// bound at execution time, not the compile-time placeholder — each run takes
+// the serial LIMIT path and returns exactly the bound number of rows.
+func TestPreparedLimitParallel(t *testing.T) {
+	db := tpchDB(t)
+	stmt, err := db.Prepare("SELECT l_orderkey FROM lineitem WHERE l_quantity < ? LIMIT ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{5, 17} {
+		res, err := stmt.QueryContext(context.Background(), []any{30, limit},
+			wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if res.NumRows() != limit {
+			t.Errorf("limit %d returned %d rows", limit, res.NumRows())
+		}
+		if res.Stats.SerialFallback != "limit" || res.Stats.PipelinesParallel != 0 {
+			t.Errorf("limit %d: stats = parallel %d, fallback %q; want serial limit fallback",
+				limit, res.Stats.PipelinesParallel, res.Stats.SerialFallback)
+		}
+	}
+	// The same prepared scan without a limit binding stays parallel-eligible.
+	noLim, err := db.Prepare("SELECT l_orderkey FROM lineitem WHERE l_quantity < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := noLim.QueryContext(context.Background(), []any{3},
+		wasmdb.WithBackend(wasmdb.BackendWasm), wasmdb.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PipelinesParallel != 1 || res.Stats.SerialFallback != "" {
+		t.Errorf("unlimited prepared scan: stats = parallel %d, fallback %q; want parallel",
+			res.Stats.PipelinesParallel, res.Stats.SerialFallback)
 	}
 }

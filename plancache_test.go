@@ -207,6 +207,12 @@ func TestPreparedVsAdhoc(t *testing.T) {
 			adhoc:    "SELECT l_orderkey FROM lineitem WHERE l_quantity > 45 ORDER BY l_orderkey LIMIT 7",
 			args:     []any{45, 7},
 		},
+		{
+			name:     "having",
+			prepared: "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > ?",
+			adhoc:    "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 100",
+			args:     []any{100},
+		},
 	}
 	for _, c := range cases {
 		c := c

@@ -305,11 +305,15 @@ func WithFuel(n int64) Option { return func(o *queryOpts) { o.fuel = n } }
 
 // WithParallelism runs the query's morsel loops on a pool of n workers, each
 // owning a private instance and linear memory created from the shared
-// compiled module (n <= 0 means GOMAXPROCS). Pipelines whose state the host
-// cannot merge — hash-join builds, group-by tables, sorts — run serially;
-// Stats.PipelinesSerial and the trace record the fallback. Applies to the
+// compiled module (n <= 0 means GOMAXPROCS). Scans, keyless aggregation,
+// single-level GROUP BY over a scan, and ORDER BY over a scan parallelize:
+// per-worker partial state (result buffers, aggregate globals, group hash
+// tables, sorted runs) is merged by the host at pipeline barriers.
+// Pipelines whose state the host cannot merge — hash-join builds,
+// library-style tables and sorts, float SUM/group-key orderings — run
+// serially; the trace and Stats record the fallback reason. Applies to the
 // Wasm backends; result row order may differ from serial execution for
-// unordered scan queries.
+// unordered scan and group-by queries.
 func WithParallelism(n int) Option {
 	return func(o *queryOpts) {
 		if n <= 0 {
@@ -385,18 +389,26 @@ type Stats struct {
 	// serial; see WithParallelism).
 	Workers int
 	// PipelinesParallel and PipelinesSerial count morsel-driven pipelines by
-	// how they executed. PipelinesSerial > 0 on a query that requested
-	// parallelism means some pipeline's state could not be merged by the
-	// host and fell back to serial execution.
+	// how they executed. PipelinesSerial > 0 alone does not mean a fallback:
+	// under parallel grouped aggregation or sort the post-barrier output
+	// pipelines legitimately run serially on the primary worker over merged
+	// state. A fallback is indicated by SerialFallback being non-empty.
 	PipelinesParallel int
 	PipelinesSerial   int
+	// SerialFallback names why a WithParallelism request ran serially
+	// ("limit", "float-sum-order", "unmergeable-pipeline-state", ...) and is
+	// empty when the query parallelized or never asked to.
+	SerialFallback string
+	// GroupsMerged counts the distinct groups the host folded at the
+	// parallel group-by barrier (0 when no group merge ran).
+	GroupsMerged int
 }
 
 // statsFromTrace derives the public Stats from the query trace — the single
 // source of truth all three stats surfaces (wasmdb.Stats, core.ExecStats,
 // engine.CompileStats) now agree on.
 func statsFromTrace(tr *obs.Trace, b Backend) Stats {
-	return Stats{
+	s := Stats{
 		Backend: b,
 		Translate: tr.Dur(obs.SpanParse) + tr.Dur(obs.SpanSema) +
 			tr.Dur(obs.SpanPlan) + tr.Dur(obs.SpanCodegen),
@@ -413,7 +425,18 @@ func statsFromTrace(tr *obs.Trace, b Backend) Stats {
 		Workers:           int(tr.Value(obs.CtrWorkers)),
 		PipelinesParallel: int(tr.Value(obs.CtrPipelinesParallel)),
 		PipelinesSerial:   int(tr.Value(obs.CtrPipelinesSerial)),
+		GroupsMerged:      int(tr.Value(obs.CtrGroupsMerged)),
 	}
+	for _, e := range tr.Events() {
+		if e.Name == obs.EvSerialFallback {
+			for _, a := range e.Args {
+				if a.Key == "reason" {
+					s.SerialFallback = a.Str
+				}
+			}
+		}
+	}
+	return s
 }
 
 // Result is a decoded result set.
