@@ -37,15 +37,25 @@ lint-layers:
 		echo "lint-layers: internal/plancache may import only core, engine, and obs" >&2; \
 		exit 1; \
 	fi
-	@echo "lint-layers: ok (internal/obs imports stdlib only; plancache between core/engine and the API)"
+	@if grep -rn '"wasmdb/internal/server"' internal/core internal/engine internal/plancache; then \
+		echo "lint-layers: core/engine/plancache must not import internal/server (it sits above the public API)" >&2; \
+		exit 1; \
+	fi
+	@if grep -n '"wasmdb/' internal/server/*.go | grep -v '_test.go:' | grep -v '"wasmdb"\|wasmdb/internal/obs"\|wasmdb/internal/faultpoint"'; then \
+		echo "lint-layers: internal/server may import only the public API (wasmdb), obs, and faultpoint" >&2; \
+		exit 1; \
+	fi
+	@echo "lint-layers: ok (internal/obs imports stdlib only; plancache between core/engine and the API; server above the API)"
 
 # bench-smoke runs one micro-benchmark per backend at a small scale, the
-# 1/2/4-worker scaling experiment, and the plan-cache cold/warm experiment,
-# and validates that the emitted BENCH_*.json parse (the bench binary
-# re-reads and unmarshals what it wrote).
+# 1/2/4-worker scaling experiment, the plan-cache cold/warm experiment, and
+# the concurrent-serving load experiment (throughput/p99/rejection-rate at
+# 1/4/8 virtual users against a 2-slot server), and validates that the
+# emitted BENCH_*.json parse (the bench binary re-reads and unmarshals what
+# it wrote).
 bench-smoke:
-	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache -rows 100000 -reps 1 -sf 0.01 -json
-	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json
+	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache,serving -rows 100000 -reps 1 -sf 0.01 -json
+	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json BENCH_serving.json
 
 # fuzz the adversarial-module executor for a short budget.
 fuzz:

@@ -31,7 +31,7 @@ var allExperiments = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d",
 	"fig8a", "fig8b", "fig9", "fig10",
 	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
-	"smoke", "scaling", "plancache",
+	"smoke", "scaling", "plancache", "serving",
 }
 
 func main() {
@@ -128,6 +128,15 @@ func main() {
 			}
 		case "plancache":
 			r, err := experiments.PlanCache(opts)
+			if err != nil {
+				fail(err)
+			}
+			recs = r
+			if err := experiments.WriteRecords(os.Stdout, recs); err != nil {
+				fail(err)
+			}
+		case "serving":
+			r, err := experiments.Serving(opts)
 			if err != nil {
 				fail(err)
 			}

@@ -1,10 +1,18 @@
-// Command wasmdb is an interactive SQL shell over the wasmdb engine.
+// Command wasmdb is an interactive SQL shell — or, with -serve, a
+// concurrent HTTP query service — over the wasmdb engine.
 //
 //	wasmdb                 # empty database
 //	wasmdb -tpch 0.01      # preloaded with TPC-H at the given scale factor
 //	wasmdb -timeout 5s     # per-query wall-clock budget
 //	wasmdb -trace out.json # record every query; write Chrome trace_event
 //	                       # JSON on exit (open in Perfetto)
+//	wasmdb -serve :8080    # HTTP query service with admission control
+//	wasmdb -serve :8080 -drain 30s  # drain deadline for graceful shutdown
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: the shell cancels any
+// running query and still writes its session trace; the server stops
+// admitting, drains in-flight queries under the -drain deadline, then
+// cancels whatever remains.
 //
 // EXPLAIN ANALYZE <query> executes the query and prints the plan annotated
 // with per-phase timings and the adaptive tier-switch timeline.
@@ -27,22 +35,31 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"wasmdb"
+	"wasmdb/internal/server"
 )
 
 func main() {
 	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 disables)")
 	tracePath := flag.String("trace", "", "record every query and write Chrome trace_event JSON here on exit")
+	serveAddr := flag.String("serve", "", "run as an HTTP query service on this address instead of the shell")
+	drain := flag.Duration("drain", 15*time.Second, "serve mode: how long shutdown waits for in-flight queries before canceling them")
 	flag.Parse()
 
 	db := wasmdb.Open()
@@ -53,13 +70,66 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	repl(db, os.Stdin, os.Stdout, *timeout, *tracePath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving on http://%s (drain %v)\n", ln.Addr(), *drain)
+		if err := serveOn(ctx, db, ln, *drain, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	repl(ctx, db, os.Stdin, os.Stdout, *timeout, *tracePath)
+}
+
+// serveOn runs the query service on ln until ctx is canceled (SIGINT or
+// SIGTERM), then shuts down gracefully: stop admitting, drain in-flight
+// queries under the drain deadline, cancel stragglers through the context
+// plumbing, and only then close the HTTP listener.
+func serveOn(ctx context.Context, db *wasmdb.DB, ln net.Listener, drain time.Duration, out io.Writer) error {
+	srv := server.New(db, server.Config{})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "shutting down: draining in-flight queries (deadline %v) …\n", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-serveErr // http.ErrServerClosed — the serve goroutine has exited
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if drainErr != nil {
+		fmt.Fprintln(out, "drain deadline passed; remaining queries were canceled")
+	} else {
+		fmt.Fprintln(out, "drained cleanly")
+	}
+	return nil
 }
 
 // shell holds the REPL's mutable session state.
 type shell struct {
-	db      *wasmdb.DB
-	out     io.Writer
+	db  *wasmdb.DB
+	ctx context.Context
+	out io.Writer
+
 	backend wasmdb.Backend
 	timing  bool
 	timeout time.Duration
@@ -75,33 +145,58 @@ type shell struct {
 	traces  []*wasmdb.Trace
 }
 
-// repl reads statements from in and writes results to out until EOF or \q.
-// Every failure — parse error, trap, timeout, even an engine panic — is
-// printed and the loop continues; a bad query must never kill the shell.
-// With a non-empty tracePath, every query is traced and the session's
-// timeline is written there as Chrome trace_event JSON when the loop ends.
-func repl(db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration, tracePath string) {
-	sh := &shell{db: db, out: out, backend: wasmdb.BackendWasm, timeout: timeout, tracing: tracePath != ""}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+// repl reads statements from in and writes results to out until EOF, \q, or
+// ctx cancellation (SIGINT/SIGTERM). Every failure — parse error, trap,
+// timeout, even an engine panic — is printed and the loop continues; a bad
+// query must never kill the shell. Canceling ctx aborts the in-flight query
+// through its context and still runs the exit path, so a session trace
+// (-trace) is written even on interrupt. With a non-empty tracePath, every
+// query is traced and the session's timeline is written there as Chrome
+// trace_event JSON when the loop ends.
+func repl(ctx context.Context, db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration, tracePath string) {
+	sh := &shell{db: db, ctx: ctx, out: out, backend: wasmdb.BackendWasm, timeout: timeout, tracing: tracePath != ""}
+
+	// The scanner feeds a channel so the loop can select against ctx: a
+	// signal interrupts the session even while blocked on input. (A reader
+	// parked on an un-closable stdin is released when the process exits.)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 
 	fmt.Fprintln(out, "wasmdb shell — SQL → WebAssembly → adaptive execution. \\q to quit.")
+loop:
 	for {
 		fmt.Fprintf(out, "%s> ", sh.backend)
-		if !sc.Scan() {
-			break
-		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "\\") {
-			if !sh.meta(line) {
-				break
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out, "\ninterrupted")
+			break loop
+		case raw, ok := <-lines:
+			if !ok {
+				break loop
 			}
-			continue
+			line := strings.TrimSpace(raw)
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "\\") {
+				if !sh.meta(line) {
+					break loop
+				}
+				continue
+			}
+			sh.runSQL(line)
 		}
-		sh.runSQL(line)
 	}
 	if sh.tracing {
 		if err := writeSessionTrace(tracePath, sh.traces); err != nil {
@@ -251,7 +346,9 @@ func (sh *shell) runSQL(src string) {
 		tr = wasmdb.NewTrace()
 		opts = append(opts, wasmdb.WithTrace(tr))
 	}
-	res, err := sh.db.Query(src, opts...)
+	// The session context flows into execution, so SIGINT aborts the query
+	// mid-morsel instead of waiting it out.
+	res, err := sh.db.QueryContext(sh.ctx, src, opts...)
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +35,7 @@ func TestReplSurvivesFailedQueries(t *testing.T) {
 		"\\q",
 	}, "\n")
 	var out strings.Builder
-	repl(db, strings.NewReader(script), &out, 0, "")
+	repl(context.Background(), db, strings.NewReader(script), &out, 0, "")
 	got := out.String()
 
 	if n := strings.Count(got, "error:"); n != 3 {
@@ -52,7 +58,7 @@ func TestReplSurvivesTimeout(t *testing.T) {
 	defer faultpoint.Disable("core-infinite-loop")
 
 	var out strings.Builder
-	repl(db, strings.NewReader(strings.Join([]string{
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t", // spins forever until the timeout fires
@@ -63,7 +69,7 @@ func TestReplSurvivesTimeout(t *testing.T) {
 
 	faultpoint.Disable("core-infinite-loop")
 	out.Reset()
-	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond, "")
+	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond, "")
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after timeout:\n%s", out.String())
 	}
@@ -77,7 +83,7 @@ func TestReplSurvivesEnginePanic(t *testing.T) {
 	defer faultpoint.Disable("engine-call-panic")
 
 	var out strings.Builder
-	repl(db, strings.NewReader(strings.Join([]string{
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t",
@@ -88,7 +94,7 @@ func TestReplSurvivesEnginePanic(t *testing.T) {
 
 	faultpoint.Disable("engine-call-panic")
 	out.Reset()
-	repl(db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0, "")
+	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0, "")
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after engine panic:\n%s", out.String())
 	}
@@ -100,7 +106,7 @@ func TestReplTraceExport(t *testing.T) {
 	db := wasmdb.Open()
 	path := filepath.Join(t.TempDir(), "out.json")
 	var out strings.Builder
-	repl(db, strings.NewReader(strings.Join([]string{
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1),(2),(3)",
 		"SELECT COUNT(*) FROM t",
@@ -150,7 +156,7 @@ func TestReplTraceExport(t *testing.T) {
 func TestReplExplainAnalyze(t *testing.T) {
 	db := wasmdb.Open()
 	var out strings.Builder
-	repl(db, strings.NewReader(strings.Join([]string{
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1),(2),(3)",
 		"explain analyze SELECT COUNT(*) FROM t",
@@ -167,7 +173,7 @@ func TestReplExplainAnalyze(t *testing.T) {
 func TestReplMetricsDump(t *testing.T) {
 	db := wasmdb.Open()
 	var out strings.Builder
-	repl(db, strings.NewReader(strings.Join([]string{
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t",
@@ -175,5 +181,99 @@ func TestReplMetricsDump(t *testing.T) {
 	}, "\n")), &out, 0, "")
 	if !strings.Contains(out.String(), "queries_total") {
 		t.Errorf("\\metrics dump missing queries_total:\n%s", out.String())
+	}
+}
+
+// TestReplInterrupt cancels the session context mid-stream — the SIGINT
+// path — and asserts the shell exits promptly and still runs its exit work
+// (the session trace is written, not abandoned).
+func TestReplInterrupt(t *testing.T) {
+	db := wasmdb.Open()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	path := filepath.Join(t.TempDir(), "out.json")
+
+	done := make(chan struct{})
+	var out strings.Builder
+	go func() {
+		defer close(done)
+		repl(ctx, db, pr, &out, 0, path)
+	}()
+	for _, line := range []string{
+		"CREATE TABLE t (a INT)\n",
+		"INSERT INTO t VALUES (1)\n",
+		"SELECT COUNT(*) FROM t\n",
+	} {
+		if _, err := io.WriteString(pw, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The scanner is now parked on the open pipe; only the context can end
+	// the session.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("repl did not exit on context cancellation")
+	}
+	pw.Close()
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("interrupt not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "query trace(s)") {
+		t.Errorf("session trace not written on interrupt:\n%s", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("trace file missing after interrupt: %v", err)
+	}
+}
+
+// TestServeGracefulShutdown boots the serve mode on an ephemeral port,
+// answers a query over HTTP, then delivers the shutdown signal (context
+// cancellation) and asserts a clean drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	db := wasmdb.Open()
+	if err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("INSERT INTO t VALUES (1),(2),(3)"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, db, ln, 5*time.Second, &out) }()
+
+	url := fmt.Sprintf("http://%s/v1/query", ln.Addr())
+	resp, err := http.Post(url, "application/json",
+		bytes.NewReader([]byte(`{"sql": "SELECT COUNT(*) FROM t"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"row_count":1`) {
+		t.Fatalf("query over HTTP: %d %s", resp.StatusCode, body)
+	}
+
+	cancel() // the signal
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve mode did not shut down on signal")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("drain not reported:\n%s", out.String())
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting connections after shutdown")
 	}
 }

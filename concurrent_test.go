@@ -1,0 +1,115 @@
+package wasmdb_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wasmdb"
+)
+
+// TestConcurrentMixedWorkload hammers one DB from many goroutines with a
+// mixed workload — ad-hoc queries, prepared statements with rotating
+// arguments, varying backends and parallelism, the plan cache on, all
+// parallel queries multiplexed over one shared scheduler — and checks every
+// result differentially against serial references computed up front.
+// Concurrency must never change an answer, and `-race` (make verify) must
+// stay silent.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	db := tpchDB(t)
+	sched := wasmdb.NewScheduler(4)
+
+	adhoc := []struct {
+		src     string
+		ordered bool
+	}{
+		{"SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 25", false},
+		{"SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag", false},
+		{"SELECT MIN(l_discount), MAX(l_discount) FROM lineitem", false},
+		{"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_extendedprice > 55000 ORDER BY l_extendedprice", true},
+	}
+	prepared := "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < ?"
+
+	// Serial references, computed before any concurrency starts.
+	refs := make(map[string]string)
+	for _, q := range adhoc {
+		res, err := db.Query(q.src)
+		if err != nil {
+			t.Fatalf("reference for %q: %v", q.src, err)
+		}
+		refs[q.src] = formatSorted(t, res, q.ordered)
+	}
+	for qty := int64(1); qty <= 8; qty++ {
+		src := fmt.Sprintf("SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < %d", qty)
+		res, err := db.Query(src)
+		if err != nil {
+			t.Fatalf("reference for qty=%d: %v", qty, err)
+		}
+		refs[fmt.Sprintf("stmt:%d", qty)] = formatSorted(t, res, false)
+	}
+
+	stmt, err := db.Prepare(prepared)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backends := []wasmdb.Backend{
+		wasmdb.BackendWasm, wasmdb.BackendWasmLiftoff, wasmdb.BackendWasmTurbofan,
+	}
+	const goroutines = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				opts := []wasmdb.Option{
+					wasmdb.WithBackend(backends[(g+i)%len(backends)]),
+					wasmdb.WithScheduler(sched),
+				}
+				if (g+i)%2 == 0 {
+					opts = append(opts, wasmdb.WithParallelism(2+(g+i)%3))
+				}
+				if i%3 == 0 {
+					// Prepared path: same plan fingerprint, rotating literal.
+					qty := int64(1 + (g*iters+i)%8)
+					res, err := stmt.QueryContext(context.Background(), []any{qty}, opts...)
+					if err != nil {
+						errs <- fmt.Errorf("g%d i%d stmt(%d): %w", g, i, qty, err)
+						continue
+					}
+					if got := formatSorted(t, res, false); got != refs[fmt.Sprintf("stmt:%d", qty)] {
+						errs <- fmt.Errorf("g%d i%d stmt(%d): concurrent result diverged from serial:\n%s", g, i, qty, clip(got))
+					}
+				} else {
+					q := adhoc[(g+i)%len(adhoc)]
+					res, err := db.Query(q.src, opts...)
+					if err != nil {
+						errs <- fmt.Errorf("g%d i%d %q: %w", g, i, q.src, err)
+						continue
+					}
+					if got := formatSorted(t, res, q.ordered); got != refs[q.src] {
+						errs <- fmt.Errorf("g%d i%d %q: concurrent result diverged from serial:\n%s", g, i, q.src, clip(got))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := sched.InUse(); got != 0 {
+		t.Errorf("shared scheduler leaked %d slots after the workload", got)
+	}
+	// The cache must have served the repeated shapes; a hit rate collapse
+	// under concurrency would mean fingerprint races evicted live entries.
+	cs := db.PlanCacheStats()
+	if cs.Hits == 0 {
+		t.Error("plan cache recorded zero hits across a repeated concurrent workload")
+	}
+}

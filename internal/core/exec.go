@@ -69,6 +69,14 @@ type ExecOptions struct {
 	// shared compiled module; pipelines whose state the host cannot merge
 	// fall back to serial execution (see ExecStats.SerialFallback).
 	Parallelism int
+	// Scheduler, when non-nil, is the shared global worker-slot pool that
+	// multiplexes morsel workers across concurrent queries: Parallelism
+	// becomes a request, the scheduler's lease decides the actual pool size,
+	// and a denied lease forces serial execution with the
+	// "worker-slots-exhausted" fallback recorded. Revoked slots are given
+	// back at morsel boundaries (see Scheduler). nil keeps per-query
+	// parallelism ungoverned, as before.
+	Scheduler *Scheduler
 	// Precompiled, when non-nil, is an already-compiled engine module for
 	// cq.Bin (a plan-cache hit): Execute skips engine compilation entirely —
 	// no decode/validate/liftoff spans are recorded and the returned stats
@@ -251,6 +259,22 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	mode, fallback := classifyParallel(cq, opt, workers, limit)
 	if mode == parNone {
 		workers = 1
+	}
+	// Under a shared scheduler the classified worker count is a request:
+	// the lease grants what the pool's fair share allows right now. A
+	// denied lease (no extra slots, or not even one after rebalancing) is
+	// the forced serial fallback — recorded like every other fallback,
+	// never silent.
+	var lease *Lease
+	if workers > 1 && opt.Scheduler != nil {
+		lease = opt.Scheduler.Acquire(workers)
+		if lease == nil {
+			mode, workers = parNone, 1
+			fallback = fallbackSlots
+		} else {
+			workers = 1 + lease.Extras()
+			defer lease.Release()
+		}
 	}
 	stats.Workers = workers
 	stats.SerialFallback = fallback
@@ -472,6 +496,14 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 			go func(w *worker) {
 				defer wg.Done()
 				for !stopFlag.Load() {
+					if lease.ShouldYield(w.id) {
+						// The scheduler revoked this worker's slot for a
+						// newer query's fair share: retire at the morsel
+						// boundary. Remaining workers keep claiming morsels,
+						// and this worker's partial state is still merged at
+						// the barrier, so results are unchanged.
+						return
+					}
 					if err := canceled(); err != nil {
 						fail(err)
 						return

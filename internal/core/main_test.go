@@ -1,0 +1,13 @@
+package core
+
+import (
+	"testing"
+
+	"wasmdb/internal/leakcheck"
+)
+
+// TestMain sweeps the whole package — the parallel executor's worker pools,
+// cancellation watchdogs, and background tier-up goroutines — for leaked
+// goroutines after the suite finishes (see internal/leakcheck). Runs under
+// -race in `make verify`.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -65,6 +65,10 @@ const (
 	fallbackFloatSum    = "float-sum-order"
 	fallbackFloatKey    = "float-group-key"
 	fallbackUnmergeable = "unmergeable-pipeline-state"
+	// fallbackSlots reports that the shared global scheduler had no worker
+	// slots to grant — the query was parallel-eligible but the pool's fair
+	// share under the current inter-query load is serial execution.
+	fallbackSlots = "worker-slots-exhausted"
 )
 
 // classifyParallel decides whether the compiled query's pipelines can be

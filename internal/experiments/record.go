@@ -34,6 +34,18 @@ type Record struct {
 	// Fallback is the serial-fallback reason reported by the executor
 	// (empty when the run parallelized as classified).
 	Fallback string `json:"fallback,omitempty"`
+	// Serving-experiment fields (BENCH_serving.json), one record per
+	// concurrency level of the load harness. The four rate/latency fields
+	// are deliberately not omitempty: a 0.0 rejection rate at low
+	// concurrency is a measurement, not a missing value.
+	Concurrency      int     `json:"concurrency,omitempty"`
+	Requests         int     `json:"requests,omitempty"`
+	Rejected         int     `json:"rejected,omitempty"`
+	P50Ns            int64   `json:"p50_ns,omitempty"`
+	ThroughputQPS    float64 `json:"throughput_qps"`
+	P99Ns            int64   `json:"p99_ns"`
+	RejectionRate    float64 `json:"rejection_rate"`
+	PlanCacheHitRate float64 `json:"plancache_hit_rate"`
 }
 
 func recordFromTimings(name, backend string, rows int, tm Timings) Record {

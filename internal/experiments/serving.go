@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"wasmdb"
+	"wasmdb/internal/server"
+	"wasmdb/internal/workload"
+)
+
+// Serving measures the concurrent query service under a k6-style ramping
+// load: a small server (2 execution slots, a 2-deep admission queue, a
+// shared 2-slot morsel scheduler) is driven at 1, 4, and 8 virtual users —
+// the top stage saturating it at 4x capacity — with parameterized TPC-H
+// point queries churning the plan cache. One record per concurrency level:
+// throughput, p50/p99 latency, the explicit-rejection rate (which must be
+// zero when under-provisioned clients arrive and non-zero at saturation —
+// shedding, not queueing), and the plan-cache hit rate under churn.
+func Serving(o Options) ([]Record, error) {
+	o.norm()
+	db := wasmdb.Open()
+	if err := db.LoadTPCH(o.SF, 42); err != nil {
+		return nil, err
+	}
+	cfg := server.Config{
+		MaxConcurrent: 2,
+		MaxQueue:      2,
+		QueueTimeout:  100 * time.Millisecond,
+		QueryTimeout:  10 * time.Second,
+		WorkerSlots:   2,
+	}
+	srv := server.New(db, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		hs.Close()
+	}()
+	client := hs.Client()
+
+	post := func(ctx context.Context, path string, body any) (int, map[string]any, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, "POST", hs.URL+path, bytes.NewReader(b))
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp.StatusCode, m, nil
+	}
+
+	// One session per VU, parallelism 2, so concurrent queries contend for
+	// the shared scheduler's slots and exercise the worker-slots fallback.
+	levels := []int{1, 4, 8}
+	maxVUs := levels[len(levels)-1]
+	sessions := make([]string, maxVUs)
+	for i := range sessions {
+		status, m, err := post(context.Background(), "/v1/session", nil)
+		if err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("serving: session create: %d %v %v", status, m, err)
+		}
+		sessions[i] = m["session"].(string)
+		status, m, err = post(context.Background(), "/v1/set",
+			map[string]string{"session": sessions[i], "key": "parallelism", "value": "2"})
+		if err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("serving: session set: %d %v %v", status, m, err)
+		}
+	}
+
+	// Parameterized point queries over lineitem: three shapes, a rotating
+	// literal each iteration — after three cold misses everything should be
+	// a plan-cache hit despite the churn in constants.
+	shapes := []string{
+		"SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < ?",
+		"SELECT COUNT(*), SUM(l_discount) FROM lineitem WHERE l_quantity < ?",
+		"SELECT MIN(l_extendedprice), MAX(l_extendedprice) FROM lineitem WHERE l_quantity < ?",
+	}
+	var iterSeq atomic.Int64
+	iter := func(ctx context.Context, vu int) error {
+		n := iterSeq.Add(1)
+		body := map[string]any{
+			"session": sessions[vu],
+			"sql":     shapes[int(n)%len(shapes)],
+			"args":    []any{1 + n%50},
+		}
+		status, m, err := post(ctx, "/v1/query", body)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("%v: %w", m["code"], workload.ErrRejected)
+		default:
+			return fmt.Errorf("serving: query failed: %d %v", status, m)
+		}
+	}
+
+	var recs []Record
+	for _, vus := range levels {
+		before := db.PlanCacheStats()
+		stats := workload.RunLoad(context.Background(),
+			workload.LoadSpec{Stages: []workload.Stage{{Duration: 450 * time.Millisecond, VUs: vus}}}, iter)
+		after := db.PlanCacheStats()
+
+		if stats.Failed > 0 {
+			return nil, fmt.Errorf("serving: %d requests failed outright at %d VUs (want success or explicit rejection only)",
+				stats.Failed, vus)
+		}
+		if stats.Completed == 0 {
+			return nil, fmt.Errorf("serving: nothing completed at %d VUs", vus)
+		}
+		if vus >= 4*cfg.MaxConcurrent && stats.Rejected == 0 {
+			return nil, fmt.Errorf("serving: zero rejections at %d VUs on %d slots — admission control did not shed",
+				vus, cfg.MaxConcurrent)
+		}
+
+		lookups := float64(after.Hits - before.Hits + after.Misses - before.Misses)
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = float64(after.Hits-before.Hits) / lookups
+		}
+		recs = append(recs, Record{
+			Name:             fmt.Sprintf("serving:c%d", vus),
+			Backend:          "mutable",
+			Concurrency:      vus,
+			Requests:         stats.Requests(),
+			Rejected:         stats.Rejected,
+			ThroughputQPS:    stats.Throughput(),
+			P50Ns:            stats.Percentile(0.50).Nanoseconds(),
+			P99Ns:            stats.Percentile(0.99).Nanoseconds(),
+			RejectionRate:    stats.RejectionRate(),
+			PlanCacheHitRate: hitRate,
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,88 @@
+// Package leakcheck asserts that a test (or a whole test binary) leaves no
+// goroutines running in wasmdb code — the goleak-style sweep behind the
+// parallel executor's and the query service's `-race` verification.
+//
+// The filter is ownership-based rather than allowlist-based: a goroutine
+// counts as a leak only when its stack mentions a wasmdb package, so stdlib
+// background machinery (the test runner, net/http transports, timers) never
+// produces false positives, and any abandoned worker, watchdog, or server
+// goroutine of ours always does. Checks poll briefly before failing, since
+// legitimate background work (tier-up compiles, draining workers) may still
+// be retiring when a test returns.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies our frames in goroutine stacks.
+const modulePrefix = "wasmdb/"
+
+// settle is how long a check polls for stragglers before declaring a leak.
+const settle = 5 * time.Second
+
+// leaked returns the stacks of goroutines currently executing (or created
+// by) wasmdb code, excluding the calling goroutine and this package.
+func leaked() []string {
+	buf := make([]byte, 1<<22)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		if strings.Contains(g, modulePrefix+"internal/leakcheck") {
+			continue // the goroutine running this check
+		}
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testing.runFuzzing") {
+			continue // a test body itself (e.g. a parallel sibling)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// wait polls until no wasmdb goroutines remain or the deadline passes, and
+// returns the survivors' stacks.
+func wait(d time.Duration) []string {
+	deadline := time.Now().Add(d)
+	for {
+		gs := leaked()
+		if len(gs) == 0 || time.Now().After(deadline) {
+			return gs
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Check fails t if wasmdb goroutines are still running once the settle
+// window expires. Call it via defer (or t.Cleanup) at the end of a test
+// that spawns workers, watchdogs, or servers.
+func Check(t testing.TB) {
+	t.Helper()
+	if gs := wait(settle); len(gs) > 0 {
+		t.Errorf("leakcheck: %d goroutine(s) still running wasmdb code:\n\n%s",
+			len(gs), strings.Join(gs, "\n\n"))
+	}
+}
+
+// Main wraps a package's TestMain: it runs the suite, then sweeps for
+// leaked wasmdb goroutines and turns survivors into a test-binary failure.
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if gs := wait(settle); len(gs) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked past the test suite:\n\n%s\n",
+				len(gs), strings.Join(gs, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -28,6 +28,26 @@ const (
 	MetricPlanCacheMisses        = "plancache_misses_total"
 	MetricPlanCacheEvictions     = "plancache_evictions_total"
 	MetricPlanCacheInvalidations = "plancache_invalidations_total"
+
+	// Global morsel scheduler: leases granted, parallel requests denied
+	// (forced-serial fallback), slots revoked at morsel boundaries for a
+	// newer query's fair share, and the pool's free-slot gauge.
+	MetricSchedLeases     = "sched_leases_total"
+	MetricSchedDenied     = "sched_denied_total"
+	MetricSchedYields     = "sched_yields_total"
+	MetricSchedSlotsAvail = "sched_slots_avail"
+
+	// Query service: admission outcomes ("server_rejected_total.<reason>"
+	// carries queue-full, queue-timeout, session-quota, shutdown,
+	// faultpoint), queue and in-flight gauges, session count, and the
+	// admission-wait / end-to-end latency histograms.
+	MetricServerAdmitted      = "server_admitted_total"
+	MetricServerRejected      = "server_rejected_total" // + "." + reason
+	MetricServerQueueDepth    = "server_queue_depth"
+	MetricServerActive        = "server_active_queries"
+	MetricServerSessions      = "server_sessions"
+	MetricServerAdmissionWait = "server_admission_wait_ns"
+	MetricServerQueryLatency  = "server_query_latency_ns"
 )
 
 // Counter is a monotonically increasing atomic count.

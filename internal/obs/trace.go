@@ -43,6 +43,9 @@ const (
 	// draining per-worker partial group states (or sorted runs), folding
 	// them, and feeding the result into the primary worker.
 	SpanMerge = "merge"
+	// SpanAdmission covers the time a request spent waiting in the query
+	// service's bounded admission queue before execution began.
+	SpanAdmission = "admission"
 )
 
 // Point-event names.

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrRejected marks a request the server shed on purpose (admission
+// rejection, queue overflow, quota). Load iterations returning it — or
+// wrapping it — count as rejections, not failures: under a saturating
+// stage, rejections are the system working as designed.
+var ErrRejected = errors.New("request rejected by admission control")
+
+// Stage is one step of a k6-style ramp: VUs concurrent virtual users
+// issuing requests back-to-back for Duration.
+type Stage struct {
+	Duration time.Duration
+	VUs      int
+}
+
+// LoadSpec is a ramping load profile: stages run in order, each holding its
+// VU count for its duration.
+type LoadSpec struct {
+	Stages []Stage
+}
+
+// LoadStats aggregates one load run.
+type LoadStats struct {
+	// Completed, Rejected, and Failed partition the finished iterations:
+	// success, deliberate shedding (ErrRejected), and everything else.
+	Completed int
+	Rejected  int
+	Failed    int
+	// Samples holds per-iteration latencies of completed requests, sorted
+	// ascending after the run.
+	Samples []time.Duration
+	// Elapsed is the whole run's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Requests is the total number of finished iterations.
+func (s *LoadStats) Requests() int { return s.Completed + s.Rejected + s.Failed }
+
+// Throughput is completed requests per second over the run.
+func (s *LoadStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Elapsed.Seconds()
+}
+
+// RejectionRate is the shed fraction of all finished iterations.
+func (s *LoadStats) RejectionRate() float64 {
+	if s.Requests() == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(s.Requests())
+}
+
+// Percentile returns the q-th latency quantile (q in [0,1], nearest-rank)
+// of completed requests, 0 when none completed.
+func (s *LoadStats) Percentile(q float64) time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(s.Samples)) + 0.5)
+	if i >= len(s.Samples) {
+		i = len(s.Samples) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return s.Samples[i]
+}
+
+// RunLoad drives iter through the spec's stages: each stage holds its VU
+// count, every VU loops iter back-to-back until the stage ends. iter
+// classifies its outcome by returned error — nil (completed), ErrRejected
+// (shed), anything else (failed). Canceling ctx ends the run early;
+// in-flight iterations finish before RunLoad returns, so no goroutines
+// outlive it.
+func RunLoad(ctx context.Context, spec LoadSpec, iter func(ctx context.Context, vu int) error) *LoadStats {
+	var (
+		mu    sync.Mutex
+		stats LoadStats
+	)
+	start := time.Now()
+	for _, stage := range spec.Stages {
+		if ctx.Err() != nil {
+			break
+		}
+		stageCtx, cancel := context.WithTimeout(ctx, stage.Duration)
+		var wg sync.WaitGroup
+		for vu := 0; vu < stage.VUs; vu++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for stageCtx.Err() == nil {
+					t0 := time.Now()
+					err := iter(stageCtx, vu)
+					d := time.Since(t0)
+					if err != nil && stageCtx.Err() != nil && !errors.Is(err, ErrRejected) {
+						// The stage clock (or the caller) ended this
+						// iteration mid-flight; it is neither a success
+						// nor a server verdict. Drop it.
+						return
+					}
+					mu.Lock()
+					switch {
+					case err == nil:
+						stats.Completed++
+						stats.Samples = append(stats.Samples, d)
+					case errors.Is(err, ErrRejected):
+						stats.Rejected++
+					default:
+						stats.Failed++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+	}
+	stats.Elapsed = time.Since(start)
+	sort.Slice(stats.Samples, func(i, j int) bool { return stats.Samples[i] < stats.Samples[j] })
+	return &stats
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLoadClassifiesOutcomes(t *testing.T) {
+	var n atomic.Int64
+	stats := RunLoad(context.Background(), LoadSpec{Stages: []Stage{{Duration: 80 * time.Millisecond, VUs: 4}}},
+		func(ctx context.Context, vu int) error {
+			time.Sleep(time.Millisecond)
+			switch n.Add(1) % 3 {
+			case 0:
+				return fmt.Errorf("shed: %w", ErrRejected)
+			case 1:
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if stats.Completed == 0 || stats.Rejected == 0 || stats.Failed == 0 {
+		t.Fatalf("outcomes not partitioned: %+v", stats)
+	}
+	if got := stats.Requests(); got != stats.Completed+stats.Rejected+stats.Failed {
+		t.Errorf("Requests() = %d, want the partition sum", got)
+	}
+	if len(stats.Samples) != stats.Completed {
+		t.Errorf("%d samples for %d completions", len(stats.Samples), stats.Completed)
+	}
+	if stats.Throughput() <= 0 {
+		t.Errorf("Throughput() = %v, want > 0", stats.Throughput())
+	}
+	if r := stats.RejectionRate(); r <= 0 || r >= 1 {
+		t.Errorf("RejectionRate() = %v, want in (0,1)", r)
+	}
+}
+
+func TestRunLoadStagesRampVUs(t *testing.T) {
+	var peak, cur atomic.Int64
+	spec := LoadSpec{Stages: []Stage{
+		{Duration: 40 * time.Millisecond, VUs: 1},
+		{Duration: 40 * time.Millisecond, VUs: 6},
+	}}
+	stats := RunLoad(context.Background(), spec, func(ctx context.Context, vu int) error {
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if peak.Load() != 6 {
+		t.Errorf("peak concurrency %d, want 6 (ramp did not reach stage 2)", peak.Load())
+	}
+	if stats.Completed == 0 {
+		t.Error("no iterations completed")
+	}
+	if cur.Load() != 0 {
+		t.Errorf("%d iterations still in flight after RunLoad returned", cur.Load())
+	}
+}
+
+func TestRunLoadPercentiles(t *testing.T) {
+	s := &LoadStats{}
+	for i := 1; i <= 100; i++ {
+		s.Samples = append(s.Samples, time.Duration(i)*time.Millisecond)
+	}
+	if got := s.Percentile(0.50); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(0.99); got < 98*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := (&LoadStats{}).Percentile(0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
+
+func TestRunLoadCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	start := time.Now()
+	RunLoad(ctx, LoadSpec{Stages: []Stage{{Duration: 10 * time.Second, VUs: 2}}},
+		func(ctx context.Context, vu int) error { time.Sleep(time.Millisecond); return nil })
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled run took %v, want prompt exit", d)
+	}
+}

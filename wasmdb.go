@@ -255,6 +255,7 @@ type queryOpts struct {
 	trace        *obs.Trace
 	parallelism  int
 	planCacheOff bool
+	scheduler    *core.Scheduler
 }
 
 // Trace is a query-scoped recording of timed spans (parse, compile tiers,
@@ -322,6 +323,25 @@ func WithParallelism(n int) Option {
 		o.parallelism = n
 	}
 }
+
+// Scheduler is a shared global morsel worker-slot pool: attach one (via
+// WithScheduler) to every query of a concurrent workload and intra-query
+// worker pools are multiplexed across queries with fair time-slicing —
+// WithParallelism becomes a request, the scheduler's fair share under the
+// current load decides the grant, and slots of long-running queries are
+// revoked at morsel boundaries when newer queries arrive. A query denied
+// even one extra worker runs serially with Stats.SerialFallback =
+// "worker-slots-exhausted". A Scheduler is safe for concurrent use.
+type Scheduler = core.Scheduler
+
+// NewScheduler creates a worker-slot pool of the given size (<= 0 means
+// GOMAXPROCS). Slots count extra workers beyond each query's own goroutine.
+func NewScheduler(slots int) *Scheduler { return core.NewScheduler(slots) }
+
+// WithScheduler places the query's morsel workers under the shared global
+// scheduler: the effective pool size becomes min(WithParallelism request,
+// the scheduler's fair-share grant). Applies to the Wasm backends.
+func WithScheduler(s *Scheduler) Option { return func(o *queryOpts) { o.scheduler = s } }
 
 // WithTrace records the query's full execution timeline — phase spans,
 // tier-up events, memory growth, fuel checkpoints — into tr. The query
@@ -718,6 +738,7 @@ func (db *DB) queryContext(ctx context.Context, src string, args []types.Value, 
 			Fuel:              o.fuel,
 			MemoryBudgetPages: o.memBudget,
 			Parallelism:       o.parallelism,
+			Scheduler:         o.scheduler,
 			Trace:             tr,
 			// A cache-managed module skips the per-query compile entirely.
 			Precompiled: mod,
