@@ -50,12 +50,22 @@ lint-layers:
 # bench-smoke runs one micro-benchmark per backend at a small scale, the
 # 1/2/4-worker scaling experiment, the plan-cache cold/warm experiment, and
 # the concurrent-serving load experiment (throughput/p99/rejection-rate at
-# 1/4/8 virtual users against a 2-slot server), and validates that the
-# emitted BENCH_*.json parse (the bench binary re-reads and unmarshals what
-# it wrote).
+# 1/4/8 virtual users against a 2-slot server, plus the telemetry-overhead
+# probe, which fails the run above a 5% p50 regression), and validates that
+# the emitted BENCH_*.json parse (the bench binary re-reads and unmarshals
+# what it wrote). It then asserts the disabled-tracer contract on the morsel
+# dispatch path: with no trace attached the telemetry must cost only a nil
+# check, so traced-vs-untraced overhead stays ≈0% (≤5% allows timer noise).
 bench-smoke:
 	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache,serving -rows 100000 -reps 1 -sf 0.01 -json
 	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json BENCH_serving.json
+	@$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkMorselDispatch(Untraced|Traced)$$' -benchtime 200x -count 3 \
+		| awk '/DispatchUntraced/ { if (u==0 || $$3<u) u=$$3 } \
+		       /DispatchTraced/   { if (t==0 || $$3<t) t=$$3 } \
+		       END { if (u==0 || t==0) { print "bench-smoke: missing morsel-dispatch benchmark output" > "/dev/stderr"; exit 1 } \
+		             pct=(t-u)*100.0/u; \
+		             printf "bench-smoke: morsel-dispatch tracer overhead %.1f%% (untraced %d ns/op, traced %d ns/op)\n", pct, u, t; \
+		             if (pct > 5) { print "bench-smoke: tracer overhead exceeds the ≈0% budget" > "/dev/stderr"; exit 1 } }'
 
 # fuzz the adversarial-module executor for a short budget.
 fuzz:

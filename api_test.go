@@ -54,11 +54,11 @@ func TestAPIErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []string{
-		"SELECT b FROM e",                 // unknown column
-		"SELECT a FROM missing",           // unknown table
-		"SELECT a FROM",                   // parse error
-		"SELECT a FROM e HAVING a > 1",    // unsupported clause
-		"SELECT a, COUNT(*) FROM e",       // non-grouped column
+		"SELECT b FROM e",                       // unknown column
+		"SELECT a FROM missing",                 // unknown table
+		"SELECT a FROM",                         // parse error
+		"SELECT a FROM e HAVING a > 1",          // unsupported clause
+		"SELECT a, COUNT(*) FROM e",             // non-grouped column
 		"SELECT SUM(a) FROM e WHERE SUM(a) > 0", // aggregate in WHERE
 	}
 	for _, src := range cases {

@@ -8,6 +8,11 @@
 //	                       # JSON on exit (open in Perfetto)
 //	wasmdb -serve :8080    # HTTP query service with admission control
 //	wasmdb -serve :8080 -drain 30s  # drain deadline for graceful shutdown
+//	wasmdb -querylog q.jsonl        # structured query log, one JSON record
+//	                                # per query (both modes)
+//	wasmdb -slow 100ms              # slow-query threshold for log promotion
+//	                                # and flight-recorder capture
+//	wasmdb -serve :8080 -pprof      # expose net/http/pprof under /debug/pprof/
 //
 // Both modes shut down gracefully on SIGINT/SIGTERM: the shell cancels any
 // running query and still writes its session trace; the server stops
@@ -29,6 +34,9 @@
 //	\wat <sql>            dump the generated WebAssembly (text form)
 //	\timing               toggle per-query phase timings
 //	\metrics              dump the process-wide metrics registry
+//	\flightrec [file]     dump the session flight recorder (slow, errored,
+//	                      and sampled queries) as Chrome trace_event JSON,
+//	                      to the terminal or to file
 //	\tpch <id>            run a built-in TPC-H query (Q1, Q3, Q6, Q12, Q14)
 //	\q                    quit
 package main
@@ -36,6 +44,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +69,9 @@ func main() {
 	tracePath := flag.String("trace", "", "record every query and write Chrome trace_event JSON here on exit")
 	serveAddr := flag.String("serve", "", "run as an HTTP query service on this address instead of the shell")
 	drain := flag.Duration("drain", 15*time.Second, "serve mode: how long shutdown waits for in-flight queries before canceling them")
+	querylog := flag.String("querylog", "", "append one JSON record per query to this file (structured query log)")
+	slow := flag.Duration("slow", 500*time.Millisecond, "slow-query threshold for query-log promotion and flight-recorder capture")
+	pprofFlag := flag.Bool("pprof", false, "serve mode: expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	db := wasmdb.Open()
@@ -74,28 +86,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var qlogFile *os.File
+	if *querylog != "" {
+		var err error
+		qlogFile, err = os.OpenFile(*querylog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer qlogFile.Close()
+	}
+
 	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		cfg := server.Config{SlowQuery: *slow, EnablePprof: *pprofFlag}
+		if qlogFile != nil {
+			cfg.QueryLogWriter = qlogFile
+		}
 		fmt.Printf("serving on http://%s (drain %v)\n", ln.Addr(), *drain)
-		if err := serveOn(ctx, db, ln, *drain, os.Stdout); err != nil {
+		if err := serveOn(ctx, db, ln, cfg, *drain, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	repl(ctx, db, os.Stdin, os.Stdout, *timeout, *tracePath)
+	repl(ctx, db, os.Stdin, os.Stdout, replConfig{
+		timeout:   *timeout,
+		tracePath: *tracePath,
+		slow:      *slow,
+		qlogFile:  qlogFile,
+	})
 }
 
 // serveOn runs the query service on ln until ctx is canceled (SIGINT or
 // SIGTERM), then shuts down gracefully: stop admitting, drain in-flight
 // queries under the drain deadline, cancel stragglers through the context
 // plumbing, and only then close the HTTP listener.
-func serveOn(ctx context.Context, db *wasmdb.DB, ln net.Listener, drain time.Duration, out io.Writer) error {
-	srv := server.New(db, server.Config{})
+func serveOn(ctx context.Context, db *wasmdb.DB, ln net.Listener, cfg server.Config, drain time.Duration, out io.Writer) error {
+	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -124,6 +156,17 @@ func serveOn(ctx context.Context, db *wasmdb.DB, ln net.Listener, drain time.Dur
 	return nil
 }
 
+// replConfig carries the shell's flag-derived settings.
+type replConfig struct {
+	timeout   time.Duration
+	tracePath string
+	// slow is the threshold above which a query is promoted into the query
+	// log and captured by the session flight recorder.
+	slow time.Duration
+	// qlogFile, when non-nil, receives one JSON record per query.
+	qlogFile *os.File
+}
+
 // shell holds the REPL's mutable session state.
 type shell struct {
 	db  *wasmdb.DB
@@ -133,6 +176,13 @@ type shell struct {
 	backend wasmdb.Backend
 	timing  bool
 	timeout time.Duration
+	// slow is the flight-recorder / query-log slow threshold.
+	slow time.Duration
+	// frec captures slow, errored, and 1-in-N sampled queries for \flightrec.
+	frec *wasmdb.FlightRecorder
+	// qlogEnc, when set, appends one JSON query-log record per query
+	// (the shell is single-threaded, so a bare encoder suffices).
+	qlogEnc *json.Encoder
 	// parallelism is the morsel worker-pool size for Wasm-backed queries
 	// (0 or 1 = serial execution, matching the engine default).
 	parallelism int
@@ -153,8 +203,19 @@ type shell struct {
 // (-trace) is written even on interrupt. With a non-empty tracePath, every
 // query is traced and the session's timeline is written there as Chrome
 // trace_event JSON when the loop ends.
-func repl(ctx context.Context, db *wasmdb.DB, in io.Reader, out io.Writer, timeout time.Duration, tracePath string) {
-	sh := &shell{db: db, ctx: ctx, out: out, backend: wasmdb.BackendWasm, timeout: timeout, tracing: tracePath != ""}
+func repl(ctx context.Context, db *wasmdb.DB, in io.Reader, out io.Writer, cfg replConfig) {
+	tracePath := cfg.tracePath
+	sh := &shell{
+		db: db, ctx: ctx, out: out,
+		backend: wasmdb.BackendWasm,
+		timeout: cfg.timeout,
+		tracing: tracePath != "",
+		slow:    cfg.slow,
+		frec:    wasmdb.NewFlightRecorder(256, 64),
+	}
+	if cfg.qlogFile != nil {
+		sh.qlogEnc = json.NewEncoder(cfg.qlogFile)
+	}
 
 	// The scanner feeds a channel so the loop can select against ctx: a
 	// signal interrupts the session even while blocked on input. (A reader
@@ -231,6 +292,31 @@ func (sh *shell) meta(line string) bool {
 		fmt.Fprintf(sh.out, "timing %v\n", sh.timing)
 	case "\\metrics":
 		fmt.Fprint(sh.out, sh.db.Metrics().Dump())
+	case "\\flightrec":
+		if sh.frec.Len() == 0 {
+			fmt.Fprintln(sh.out, "flight recorder is empty (captures slow, errored, and 1-in-64 sampled queries)")
+			return true
+		}
+		if arg == "" {
+			if err := sh.frec.WriteTraceEvents(sh.out); err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
+			}
+			fmt.Fprintln(sh.out)
+			return true
+		}
+		f, err := os.Create(arg)
+		if err == nil {
+			err = sh.frec.WriteTraceEvents(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		} else {
+			fmt.Fprintf(sh.out, "wrote %d captured quer%s to %s\n",
+				sh.frec.Len(), map[bool]string{true: "y", false: "ies"}[sh.frec.Len() == 1], arg)
+		}
 	case "\\backend":
 		switch arg {
 		case "wasm", "adaptive":
@@ -299,7 +385,7 @@ func (sh *shell) meta(line string) bool {
 		fmt.Fprintln(sh.out, src)
 		sh.runSQL(src)
 	default:
-		fmt.Fprintln(sh.out, "meta commands: \\backend, \\set, \\explain, \\wat, \\timing, \\metrics, \\tpch, \\q")
+		fmt.Fprintln(sh.out, "meta commands: \\backend, \\set, \\explain, \\wat, \\timing, \\metrics, \\flightrec, \\tpch, \\q")
 	}
 	return true
 }
@@ -346,6 +432,20 @@ func (sh *shell) runSQL(src string) {
 		tr = wasmdb.NewTrace()
 		opts = append(opts, wasmdb.WithTrace(tr))
 	}
+	// Feed every query into the session telemetry: slow classification
+	// against -slow, the flight recorder behind \flightrec, and the
+	// structured query log when -querylog is set.
+	opts = append(opts, wasmdb.WithQueryLog(func(rec wasmdb.QueryLogRecord) {
+		if sh.slow > 0 && rec.TotalNs >= sh.slow.Nanoseconds() {
+			rec.Slow = true
+		}
+		sh.frec.Observe(rec)
+		if sh.qlogEnc != nil {
+			if err := sh.qlogEnc.Encode(rec); err != nil {
+				fmt.Fprintln(sh.out, "querylog error:", err)
+			}
+		}
+	}))
 	// The session context flows into execution, so SIGINT aborts the query
 	// mid-morsel instead of waiting it out.
 	res, err := sh.db.QueryContext(sh.ctx, src, opts...)

@@ -17,6 +17,7 @@ import (
 
 	"wasmdb"
 	"wasmdb/internal/faultpoint"
+	"wasmdb/internal/server"
 )
 
 // TestReplSurvivesFailedQueries drives a scripted session through every
@@ -35,7 +36,7 @@ func TestReplSurvivesFailedQueries(t *testing.T) {
 		"\\q",
 	}, "\n")
 	var out strings.Builder
-	repl(context.Background(), db, strings.NewReader(script), &out, 0, "")
+	repl(context.Background(), db, strings.NewReader(script), &out, replConfig{})
 	got := out.String()
 
 	if n := strings.Count(got, "error:"); n != 3 {
@@ -62,14 +63,14 @@ func TestReplSurvivesTimeout(t *testing.T) {
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t", // spins forever until the timeout fires
-	}, "\n")), &out, 50*time.Millisecond, "")
+	}, "\n")), &out, replConfig{timeout: 50 * time.Millisecond})
 	if !strings.Contains(out.String(), "deadline exceeded") {
 		t.Errorf("timeout not reported:\n%s", out.String())
 	}
 
 	faultpoint.Disable("core-infinite-loop")
 	out.Reset()
-	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 50*time.Millisecond, "")
+	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, replConfig{timeout: 50 * time.Millisecond})
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after timeout:\n%s", out.String())
 	}
@@ -87,14 +88,14 @@ func TestReplSurvivesEnginePanic(t *testing.T) {
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t",
-	}, "\n")), &out, 0, "")
+	}, "\n")), &out, replConfig{})
 	if !strings.Contains(out.String(), "error:") {
 		t.Errorf("engine panic not reported as error:\n%s", out.String())
 	}
 
 	faultpoint.Disable("engine-call-panic")
 	out.Reset()
-	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, 0, "")
+	repl(context.Background(), db, strings.NewReader("SELECT COUNT(*) FROM t"), &out, replConfig{})
 	if !strings.Contains(out.String(), "(1 rows)") {
 		t.Errorf("shell unusable after engine panic:\n%s", out.String())
 	}
@@ -112,7 +113,7 @@ func TestReplTraceExport(t *testing.T) {
 		"SELECT COUNT(*) FROM t",
 		"SELECT a FROM t",
 		"\\q",
-	}, "\n")), &out, 0, path)
+	}, "\n")), &out, replConfig{tracePath: path})
 
 	if !strings.Contains(out.String(), "wrote 2 query trace(s)") {
 		t.Errorf("trace write not reported:\n%s", out.String())
@@ -160,7 +161,7 @@ func TestReplExplainAnalyze(t *testing.T) {
 		"CREATE TABLE t (a INT)",
 		"INSERT INTO t VALUES (1),(2),(3)",
 		"explain analyze SELECT COUNT(*) FROM t",
-	}, "\n")), &out, 0, "")
+	}, "\n")), &out, replConfig{})
 	got := out.String()
 	for _, want := range []string{"phases:", "totals:", "morsels"} {
 		if !strings.Contains(got, want) {
@@ -178,9 +179,72 @@ func TestReplMetricsDump(t *testing.T) {
 		"INSERT INTO t VALUES (1)",
 		"SELECT COUNT(*) FROM t",
 		"\\metrics",
-	}, "\n")), &out, 0, "")
+	}, "\n")), &out, replConfig{})
 	if !strings.Contains(out.String(), "queries_total") {
 		t.Errorf("\\metrics dump missing queries_total:\n%s", out.String())
+	}
+}
+
+// TestReplFlightRecorderAndQueryLog: errored queries land in the session
+// flight recorder (dumpable via \flightrec, to the terminal or a file), and
+// -querylog appends one JSON record per query — including failures.
+func TestReplFlightRecorderAndQueryLog(t *testing.T) {
+	db := wasmdb.Open()
+	qlogPath := filepath.Join(t.TempDir(), "queries.jsonl")
+	qlogFile, err := os.OpenFile(qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qlogFile.Close()
+	dumpPath := filepath.Join(t.TempDir(), "flight.json")
+
+	var out strings.Builder
+	repl(context.Background(), db, strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (1),(2),(3)",
+		"SELECT COUNT(*) FROM t",
+		"SELECT missing FROM t", // errored → always captured
+		"\\flightrec " + dumpPath,
+		"\\q",
+	}, "\n")), &out, replConfig{qlogFile: qlogFile})
+
+	if !strings.Contains(out.String(), "captured") {
+		t.Errorf("\\flightrec wrote nothing:\n%s", out.String())
+	}
+	b, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatalf("flight dump is not valid trace JSON: %v", err)
+	}
+
+	logBytes, err := os.ReadFile(qlogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logBytes)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("query log has %d records, want 2:\n%s", len(lines), logBytes)
+	}
+	var sawError bool
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("query-log line is not JSON: %v\n%s", err, line)
+		}
+		if rec["query_hash"] == nil || rec["sql"] == nil {
+			t.Errorf("record missing identity fields: %v", rec)
+		}
+		if rec["error"] != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Error("errored query produced no query-log record")
 	}
 }
 
@@ -197,7 +261,7 @@ func TestReplInterrupt(t *testing.T) {
 	var out strings.Builder
 	go func() {
 		defer close(done)
-		repl(ctx, db, pr, &out, 0, path)
+		repl(ctx, db, pr, &out, replConfig{tracePath: path})
 	}()
 	for _, line := range []string{
 		"CREATE TABLE t (a INT)\n",
@@ -246,7 +310,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var out strings.Builder
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, db, ln, 5*time.Second, &out) }()
+	go func() { done <- serveOn(ctx, db, ln, server.Config{}, 5*time.Second, &out) }()
 
 	url := fmt.Sprintf("http://%s/v1/query", ln.Addr())
 	resp, err := http.Post(url, "application/json",

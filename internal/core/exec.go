@@ -280,6 +280,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 	stats.SerialFallback = fallback
 	if fallback != "" {
 		tr.Event(obs.EvSerialFallback, obs.S("reason", fallback))
+		obs.Default.CounterWith(obs.MetricSerialFallbacks, obs.Label{Key: "reason", Val: fallback}).Add(1)
 	}
 	if workers > 1 {
 		tr.Event(obs.EvParallel, obs.I("workers", int64(workers)))

@@ -47,6 +47,7 @@ var (
 	mSchedDenied = obs.Default.Counter(obs.MetricSchedDenied)
 	mSchedYields = obs.Default.Counter(obs.MetricSchedYields)
 	gSchedAvail  = obs.Default.Gauge(obs.MetricSchedSlotsAvail)
+	gSchedTotal  = obs.Default.Gauge(obs.MetricSchedSlotsTotal)
 )
 
 // NewScheduler creates a pool of total extra-worker slots (<= 0 means
@@ -55,6 +56,8 @@ func NewScheduler(total int) *Scheduler {
 	if total <= 0 {
 		total = runtime.GOMAXPROCS(0)
 	}
+	gSchedTotal.Set(int64(total))
+	gSchedAvail.Set(int64(total))
 	return &Scheduler{total: total, avail: total, leases: map[*Lease]struct{}{}}
 }
 
@@ -69,7 +72,7 @@ type Lease struct {
 	extras int // immutable initial grant
 
 	mu       sync.Mutex
-	keep     int // current target extras (<= extras, only ever lowered)
+	keep     int    // current target extras (<= extras, only ever lowered)
 	yielded  []bool // per extra worker: slot already returned by ShouldYield
 	returned int    // slots given back early, total
 	released bool

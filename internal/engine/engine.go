@@ -33,6 +33,11 @@ var (
 	mCompilesTurbofan = obs.Default.Counter(obs.MetricCompiles + ".turbofan")
 	mTurbofanFailures = obs.Default.Counter(obs.MetricTurbofanFailures)
 	mTierUpLatency    = obs.Default.Histogram(obs.MetricTierUpLatency)
+	// Per-module compile latency, labeled by the tier that did the work —
+	// the SLO view of "how much am I paying before (liftoff) and behind
+	// (turbofan) the first morsel".
+	hCompileLiftoff  = obs.Default.HistogramWith(obs.MetricEngineCompileLatency, obs.Label{Key: "tier", Val: "liftoff"})
+	hCompileTurbofan = obs.Default.HistogramWith(obs.MetricEngineCompileLatency, obs.Label{Key: "tier", Val: "turbofan"})
 )
 
 // Typed guardrail sentinels, re-exported so embedders need not import the
@@ -218,6 +223,7 @@ func (e *Engine) CompileTraced(bin []byte, tr *obs.Trace) (*Module, error) {
 		}
 		m.stats.Turbofan = time.Since(start)
 		mCompilesTurbofan.Add(int64(len(wmod.Funcs)))
+		hCompileTurbofan.Observe(m.stats.Turbofan.Nanoseconds())
 		sp.End(obs.I("funcs", int64(len(wmod.Funcs))))
 		close(m.optimized)
 	default:
@@ -234,6 +240,7 @@ func (e *Engine) CompileTraced(bin []byte, tr *obs.Trace) (*Module, error) {
 		}
 		m.stats.Liftoff = time.Since(start)
 		mCompilesLiftoff.Add(int64(len(wmod.Funcs)))
+		hCompileLiftoff.Observe(m.stats.Liftoff.Nanoseconds())
 		sp.End(obs.I("funcs", int64(len(wmod.Funcs))))
 		if e.cfg.Tier == TierAdaptive {
 			go m.optimize(e.optRounds())
@@ -271,6 +278,7 @@ func (m *Module) optimize(rounds int) {
 		}
 	}
 	sp.End(obs.I("funcs", int64(len(m.wmod.Funcs))), obs.I("failed", int64(failed)))
+	hCompileTurbofan.Observe(time.Since(start).Nanoseconds())
 	m.mu.Lock()
 	m.stats.Turbofan = time.Since(start)
 	m.stats.TurbofanFailed = failed

@@ -46,6 +46,11 @@ type Record struct {
 	P99Ns            int64   `json:"p99_ns"`
 	RejectionRate    float64 `json:"rejection_rate"`
 	PlanCacheHitRate float64 `json:"plancache_hit_rate"`
+	// TelemetryOverheadPct is the p50 latency regression of full telemetry
+	// (query log + per-query flight-recorder capture) over the baseline
+	// server, measured by the serving experiment's overhead probe. The
+	// experiment fails if it exceeds the 5% budget.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct,omitempty"`
 }
 
 func recordFromTimings(name, backend string, rows int, tm Timings) Record {

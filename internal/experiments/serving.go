@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -150,5 +151,93 @@ func Serving(o Options) ([]Record, error) {
 			PlanCacheHitRate: hitRate,
 		})
 	}
+
+	overhead, err := telemetryOverhead(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	recs = append(recs, overhead)
 	return recs, nil
+}
+
+// telemetryOverhead measures the p50 cost of running the serving layer's
+// telemetry at its most expensive setting — a query-log sink attached, the
+// flight recorder capturing every query (sample 1-in-1), every query
+// classified slow so the rate-limited span promotion is exercised — against
+// the baseline server (no sink, default 1-in-64 sampling). Both sides take
+// the best-of-3 p50 over identical single-shape serial load, so scheduler
+// and plan-cache variance cancel out; the telemetry budget is ≤5% p50, and
+// the experiment fails loudly if it is exceeded.
+func telemetryOverhead(db *wasmdb.DB, base server.Config) (Record, error) {
+	full := base
+	full.QueryLogWriter = io.Discard
+	full.TraceSampleEvery = 1
+	full.SlowQuery = time.Nanosecond
+
+	p50 := func(cfg server.Config) (int64, error) {
+		srv := server.New(db, cfg)
+		hs := httptest.NewServer(srv.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+			hs.Close()
+		}()
+		client := hs.Client()
+		var seq atomic.Int64
+		iter := func(ctx context.Context, vu int) error {
+			n := seq.Add(1)
+			body, _ := json.Marshal(map[string]any{
+				"sql":  "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < ?",
+				"args": []any{1 + n%50},
+			})
+			req, err := http.NewRequestWithContext(ctx, "POST", hs.URL+"/v1/query", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("telemetry probe: query failed: %d", resp.StatusCode)
+			}
+			return nil
+		}
+		best := int64(0)
+		for rep := 0; rep < 3; rep++ {
+			stats := workload.RunLoad(context.Background(),
+				workload.LoadSpec{Stages: []workload.Stage{{Duration: 300 * time.Millisecond, VUs: 2}}}, iter)
+			if stats.Failed > 0 || stats.Completed == 0 {
+				return 0, fmt.Errorf("telemetry probe: %d failed, %d completed", stats.Failed, stats.Completed)
+			}
+			if p := stats.Percentile(0.50).Nanoseconds(); best == 0 || p < best {
+				best = p
+			}
+		}
+		return best, nil
+	}
+
+	baseP50, err := p50(base)
+	if err != nil {
+		return Record{}, err
+	}
+	fullP50, err := p50(full)
+	if err != nil {
+		return Record{}, err
+	}
+	pct := float64(fullP50-baseP50) * 100 / float64(baseP50)
+	if pct > 5 {
+		return Record{}, fmt.Errorf("serving: telemetry overhead %.1f%% p50 exceeds the 5%% budget (base %dns, full %dns)",
+			pct, baseP50, fullP50)
+	}
+	return Record{
+		Name:                 "serving:telemetry-overhead",
+		Backend:              "mutable",
+		Concurrency:          2,
+		P50Ns:                fullP50,
+		TelemetryOverheadPct: pct,
+	}, nil
 }

@@ -12,8 +12,8 @@ import (
 // Standard metric names. Dotted suffixes carry the label (backend, tier,
 // fault-point name): "queries_total.wasm-adaptive".
 const (
-	MetricQueries          = "queries_total"           // + "." + backend
-	MetricCompiles         = "engine_compiles_total"   // + "." + tier (per function)
+	MetricQueries          = "queries_total"         // + "." + backend
+	MetricCompiles         = "engine_compiles_total" // + "." + tier (per function)
 	MetricTierUpLatency    = "engine_tierup_latency_ns"
 	MetricTurbofanFailures = "engine_turbofan_failures_total"
 	MetricFuelConsumed     = "core_fuel_consumed_total"
@@ -48,6 +48,27 @@ const (
 	MetricServerSessions      = "server_sessions"
 	MetricServerAdmissionWait = "server_admission_wait_ns"
 	MetricServerQueryLatency  = "server_query_latency_ns"
+
+	// Production-telemetry SLO metrics, recorded with explicit labels (see
+	// Label and the *With registry methods). query_latency_ns carries the
+	// end-to-end latency of every query labeled by backend, final dispatch
+	// tier, and plan-cache outcome; the server_request_* family carries the
+	// HTTP front-end's per-route SLO series; serial_fallback_total and
+	// engine_compile_latency_ns break down the adaptive engine's choices.
+	MetricQueryLatency         = "query_latency_ns"          // {backend,tier,cache}
+	MetricServerRequestLatency = "server_request_latency_ns" // {route}
+	MetricServerRequests       = "server_requests_total"     // {route,code}
+	MetricSerialFallbacks      = "serial_fallback_total"     // {reason}
+	MetricEngineCompileLatency = "engine_compile_latency_ns" // {tier}
+	MetricSchedSlotsTotal      = "sched_slots_total"
+	MetricServerDraining       = "server_draining"
+
+	// Query-log and flight-recorder self-metrics: records emitted by the
+	// structured query log, records dropped on queue overflow (the sink must
+	// never block a query), and flight-recorder captures by reason.
+	MetricQuerylogRecords = "querylog_records_total"
+	MetricQuerylogDropped = "querylog_dropped_total"
+	MetricFlightRecords   = "flightrec_records_total" // {reason}
 )
 
 // Counter is a monotonically increasing atomic count.
@@ -101,6 +122,24 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))%histBuckets].Add(1)
 }
 
+// HistSnapshot is a point-in-time copy of a histogram's state, taken
+// bucket-by-bucket with atomic loads. Concurrent observers may land between
+// loads, so Count may trail the bucket sum by in-flight observations — the
+// exposition layer reconciles by trusting the buckets.
+type HistSnapshot struct {
+	Count, Sum, Max int64
+	Buckets         [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Value()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -127,6 +166,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// families counts live labeled series per base name, enforcing
+	// maxSeriesPerFamily so a buggy (or hostile) label value can never grow
+	// the registry without bound.
+	families map[string]int
 }
 
 // NewRegistry creates an empty registry.
@@ -135,6 +178,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		families: map[string]int{},
 	}
 }
 
@@ -175,6 +219,130 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Label is one key/value dimension on a labeled metric series. Values must
+// come from small fixed sets (backend names, tiers, route patterns, reason
+// codes): the registry caps live series per family at maxSeriesPerFamily and
+// folds the overflow into a single {overflow="true"} series, so unbounded
+// values degrade visibly instead of growing the registry without bound.
+type Label struct{ Key, Val string }
+
+// maxSeriesPerFamily bounds live labeled series per base metric name.
+const maxSeriesPerFamily = 128
+
+// seriesName renders the canonical registry key of a labeled series:
+// base{k1="v1",k2="v2"} with keys sorted, matching the Prometheus series
+// syntax so Dump output and exposition agree.
+func seriesName(base string, labels []Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Val))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// overflowName is the fold-target series of a family at its cardinality cap.
+func overflowName(base string) string {
+	return base + `{overflow="true"}`
+}
+
+// admitSeries resolves the registry key for a labeled series under the
+// family cap. Caller holds r.mu. exists reports whether the key is already
+// live in the given kind map.
+func admitSeries[M any](r *Registry, kind map[string]*M, base string, labels []Label) string {
+	name := seriesName(base, labels)
+	if _, ok := kind[name]; ok {
+		return name
+	}
+	if r.families[base] >= maxSeriesPerFamily {
+		return overflowName(base)
+	}
+	r.families[base]++
+	return name
+}
+
+// CounterWith returns the counter series of base with the given labels,
+// creating it on first use (subject to the per-family cardinality cap).
+func (r *Registry) CounterWith(base string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := admitSeries(r, r.counters, base, labels)
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// GaugeWith returns the gauge series of base with the given labels.
+func (r *Registry) GaugeWith(base string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := admitSeries(r, r.gauges, base, labels)
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// HistogramWith returns the histogram series of base with the given labels.
+func (r *Registry) HistogramWith(base string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := admitSeries(r, r.hists, base, labels)
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SeriesCount returns the number of live series of a family (labeled series
+// plus the unlabeled base metric, if present) — the cardinality bound tests
+// and the exposition self-checks read it.
+func (r *Registry) SeriesCount(base string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.families[base]
+	if _, ok := r.counters[base]; ok {
+		n++
+	}
+	if _, ok := r.gauges[base]; ok {
+		n++
+	}
+	if _, ok := r.hists[base]; ok {
+		n++
+	}
+	return n
 }
 
 // Dump renders every metric as one "name: value" line, sorted by name — the

@@ -146,6 +146,10 @@ type Event struct {
 type Trace struct {
 	// Label identifies the trace (the SQL text); set before use.
 	Label string
+	// RequestID ties the trace to the serving-layer request that ran the
+	// query (the X-Request-Id the server honored or generated). Empty for
+	// embedded use. Set before use.
+	RequestID string
 	// Detail enables per-morsel span recording. Off by default — a large
 	// scan produces thousands of morsels.
 	Detail bool

@@ -75,9 +75,13 @@ func WriteTraceEvents(w io.Writer, traces ...*Trace) error {
 		if label == "" {
 			label = "query"
 		}
+		meta := map[string]any{"name": label}
+		if t.RequestID != "" {
+			meta["request_id"] = t.RequestID
+		}
 		out.TraceEvents = append(out.TraceEvents, traceEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
-			Args: map[string]any{"name": label},
+			Args: meta,
 		})
 		for _, sp := range t.Spans() {
 			out.TraceEvents = append(out.TraceEvents, traceEvent{

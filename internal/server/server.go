@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -72,6 +73,26 @@ type Config struct {
 	// DefaultParallelism is the per-query worker request for sessions that
 	// never \set parallelism (default 1 = serial).
 	DefaultParallelism int
+
+	// QueryLogWriter receives the structured query log — one JSON record per
+	// executed query — through a non-blocking asynchronous sink. Nil disables
+	// the log (the flight recorder still runs).
+	QueryLogWriter io.Writer
+	// SlowQuery is the slow-query threshold: queries at or over it are
+	// flagged Slow in the log, promoted (rate-limited) to carry their full
+	// span timeline, and always captured by the flight recorder (default
+	// 500ms; < 0 disables slow classification).
+	SlowQuery time.Duration
+	// TraceSampleEvery captures one in N ordinary queries into the flight
+	// recorder, in addition to every slow and errored query (default 64;
+	// < 0 disables sampling).
+	TraceSampleEvery int
+	// FlightRecorderSize bounds the flight-recorder ring (default 256
+	// entries; the oldest capture is evicted first).
+	FlightRecorderSize int
+	// EnablePprof exposes net/http/pprof under /debug/pprof/. Off by
+	// default: profiles can carry SQL text.
+	EnablePprof bool
 }
 
 func (c *Config) norm() {
@@ -92,6 +113,15 @@ func (c *Config) norm() {
 	}
 	if c.DefaultParallelism <= 0 {
 		c.DefaultParallelism = 1
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 500 * time.Millisecond
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 64
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
 	}
 }
 
@@ -121,11 +151,18 @@ type Server struct {
 	sessions map[string]*session
 	nextSess int
 
+	// Telemetry: the structured query log (nil when no QueryLogWriter was
+	// configured; Observe on a nil log is a no-op) and the always-on flight
+	// recorder.
+	qlog *obs.QueryLog
+	frec *obs.FlightRecorder
+
 	// Metrics handles, resolved once.
 	mAdmitted *obs.Counter
 	gQueue    *obs.Gauge
 	gActive   *obs.Gauge
 	gSessions *obs.Gauge
+	gDraining *obs.Gauge
 	hAdmit    *obs.Histogram
 	hLatency  *obs.Histogram
 }
@@ -135,7 +172,7 @@ type Server struct {
 func New(db *wasmdb.DB, cfg Config) *Server {
 	cfg.norm()
 	baseCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		db:        db,
 		cfg:       cfg,
 		sched:     wasmdb.NewScheduler(cfg.WorkerSlots),
@@ -143,18 +180,29 @@ func New(db *wasmdb.DB, cfg Config) *Server {
 		baseCtx:   baseCtx,
 		cancelAll: cancel,
 		sessions:  map[string]*session{},
+		frec:      obs.NewFlightRecorder(cfg.FlightRecorderSize, cfg.TraceSampleEvery),
 		mAdmitted: obs.Default.Counter(obs.MetricServerAdmitted),
 		gQueue:    obs.Default.Gauge(obs.MetricServerQueueDepth),
 		gActive:   obs.Default.Gauge(obs.MetricServerActive),
 		gSessions: obs.Default.Gauge(obs.MetricServerSessions),
+		gDraining: obs.Default.Gauge(obs.MetricServerDraining),
 		hAdmit:    obs.Default.Histogram(obs.MetricServerAdmissionWait),
 		hLatency:  obs.Default.Histogram(obs.MetricServerQueryLatency),
 	}
+	if cfg.QueryLogWriter != nil {
+		s.qlog = obs.NewQueryLog(obs.NewWriterSink(cfg.QueryLogWriter), obs.QueryLogConfig{})
+	}
+	s.gDraining.Set(0)
+	return s
 }
 
 // Scheduler returns the shared global morsel scheduler, for tests and for
 // embedding frontends that execute queries outside the HTTP path.
 func (s *Server) Scheduler() *wasmdb.Scheduler { return s.sched }
+
+// FlightRecorder returns the server's flight recorder, for tests and for
+// embedding frontends that want to dump it outside the HTTP path.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.frec }
 
 // apiError is a typed, HTTP-mappable service error.
 type apiError struct {
@@ -262,6 +310,10 @@ func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration,
 // and ctx.Err() when force-cancellation was needed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.gDraining.Set(1)
+	// The query log drains last — queries finishing during the drain still
+	// log — and Close is idempotent, so a double Shutdown is safe.
+	defer s.qlog.Close()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -297,7 +349,8 @@ func (s *Server) closeAllSessions() {
 	s.gSessions.Set(0)
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the telemetry
+// middleware (request IDs + per-route SLO metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/session", s.handleSessionNew)
@@ -306,9 +359,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/exec", s.handleExec)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsV1)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.cfg.EnablePprof {
+		registerPprof(mux)
+	}
+	return s.middleware(mux)
 }
 
 // writeJSON emits a JSON response body.
@@ -584,6 +642,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	opts = append(opts, wasmdb.WithScheduler(s.sched))
+	// Always-on telemetry: the request ID threads into the trace and log
+	// record, and every query — success or error — lands in the structured
+	// query log and is offered to the flight recorder.
+	opts = append(opts,
+		wasmdb.WithRequestID(RequestID(r)),
+		wasmdb.WithQueryLog(func(rec wasmdb.QueryLogRecord) {
+			s.observeQuery(rec, req.Session)
+		}))
 	ctx, cancel := context.WithTimeout(base, timeout)
 	defer cancel()
 	stopReq := context.AfterFunc(r.Context(), cancel)
@@ -646,11 +712,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.hLatency.Observe(time.Since(started).Nanoseconds())
 	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.db.Metrics().Dump())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -256,6 +256,8 @@ type queryOpts struct {
 	parallelism  int
 	planCacheOff bool
 	scheduler    *core.Scheduler
+	requestID    string
+	onRecord     func(QueryLogRecord)
 }
 
 // Trace is a query-scoped recording of timed spans (parse, compile tiers,
@@ -349,6 +351,40 @@ func WithScheduler(s *Scheduler) Option { return func(o *queryOpts) { o.schedule
 // returning (without changing adaptive behavior during execution), so the
 // tier-up timeline in tr is complete.
 func WithTrace(tr *Trace) Option { return func(o *queryOpts) { o.trace = tr } }
+
+// QueryLogRecord is one query's structured log record: identity (SQL, query
+// hash, plan fingerprint, request ID), the adaptive timeline (backend, final
+// dispatch tier, tier-ups with morsel indices, plan-cache outcome),
+// parallelism grant and serial-fallback reason, resource use (fuel, peak
+// memory, rows), and the parse→plan→compile→execute latency breakdown. It
+// serializes as one JSON object (see obs.NewWriterSink for the JSON-lines
+// sink the server uses).
+type QueryLogRecord = obs.QueryLogRecord
+
+// FlightRecorder is a bounded ring of recently captured queries — every
+// error, every slow query, and a 1-in-N sample — dumpable as Chrome
+// trace_event JSON. See obs.NewFlightRecorder.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder creates a flight recorder holding up to capacity entries
+// and sampling one in sampleEvery ordinary queries (zero values select 256
+// and "no sampling" respectively).
+func NewFlightRecorder(capacity, sampleEvery int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity, sampleEvery)
+}
+
+// WithQueryLog invokes fn with the query's structured log record after
+// execution finishes — on success and on error alike (the record's Error
+// field distinguishes them). fn runs synchronously on the query path, so it
+// should only hand the record off (obs.QueryLog is the non-blocking
+// asynchronous consumer the server uses).
+func WithQueryLog(fn func(QueryLogRecord)) Option {
+	return func(o *queryOpts) { o.onRecord = fn }
+}
+
+// WithRequestID tags the query's trace and log record with the serving-layer
+// request ID that carried it.
+func WithRequestID(id string) Option { return func(o *queryOpts) { o.requestID = id } }
 
 // WithPlanCache enables or disables the compiled-query plan cache for this
 // query (default on). With the cache on, value-carrying literals (comparison
@@ -546,11 +582,64 @@ func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Re
 // queryContext is the shared execution path behind Query and Stmt.Query.
 // args carries the values for the statement's explicit ? placeholders (nil
 // for ad-hoc queries, which must not contain placeholders).
+//
+// It wraps runQuery with the always-on telemetry: every query — success or
+// error — records into a trace (the caller's via WithTrace, or an internal
+// one), lands one observation in the query_latency_ns{backend,tier,cache}
+// histogram, and yields a structured QueryLogRecord to the WithQueryLog
+// callback. The telemetry cost off the serving path is one trace (already
+// the case before this layer — Stats are derived from it) plus one labeled
+// histogram lookup, so it stays on unconditionally.
 func (db *DB) queryContext(ctx context.Context, src string, args []types.Value, opts ...Option) (*Result, error) {
 	o := queryOpts{}
 	for _, f := range opts {
 		f(&o)
 	}
+	tr := o.trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	if tr.Label == "" {
+		tr.Label = src
+	}
+	if o.requestID != "" {
+		tr.RequestID = o.requestID
+	}
+
+	start := time.Now()
+	res, err := db.runQuery(ctx, src, args, &o, tr)
+	total := time.Since(start)
+
+	rec := obs.RecordFromTrace(tr)
+	rec.SQL = src
+	rec.QueryHash = obs.HashQuery(src)
+	rec.Backend = o.backend.String()
+	rec.TotalNs = total.Nanoseconds()
+	if res != nil {
+		rec.Rows = res.NumRows()
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	cache := rec.PlanCache
+	if cache == "" {
+		cache = "off"
+	}
+	obs.Default.HistogramWith(obs.MetricQueryLatency,
+		obs.Label{Key: "backend", Val: rec.Backend},
+		obs.Label{Key: "tier", Val: rec.Tier},
+		obs.Label{Key: "cache", Val: cache},
+	).Observe(total.Nanoseconds())
+	if o.onRecord != nil {
+		o.onRecord(rec)
+	}
+	return res, err
+}
+
+// runQuery is the execution path proper: parse → analyze → bind → plan →
+// compile (through the plan cache) → execute. The per-morsel hot path stays
+// cheap: one atomic add per morsel, spans only at phase granularity.
+func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *queryOpts, tr *obs.Trace) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -563,18 +652,6 @@ func (db *DB) queryContext(ctx context.Context, src string, args []types.Value, 
 	defer db.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("wasmdb: query canceled: %w", err)
-	}
-
-	// Every query records into a trace — the caller's (WithTrace) or an
-	// internal one — and the public Stats are derived from it, so the trace
-	// and Stats can never disagree. The per-morsel hot path stays cheap:
-	// one atomic add per morsel, spans only at phase granularity.
-	tr := o.trace
-	if tr == nil {
-		tr = obs.NewTrace()
-	}
-	if tr.Label == "" {
-		tr.Label = src
 	}
 
 	sp := tr.Begin(obs.SpanParse)
