@@ -135,6 +135,9 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 	if st.GroupsMerged > 0 {
 		fmt.Fprintf(&sb, "  groups merged      %d\n", st.GroupsMerged)
 	}
+	if st.JoinPartitionsMerged > 0 {
+		fmt.Fprintf(&sb, "  join partitions    %d merged\n", st.JoinPartitionsMerged)
+	}
 	// Plan-cache outcome: whether this execution reused a cached module, and
 	// which tier the module dispatched from the first morsel on.
 	for _, ev := range tr.Events() {

@@ -1,0 +1,7 @@
+package wasmdb
+
+import "wasmdb/internal/catalog"
+
+// TestCatalog exposes the database's catalog to external tests that need to
+// plant values no SQL literal can produce (NaN float join keys).
+func (db *DB) TestCatalog() *catalog.Catalog { return db.cat }

@@ -114,6 +114,48 @@ type GroupMerge struct {
 	Aggs []MergeAgg
 }
 
+// JoinMerge describes the ad-hoc exports a hash-join build table provides
+// for parallel partitioned builds. Each worker inserts its private partition
+// of the build side during the parallel build scan; at the barrier the host
+// drains every secondary worker's partition via DumpExport, concatenates the
+// records (join inserts are append-style — duplicates coexist, so no
+// host-side folding is needed), feeds them into the primary worker through
+// RecvExport + MergeExport, and finally replicates the primary's complete
+// table into every secondary via InstallExport so the probe pipeline can run
+// embarrassingly parallel. Serial execution never calls these exports.
+type JoinMerge struct {
+	// DumpExport compacts the occupied entries of the worker's partition
+	// into a fresh allocation and returns its base address; the record count
+	// is read from CountGlobal.
+	DumpExport string
+	// RecvExport allocates room for n records on the primary worker and
+	// returns the base address the host writes them to.
+	RecvExport string
+	// PresizeExport(needed) grows the primary's table until needed records
+	// fit under the load-factor ceiling, so the merge loop never grows
+	// mid-insertion (slot-ordered dump records against a near-full table
+	// probe pathologically long clusters).
+	PresizeExport string
+	// MergeExport re-inserts received records [begin, end) into the primary
+	// worker's table (append at the first empty probe slot; never combines).
+	MergeExport string
+	// InstallExport(cap, count) allocates cap*Stride bytes on a secondary
+	// worker, repoints the table globals at it, and returns the base the
+	// host writes the primary's entry image to — replacing the secondary's
+	// partial partition with the complete table before the probe runs.
+	InstallExport string
+	// BaseGlobal / MaskGlobal / CountGlobal are the table's module globals
+	// (read host-side to locate and describe the primary's entry image).
+	BaseGlobal  uint32
+	MaskGlobal  uint32
+	CountGlobal uint32
+	// Stride is the entry size in bytes, occupancy flag word included.
+	Stride uint32
+	// BuildPipeline is the index into CompiledQuery.Pipelines of the build
+	// pipeline this table is filled by; the executor barriers after it.
+	BuildPipeline int
+}
+
 // SortKeyField is one ORDER BY key inside a sorted-run tuple; the host-side
 // k-way merge comparator mirrors the generated quicksort's emitLess over
 // these fields exactly.
@@ -175,6 +217,12 @@ type CompiledQuery struct {
 	// parallel executor uses it to drain each worker's partial groups, fold
 	// them per key host-side, and feed the result into the primary worker.
 	GroupMerge *GroupMerge
+	// JoinMerges describes the partition merge exports of each ad-hoc hash
+	// join build table, in build-pipeline order (empty when the query has no
+	// specialized joins). The parallel executor barriers after each build
+	// pipeline, merges every worker's partition into the primary, and
+	// replicates the result to all workers before the probe continues.
+	JoinMerges []*JoinMerge
 	// SortMerge describes the sorted-run merge metadata of an order-by
 	// module (nil when the query has no specialized sort). The parallel
 	// executor k-way merges per-worker sorted runs host-side and installs

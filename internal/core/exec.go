@@ -149,6 +149,10 @@ type ExecStats struct {
 	// GroupsMerged counts the distinct groups folded at the parallel
 	// group-by barrier (0 when no group merge ran).
 	GroupsMerged int
+	// JoinPartitionsMerged counts the secondary-worker build partitions
+	// drained at parallel join barriers, summed across the query's joins (0
+	// when no join merge ran).
+	JoinPartitionsMerged int
 }
 
 // ResultSet holds decoded query results.
@@ -629,10 +633,93 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		return nil
 	}
 
+	// mergeJoin drains every secondary worker's private build partition,
+	// appends the records into the primary worker's table (morsel-wise
+	// through callMorsel, so tracing and fault injection cover the merge),
+	// and replicates the primary's completed table into every secondary so
+	// the parallel probe sees the full build side — the join pipeline
+	// barrier. Join inserts are append-style (duplicate keys coexist), so
+	// the host concatenates the dumps without folding. An error leaves the
+	// query failed, never partially merged.
+	mergeJoin := func(jm *JoinMerge) error {
+		sp := tr.Begin(obs.SpanMerge)
+		var recs []byte
+		records := 0
+		for _, w := range ws[1:] {
+			if err := canceled(); err != nil {
+				return err
+			}
+			r, err := w.inst.Call(jm.DumpExport)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", jm.DumpExport, wrapErr(err))
+			}
+			n := int(uint32(w.inst.Global(int(jm.CountGlobal))))
+			recs = append(recs, w.mem.ReadBytes(uint32(r[0]), uint32(n)*jm.Stride)...)
+			records += n
+		}
+		if records > 0 {
+			// Grow the primary's table to its final size up front: the merge
+			// loop then only claims slots, never rehashes mid-insertion.
+			needed := records + int(uint32(primary.inst.Global(int(jm.CountGlobal))))
+			if _, err := primary.inst.Call(jm.PresizeExport, uint64(uint32(needed))); err != nil {
+				return fmt.Errorf("core: %s: %w", jm.PresizeExport, wrapErr(err))
+			}
+			r, err := primary.inst.Call(jm.RecvExport, uint64(uint32(records)))
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", jm.RecvExport, wrapErr(err))
+			}
+			primary.mem.WriteBytes(uint32(r[0]), recs)
+			for begin := 0; begin < records; begin += opt.MorselRows {
+				if err := canceled(); err != nil {
+					return err
+				}
+				end := begin + opt.MorselRows
+				if end > records {
+					end = records
+				}
+				if _, err := callMorsel(primary, jm.MergeExport, begin, end); err != nil {
+					return err
+				}
+			}
+		}
+		// Replicate the completed table to every secondary — their partial
+		// partitions must be replaced even when no records moved the other
+		// way, or the parallel probe would miss the primary's entries. A
+		// verbatim image is position-correct because slot indexes depend
+		// only on hash and mask, which travel with it.
+		cap := uint32(primary.inst.Global(int(jm.MaskGlobal))) + 1
+		count := uint64(uint32(primary.inst.Global(int(jm.CountGlobal))))
+		img := primary.mem.ReadBytes(uint32(primary.inst.Global(int(jm.BaseGlobal))), cap*jm.Stride)
+		for _, w := range ws[1:] {
+			if err := canceled(); err != nil {
+				return err
+			}
+			r, err := w.inst.Call(jm.InstallExport, uint64(cap), count)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", jm.InstallExport, wrapErr(err))
+			}
+			w.mem.WriteBytes(uint32(r[0]), img)
+		}
+		stats.JoinPartitionsMerged += len(ws) - 1
+		tr.Event(obs.EvJoinMerge, obs.I("records", int64(records)),
+			obs.I("partitions", int64(len(ws)-1)), obs.I("workers", int64(workers)))
+		sp.End(obs.I("records", int64(records)))
+		return nil
+	}
+
+	// The last table scan is the probe pipeline the terminal merge barriers
+	// on; earlier scans are join build pipelines with their own barriers.
+	lastScan := -1
+	for i, p := range cq.Pipelines {
+		if p.Kind == PipeScanTable {
+			lastScan = i
+		}
+	}
+
 	t1 := time.Now()
 	spRun := tr.Begin(obs.SpanExecute)
 	aggMerged, groupMerged, sortMerged := false, false, false
-	for _, p := range cq.Pipelines {
+	for pi, p := range cq.Pipelines {
 		spPipe := tr.Begin(obs.SpanPipeline + p.Export)
 		var total int
 		switch p.Kind {
@@ -682,7 +769,18 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 				return nil, nil, err
 			}
 			stats.PipelinesParallel++
-			if mode == parGroup && !groupMerged {
+			// Join barrier: if this scan was a build pipeline, merge every
+			// worker's partition and replicate the completed table before
+			// anything probes it. Fires in every parallel mode — downstream
+			// group/sort/agg merges compose after the probe.
+			for _, jm := range cq.JoinMerges {
+				if jm.BuildPipeline == pi {
+					if err := mergeJoin(jm); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			if mode == parGroup && !groupMerged && pi == lastScan {
 				// Group barrier: the parallel scan just filled every worker's
 				// private group table; merge them into the primary before any
 				// downstream pipeline reads the groups.
@@ -809,6 +907,7 @@ func Execute(cq *CompiledQuery, q *sema.Query, eng *engine.Engine, opt ExecOptio
 		tr.Set(obs.CtrPipelinesParallel, int64(stats.PipelinesParallel))
 		tr.Set(obs.CtrPipelinesSerial, int64(stats.PipelinesSerial))
 		tr.Set(obs.CtrGroupsMerged, int64(stats.GroupsMerged))
+		tr.Set(obs.CtrJoinPartitionsMerged, int64(stats.JoinPartitionsMerged))
 	}
 
 	if limit >= 0 && int64(len(res.Rows)) > limit {

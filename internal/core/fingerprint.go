@@ -16,7 +16,7 @@ import (
 // fpSalt versions the fingerprint format itself: any change to the
 // serialization below, or to codegen that is not otherwise captured, must
 // bump it so stale cache keys cannot alias new modules.
-const fpSalt = "wasmdb-plancache-v2"
+const fpSalt = "wasmdb-plancache-v3"
 
 // Fingerprint computes the plan-cache key of a parameterized query: a
 // sha256 over everything that determines the bytes of the compiled module —
@@ -103,11 +103,7 @@ func (w *fpWriter) node(q *sema.Query, n plan.Node) {
 		w.str("join")
 		// The only estimate → codegen dependency: the build table's initial
 		// capacity, in the quantized form newHashTable actually allocates.
-		cap := uint32(x.Build.Rows() / 2)
-		if cap < 64 {
-			cap = 64
-		}
-		w.u64(uint64(pow2ceil(cap)))
+		w.u64(uint64(joinInitialCap(x.Build.Rows())))
 		w.u64(uint64(len(x.BuildKeys)))
 		for _, k := range x.BuildKeys {
 			w.expr(k)

@@ -52,19 +52,19 @@ func (c *compiler) genGroupMerge(gr *plan.Group, ht *htInfo, aggSlots []*sema.Ag
 		gm.Aggs = append(gm.Aggs, MergeAgg{Offset: fld.offset, T: fld.t, Func: a.Func})
 	}
 
-	c.genGroupsDump(ht)
-	gRecv := c.genMergeRecv(ht)
+	c.genDumpFunc(groupDumpExport, ht)
+	gRecv := c.genRecvFunc(groupRecvExport, ht)
 	c.genGroupMergeFunc(gr, ht, aggSlots, gRecv)
 	c.out.GroupMerge = gm
 }
 
-// genGroupsDump emits q_groups_dump() -> i32: compact the occupied entries
-// of the group table into a fresh allocation (flag word included, so each
-// record is a verbatim entry image) and return its base. The record count
-// is the live gCount, read host-side.
-func (c *compiler) genGroupsDump(ht *htInfo) {
-	f := c.b.NewFunc(groupDumpExport, wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
-	c.b.Export(groupDumpExport, wasm.ExternFunc, f.Index)
+// genDumpFunc emits <name>() -> i32: compact the occupied entries of the
+// hash table into a fresh allocation (flag word included, so each record is
+// a verbatim entry image) and return its base. The record count is the live
+// gCount, read host-side. Shared by the group and join merge protocols.
+func (c *compiler) genDumpFunc(name string, ht *htInfo) {
+	f := c.b.NewFunc(name, wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
+	c.b.Export(name, wasm.ExternFunc, f.Index)
 	stride := int32(ht.layout.stride)
 
 	base := f.AddLocal(wasm.I32)
@@ -116,15 +116,16 @@ func (c *compiler) genGroupsDump(ht *htInfo) {
 	f.LocalGet(base)
 }
 
-// genMergeRecv emits q_merge_recv(n) -> i32: allocate room for n merged
-// records, remember the base in a dedicated global (the merge loop reads
-// it), and return it so the host can write the records.
-func (c *compiler) genMergeRecv(ht *htInfo) uint32 {
+// genRecvFunc emits <name>(n) -> i32: allocate room for n merged records,
+// remember the base in a dedicated global (the merge loop reads it), and
+// return it so the host can write the records. Shared by the group and join
+// merge protocols.
+func (c *compiler) genRecvFunc(name string, ht *htInfo) uint32 {
 	gRecv := c.b.AddGlobal(wasm.I32, true, 0)
-	f := c.b.NewFunc(groupRecvExport, wasm.FuncType{
+	f := c.b.NewFunc(name, wasm.FuncType{
 		Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32},
 	})
-	c.b.Export(groupRecvExport, wasm.ExternFunc, f.Index)
+	c.b.Export(name, wasm.ExternFunc, f.Index)
 	f.LocalGet(f.Param(0))
 	f.I32Const(int32(ht.layout.stride))
 	f.I32Mul()

@@ -27,6 +27,12 @@ type htInfo struct {
 	gMask  uint32
 	gCount uint32
 	grow   *wasm.FuncBuilder
+	// canonFloatKeys hashes Float64 keys through -0.0→+0.0 canonicalization
+	// so every F64Eq-equal key lands in the same probe chain. Join tables set
+	// it (the probe compares with F64Eq, so +0.0 and -0.0 must collide);
+	// group tables keep raw-bit hashing, where ±0 forming two groups is the
+	// established cross-backend behavior.
+	canonFloatKeys bool
 }
 
 // keySrc supplies one key value in the current emission context: pushVal
@@ -39,19 +45,27 @@ type keySrc struct {
 // newHashTable declares globals, the init step, and the grow function for a
 // hash table whose entries contain the given fields (keys must be a prefix
 // subset of fields by structural equality).
-func (c *compiler) newHashTable(name string, fields []sema.Expr, keys []sema.Expr, initialCap uint32) *htInfo {
+func (c *compiler) newHashTable(name string, fields []sema.Expr, keys []sema.Expr, initialCap uint32, canonFloatKeys bool) *htInfo {
 	ht := &htInfo{
-		name:   name,
-		layout: buildLayout(dedupExprs(fields), htEntryFlagSize),
-		keys:   keys,
-		gBase:  c.b.AddGlobal(wasm.I32, true, 0),
-		gMask:  c.b.AddGlobal(wasm.I32, true, 0),
-		gCount: c.b.AddGlobal(wasm.I32, true, 0),
+		name:           name,
+		layout:         buildLayout(dedupExprs(fields), htEntryFlagSize),
+		keys:           keys,
+		gBase:          c.b.AddGlobal(wasm.I32, true, 0),
+		gMask:          c.b.AddGlobal(wasm.I32, true, 0),
+		gCount:         c.b.AddGlobal(wasm.I32, true, 0),
+		canonFloatKeys: canonFloatKeys,
 	}
 	if initialCap < 64 {
 		initialCap = 64
 	}
 	initialCap = pow2ceil(initialCap)
+	// The init step bakes initialCap*stride into an i32 immediate; halve the
+	// capacity until the product fits comfortably, so a huge cardinality
+	// estimate can never wrap into a negative (or tiny) allocation. The table
+	// still grows on demand.
+	for initialCap > 64 && uint64(initialCap)*uint64(ht.layout.stride) > 1<<30 {
+		initialCap >>= 1
+	}
 
 	// Init step: allocate the zeroed initial table.
 	c.initSteps = append(c.initSteps, func(g *gen) {
@@ -86,6 +100,11 @@ func dedupExprs(in []sema.Expr) []sema.Expr {
 }
 
 func pow2ceil(v uint32) uint32 {
+	// Saturate above 2^31: doubling past it would wrap p to zero and the
+	// loop would never terminate.
+	if v > 1<<31 {
+		return 1 << 31
+	}
 	p := uint32(1)
 	for p < v {
 		p <<= 1
@@ -98,6 +117,14 @@ func pow2ceil(v uint32) uint32 {
 // FNV-1a over the padding-stripped bytes, so equal logical strings of
 // different declared widths hash identically.
 func (g *gen) emitHash(keys []keySrc) wasm.Local {
+	return g.emitHashCanon(keys, false)
+}
+
+// emitHashCanon is emitHash with optional Float64 canonicalization: when
+// canonFloat is set, -0.0 hashes like +0.0 (join tables, where the probe's
+// F64Eq treats them as equal and a hash mismatch would silently drop
+// matching rows).
+func (g *gen) emitHashCanon(keys []keySrc, canonFloat bool) wasm.Local {
 	f := g.f
 	h := f.AddLocal(wasm.I64)
 	f.I64Const(-3750763034362895579) // FNV-1a 64 offset basis
@@ -140,6 +167,12 @@ func (g *gen) emitHash(keys []keySrc) wasm.Local {
 		default:
 			f.LocalGet(h)
 			k.pushVal()
+			if canonFloat && k.t.Kind == types.Float64 {
+				// v + 0.0 maps -0.0 to +0.0 and leaves every other value
+				// (including NaN) alone — one branch-free instruction.
+				f.F64Const(0)
+				f.F64Add()
+			}
 			g.toI64Bits(k.t)
 			f.Op(wasm.OpI64Xor)
 			f.I64Const(-0x61c8864680b583eb) // golden-ratio multiplier
@@ -400,7 +433,7 @@ func (c *compiler) genGrowFunc(ht *htInfo) *wasm.FuncBuilder {
 		kf := fld
 		stored = append(stored, keySrc{t: kf.t, pushVal: func() { g.loadField(entry, kf) }})
 	}
-	h := g.emitHash(stored)
+	h := g.emitHashCanon(stored, ht.canonFloatKeys)
 	// j = h & newMask
 	f.LocalGet(h)
 	f.Op(wasm.OpI32WrapI64)

@@ -28,12 +28,21 @@ func (c *compiler) produceJoinLib(j *plan.HashJoin, consume consumer) error {
 			}
 		}
 	}
-	ht := c.newLibHT(fmt.Sprintf("join%d", len(c.pipes)), fields, j.BuildKeys)
+	ht := c.newLibHT(fmt.Sprintf("join%d", len(c.pipes)), fields, j.BuildKeys, true)
 	l := c.libs()
 
 	err := c.produce(j.Build, func(g *gen, e *env) {
 		f := g.f
-		h := g.emitSetKeys(e, ht)
+		// A NaN key can never satisfy the comparator's F64Eq — skip the row
+		// instead of inserting an unreachable entry.
+		keys := g.keySrcsFromEnv(e, j.BuildKeys)
+		nanGuard := emitFloatKeysNotNaN(f, keys)
+		if nanGuard {
+			f.If(wasm.BlockVoid)
+		}
+		// Insert needs only the hash (append to the bucket chain; the key
+		// globals feed the probe-side comparator, not the insert).
+		h := g.emitHashCanon(keys, ht.canonFloatKeys)
 		entry := f.AddLocal(wasm.I32)
 		f.GlobalGet(ht.gCtrl)
 		f.LocalGet(h)
@@ -42,6 +51,9 @@ func (c *compiler) produceJoinLib(j *plan.HashJoin, consume consumer) error {
 		for _, fld := range ht.layout.fields {
 			fld := fld
 			g.storeFieldFromStack(entry, fld, func() { g.expr(e, fld.expr) })
+		}
+		if nanGuard {
+			f.End()
 		}
 	})
 	if err != nil {

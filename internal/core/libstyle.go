@@ -600,15 +600,20 @@ type libHT struct {
 	gCtrl   uint32 // global holding the ctrl pointer
 	keyGlob []uint32
 	cmpIdx  uint32 // table index of the key comparator
+	// canonFloatKeys mirrors htInfo's flag: join tables hash Float64 keys
+	// through -0.0→+0.0 canonicalization so the F64Eq comparator and the
+	// hash agree; group tables keep raw-bit hashing.
+	canonFloatKeys bool
 }
 
 // newLibHT declares globals, the comparator, and the init step.
-func (c *compiler) newLibHT(name string, fields []sema.Expr, keys []sema.Expr) *libHT {
+func (c *compiler) newLibHT(name string, fields []sema.Expr, keys []sema.Expr, canonFloatKeys bool) *libHT {
 	l := c.libs()
 	ht := &libHT{
-		layout: buildLayout(dedupExprs(fields), libEntryData),
-		keys:   keys,
-		gCtrl:  c.b.AddGlobal(wasm.I32, true, 0),
+		layout:         buildLayout(dedupExprs(fields), libEntryData),
+		keys:           keys,
+		gCtrl:          c.b.AddGlobal(wasm.I32, true, 0),
+		canonFloatKeys: canonFloatKeys,
 	}
 	// One "current key" global per key; CHAR keys hold a pointer.
 	for _, k := range keys {
@@ -679,7 +684,7 @@ func (g *gen) emitSetKeysFor(e *env, ht *libHT, keys []sema.Expr) wasm.Local {
 		t := k.Type()
 		srcs = append(srcs, keySrc{t: t, pushVal: func() { g.f.GlobalGet(gi) }})
 	}
-	return g.emitHash(srcs)
+	return g.emitHashCanon(srcs, ht.canonFloatKeys)
 }
 
 // produceGroupLib compiles grouping through the generic library hash table.
@@ -691,7 +696,7 @@ func (c *compiler) produceGroupLib(gr *plan.Group, consume consumer) error {
 		aggSlots = append(aggSlots, ref)
 		fields = append(fields, ref)
 	}
-	ht := c.newLibHT(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys)
+	ht := c.newLibHT(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys, false)
 	l := c.libs()
 
 	err := c.produce(gr.Input, func(g *gen, e *env) {

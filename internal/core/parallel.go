@@ -27,11 +27,15 @@ import (
 //	                        host-side, and fed into the primary worker
 //	order by              → per-worker sorted runs, k-way merged host-side
 //	                        and installed on the primary worker
+//	hash-join builds      → per-worker partition tables, drained via the
+//	                        module's ad-hoc join merge exports, appended into
+//	                        the primary, and the completed table replicated
+//	                        to every worker before the probe pipeline runs
 //
-// Pipelines whose state the host cannot combine (hash-join builds,
-// library-style hash tables and sorts) fall back to serial execution; the
-// fallback is recorded in ExecStats.PipelinesSerial, ExecStats.SerialFallback,
-// and an EvSerialFallback trace event — observable, never silent.
+// Pipelines whose state the host cannot combine (library-style hash tables
+// and sorts) fall back to serial execution; the fallback is recorded in
+// ExecStats.PipelinesSerial, ExecStats.SerialFallback, and an
+// EvSerialFallback trace event — observable, never silent.
 
 // parMode is the parallel execution strategy chosen for a query.
 type parMode int
@@ -55,6 +59,13 @@ const (
 	// quicksorts its private tuple array at the barrier and the host k-way
 	// merges the sorted runs into the primary worker.
 	parSort
+	// parJoin parallelizes a join query whose output is plain rows: the
+	// build scans run parallel into per-worker partition tables (merged and
+	// replicated at each build barrier), the probe scan runs parallel, and
+	// the result buffers merge by concatenation. Joins feeding an
+	// aggregation or sort classify as parAgg/parGroup/parSort instead — the
+	// build barriers fire the same way, the terminal merge differs.
+	parJoin
 )
 
 // Serial-fallback reasons (the "serial-fallback matrix" of DESIGN.md §9).
@@ -94,22 +105,54 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int, limit int
 		// across workers would change which morsel exhausts it.
 		return parNone, fallbackFuel
 	}
-	if limit >= 0 {
+	if limit >= 0 && cq.SortMerge == nil {
 		// LIMIT without a total order picks whichever rows arrive first;
-		// serial execution keeps the choice deterministic.
+		// serial execution keeps the choice deterministic. Under an ORDER BY
+		// the sorted-run merge fixes the order, so LIMIT rides along (ties
+		// beyond the sort keys resolve as the merge encounters them — same
+		// contract as serial quicksort, which is also unstable).
 		return parNone, fallbackLimit
 	}
 	ps := cq.Pipelines
-	scans := 0
-	for _, p := range ps {
+
+	// The last table scan is the pipeline the terminal merge barriers on;
+	// every earlier pipeline must be a hash-join build scan with its own
+	// merge exports (a barrier entry) or the query cannot run parallel.
+	lastScan := -1
+	for i, p := range ps {
 		if p.Kind == PipeScanTable {
-			scans++
+			lastScan = i
 		}
 	}
+	if lastScan < 0 {
+		return parNone, fallbackUnmergeable
+	}
+	barrier := make(map[int]bool, len(cq.JoinMerges))
+	for _, jm := range cq.JoinMerges {
+		if jm.BuildPipeline < 0 || jm.BuildPipeline >= lastScan {
+			// A build fed by something other than a plain table scan before
+			// the probe (e.g. nested non-scan input) is not partitionable.
+			return parNone, fallbackUnmergeable
+		}
+		barrier[jm.BuildPipeline] = true
+	}
+	for i := 0; i < lastScan; i++ {
+		if ps[i].Kind != PipeScanTable || !barrier[i] {
+			// A pre-probe pipeline without join merge exports (library-style
+			// hash table, or any other host-opaque state) cannot be merged.
+			return parNone, fallbackUnmergeable
+		}
+	}
+	tail := ps[lastScan+1:]
+
 	switch {
-	case len(ps) == 1 && ps[0].Kind == PipeScanTable && cq.aggStateSets == 0:
+	case len(tail) == 0 && cq.aggStateSets == 0 && cq.GroupMerge == nil:
+		// Plain row output: per-worker result buffers merge by concatenation.
+		if len(barrier) > 0 {
+			return parJoin, ""
+		}
 		return parScan, ""
-	case len(ps) == 2 && ps[0].Kind == PipeScanTable && ps[1].Kind == PipeRunOnce &&
+	case len(tail) == 1 && tail[0].Kind == PipeRunOnce &&
 		cq.aggStateSets == 1 && len(cq.AggGlobals) > 0:
 		for _, ag := range cq.AggGlobals {
 			if !mergeableAggFunc(ag.Func) {
@@ -127,11 +170,12 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int, limit int
 		}
 		return parAgg, ""
 	case cq.GroupMerge != nil && cq.aggStateSets == 0 &&
-		scans == 1 && ps[0].Kind == PipeScanTable:
-		// Single-level GROUP BY fed directly by the one table scan: workers
-		// build private partial tables, the barrier merges them into the
-		// primary, and every post-barrier pipeline (slot scan, and any sort
-		// on top) runs serially on the primary over the merged state.
+		len(tail) >= 1 && tail[0].Kind == PipeScanSlots:
+		// Single-level GROUP BY fed by the final table scan (directly or
+		// through join probes): workers build private partial tables, the
+		// barrier merges them into the primary, and every post-barrier
+		// pipeline (slot scan, and any sort on top) runs serially on the
+		// primary over the merged state.
 		gm := cq.GroupMerge
 		for _, k := range gm.Keys {
 			if k.T.Kind == types.Float64 {
@@ -152,10 +196,9 @@ func classifyParallel(cq *CompiledQuery, opt ExecOptions, workers int, limit int
 		}
 		return parGroup, ""
 	case cq.SortMerge != nil && cq.GroupMerge == nil && cq.aggStateSets == 0 &&
-		len(ps) == 3 && ps[0].Kind == PipeScanTable &&
-		ps[1].Kind == PipeRunOnce && ps[2].Kind == PipeScanArray:
-		// ORDER BY directly over the one table scan: every worker sorts its
-		// private run at the run-once barrier and the host k-way merges.
+		len(tail) == 2 && tail[0].Kind == PipeRunOnce && tail[1].Kind == PipeScanArray:
+		// ORDER BY over the final scan: every worker sorts its private run
+		// at the run-once barrier and the host k-way merges.
 		return parSort, ""
 	}
 	return parNone, fallbackUnmergeable

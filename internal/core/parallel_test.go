@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"wasmdb/internal/catalog"
@@ -92,6 +93,85 @@ func TestClassifyParallel(t *testing.T) {
 				t.Errorf("classifyParallel = (%v, %q), want (%v, %q)", mode, reason, c.mode, c.reason)
 			}
 		})
+	}
+}
+
+// TestClassifyParallelJoin pins the classifier over join shapes: mergeable
+// ad-hoc joins reach the matching parallel mode (parJoin for a bare join,
+// parAgg/parGroup/parSort when the join feeds those tails), and LIMIT still
+// forces serial unless a sort merge orders the rows first.
+func TestClassifyParallelJoin(t *testing.T) {
+	cat, err := workload.JoinPair(2000, 8000, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, _ := compileOn(t, cat, "SELECT build.pk, probe.payload FROM build, probe WHERE build.pk = probe.fk")
+	joinAgg, _ := compileOn(t, cat, "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk")
+	joinGrp, _ := compileOn(t, cat, "SELECT build.nk, COUNT(*) FROM build, probe WHERE build.pk = probe.fk GROUP BY build.nk")
+	joinSrt, _ := compileOn(t, cat, "SELECT build.pk, probe.payload FROM build, probe WHERE build.pk = probe.fk ORDER BY build.pk")
+	joinLim, _ := compileOn(t, cat, "SELECT build.pk FROM build, probe WHERE build.pk = probe.fk LIMIT 5")
+	joinSrtLim, _ := compileOn(t, cat, "SELECT build.pk FROM build, probe WHERE build.pk = probe.fk ORDER BY build.pk LIMIT 5")
+
+	cases := []struct {
+		name   string
+		cq     *CompiledQuery
+		limit  int64
+		mode   parMode
+		reason string
+	}{
+		{"join", join, -1, parJoin, ""},
+		{"join-agg", joinAgg, -1, parAgg, ""},
+		{"join-group", joinGrp, -1, parGroup, ""},
+		{"join-sort", joinSrt, -1, parSort, ""},
+		{"join-limit", joinLim, 5, parNone, fallbackLimit},
+		// LIMIT over a merged sort is exact: the k-way merge orders tuples
+		// before the limit applies, so parallelism stays on.
+		{"join-sort-limit", joinSrtLim, 5, parSort, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mode, reason := classifyParallel(c.cq, ExecOptions{}, 4, c.limit)
+			if mode != c.mode || reason != c.reason {
+				t.Errorf("classifyParallel = (%v, %q), want (%v, %q)", mode, reason, c.mode, c.reason)
+			}
+		})
+	}
+}
+
+// TestJoinInitialCap pins the degenerate-capacity fix: the join build table's
+// initial capacity used to be computed as rows/2 with no floor, so an empty or
+// single-row build produced a capacity-0 table. The estimate is now clamped to
+// a sane power-of-two range.
+func TestJoinInitialCap(t *testing.T) {
+	cases := []struct {
+		est  float64
+		want uint32
+	}{
+		{0, 64},
+		{1, 64},
+		{-5, 64},
+		{math.NaN(), 64},
+		{127, 64},
+		{129, 64},
+		{257, 128},
+		{300, 256},
+		{1 << 21, 1 << 20},
+		{math.Inf(1), 1 << 20},
+	}
+	for _, c := range cases {
+		if got := joinInitialCap(c.est); got != c.want {
+			t.Errorf("joinInitialCap(%v) = %d, want %d", c.est, got, c.want)
+		}
+	}
+}
+
+// TestPow2CeilSaturates pins the overflow guard: rounding a value above 2^31
+// up to a power of two would otherwise loop forever (the doubling wraps to 0).
+func TestPow2CeilSaturates(t *testing.T) {
+	for _, v := range []uint32{1<<31 + 1, math.MaxUint32} {
+		if got := pow2ceil(v); got != 1<<31 {
+			t.Errorf("pow2ceil(%d) = %d, want saturation at 2^31", v, got)
+		}
 	}
 }
 
@@ -311,15 +391,32 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestParallelUnmergeableFallsBack checks that a hash-join query under
-// requested parallelism runs serially — correct results, recorded fallback.
+// TestParallelUnmergeableFallsBack checks that a pipeline whose state the
+// host cannot merge still runs serially — correct results, recorded fallback.
+// Library-style hash tables carry no dump/merge exports, so a library-HT join
+// is the canonical unmergeable shape now that ad-hoc joins parallelize.
 func TestParallelUnmergeableFallsBack(t *testing.T) {
 	cat, err := workload.JoinPair(2000, 8000, 1, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
 	src := "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk"
-	cq, q := compileOn(t, cat, src)
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileStyled(q, p, Style{LibraryHT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
 	serial, _, err := Execute(cq, q, eng, ExecOptions{})
 	if err != nil {
@@ -335,6 +432,98 @@ func TestParallelUnmergeableFallsBack(t *testing.T) {
 	if st.SerialFallback != fallbackUnmergeable || st.PipelinesParallel != 0 || st.PipelinesSerial == 0 {
 		t.Errorf("stats = workers %d, parallel %d, serial %d, fallback %q; want recorded unmergeable fallback",
 			st.Workers, st.PipelinesParallel, st.PipelinesSerial, st.SerialFallback)
+	}
+}
+
+// TestParallelJoinMatchesSerial checks the join build barrier: the build side
+// is partitioned across workers, drained and appended into one table at the
+// barrier, and the probe pipeline then runs embarrassingly parallel. Results
+// must match serial execution exactly and the stats must show both pipelines
+// parallel with the secondaries' partitions merged.
+func TestParallelJoinMatchesSerial(t *testing.T) {
+	cat, err := workload.JoinPair(2000, 8000, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Tier: engine.TierLiftoff})
+	for _, src := range []string{
+		// Keyless aggregate over a join: parAgg with a join barrier.
+		"SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk",
+		// Join feeding GROUP BY: join barrier composes with the group merge.
+		"SELECT build.nk, COUNT(*) FROM build, probe WHERE build.pk = probe.fk GROUP BY build.nk",
+		// Plain join scan: both pipelines parallel, concatenation merge.
+		"SELECT build.pk, probe.payload FROM build, probe WHERE build.pk = probe.fk AND probe.fk < 500",
+	} {
+		cq, q := compileOn(t, cat, src)
+		serial, _, err := Execute(cq, q, eng, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", src, err)
+		}
+		par, st, err := Execute(cq, q, eng, ExecOptions{Parallelism: 4, MorselRows: 512})
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", src, err)
+		}
+		a, b := sortedRows(serial), sortedRows(par)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("%s: parallel join disagrees with serial (%d vs %d rows)", src, len(b), len(a))
+			continue
+		}
+		if st.SerialFallback != "" || st.PipelinesParallel < 2 {
+			t.Errorf("%s: stats = parallel %d, serial %d, fallback %q; want both pipelines parallel",
+				src, st.PipelinesParallel, st.PipelinesSerial, st.SerialFallback)
+		}
+		if st.JoinPartitionsMerged == 0 {
+			t.Errorf("%s: JoinPartitionsMerged = 0, want secondaries' partitions merged", src)
+		}
+	}
+}
+
+// TestParallelJoinMergeFault injects a failure into the morsel-wise merge of
+// drained build partitions; the query must fail with the injected error and
+// never return a partial result.
+func TestParallelJoinMergeFault(t *testing.T) {
+	cat, err := workload.JoinPair(10_000, 20_000, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, q := compileOn(t, cat, "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk")
+	boom := errors.New("injected join-merge failure")
+	// With 1000-row morsels the build pipeline dispatches ~10 morsels per
+	// worker wave; hit 11 lands inside or after the merge drain.
+	faultpoint.Enable("core-morsel", faultpoint.AtHit(11, boom))
+	defer faultpoint.Disable("core-morsel")
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 1000})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Execute returned %v, want injected failure", err)
+	}
+	if res != nil {
+		t.Fatal("Execute returned a partial result alongside the error")
+	}
+}
+
+// TestParallelJoinMergeEnginePanic arms the engine's call-panic fault once the
+// build pipeline's morsels are done, so the panic lands in a merge or probe
+// call: the guardrail must convert it into a typed error with no partial
+// result.
+func TestParallelJoinMergeEnginePanic(t *testing.T) {
+	cat, err := workload.JoinPair(10_000, 20_000, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, q := compileOn(t, cat, "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk")
+	faultpoint.Enable("core-morsel", func(hit int) error {
+		if hit == 11 {
+			faultpoint.Enable("engine-call-panic", faultpoint.Always(errors.New("simulated engine bug")))
+		}
+		return nil
+	})
+	defer faultpoint.Disable("core-morsel")
+	defer faultpoint.Disable("engine-call-panic")
+	res, _, err := Execute(cq, q, engine.New(engine.Config{Tier: engine.TierLiftoff}),
+		ExecOptions{Parallelism: 4, MorselRows: 1000})
+	if err == nil || res != nil {
+		t.Fatalf("Execute = (%v, %v), want typed engine error and nil result", res, err)
 	}
 }
 

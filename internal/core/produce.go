@@ -101,7 +101,7 @@ func (c *compiler) produceGroup(gr *plan.Group, consume consumer) error {
 		}
 	}
 	est := uint32(1024)
-	ht := c.newHashTable(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys, est)
+	ht := c.newHashTable(fmt.Sprintf("group%d", len(c.pipes)), fields, gr.Keys, est, false)
 	// Merge exports for parallel execution (dead code on serial runs).
 	c.genGroupMerge(gr, ht, aggSlots)
 
@@ -286,6 +286,26 @@ func minMaxCmp(fn sema.AggFunc, t types.Type) wasm.Opcode {
 	panic("core: no min/max comparison")
 }
 
+// emitFloatKeysNotNaN pushes, for each Float64 key, a self-equality check
+// (false only for NaN) and ANDs them into one i32 condition. Returns false —
+// emitting nothing — when no key is a float.
+func emitFloatKeysNotNaN(f *wasm.FuncBuilder, keys []keySrc) bool {
+	emitted := false
+	for _, k := range keys {
+		if k.t.Kind != types.Float64 {
+			continue
+		}
+		k.pushVal()
+		k.pushVal()
+		f.Op(wasm.OpF64Eq)
+		if emitted {
+			f.I32And()
+		}
+		emitted = true
+	}
+	return emitted
+}
+
 // produceJoin compiles a simple hash join (§4.3): the build pipeline inserts
 // build-side tuples into a generated table; the probe side continues its
 // pipeline through an inlined probe loop.
@@ -306,13 +326,19 @@ func (c *compiler) produceJoin(j *plan.HashJoin, consume consumer) error {
 			}
 		}
 	}
-	ht := c.newHashTable(fmt.Sprintf("join%d", len(c.pipes)), fields, j.BuildKeys, uint32(j.Build.Rows()/2))
+	ht := c.newHashTable(fmt.Sprintf("join%d", len(c.pipes)), fields, j.BuildKeys, joinInitialCap(j.Build.Rows()), true)
 
 	// Build pipeline: append-style insert (duplicates coexist).
 	err := c.produce(j.Build, func(g *gen, e *env) {
 		f := g.f
 		keys := g.keySrcsFromEnv(e, j.BuildKeys)
-		h := g.emitHash(keys)
+		// A NaN key can never satisfy the probe's F64Eq, so inserting it
+		// would only bloat the table with unreachable entries — skip the row.
+		nanGuard := emitFloatKeysNotNaN(f, keys)
+		if nanGuard {
+			f.If(wasm.BlockVoid)
+		}
+		h := g.emitHashCanon(keys, true)
 		idx := g.emitSlotIndex(ht, h)
 		entry := f.AddLocal(wasm.I32)
 
@@ -347,16 +373,23 @@ func (c *compiler) produceJoin(j *plan.HashJoin, consume consumer) error {
 		f.Br(0)
 		f.End()
 		f.End()
+		if nanGuard {
+			f.End()
+		}
 	})
 	if err != nil {
 		return err
 	}
+	// Merge exports for parallel execution (dead code on serial runs). The
+	// pipeline just produced — the last one — is the build pipeline the
+	// executor barriers on.
+	c.genJoinMerge(ht, len(c.out.Pipelines)-1)
 
 	// Probe side: continue the enclosing pipeline.
 	return c.produce(j.Probe, func(g *gen, e *env) {
 		f := g.f
 		keys := g.keySrcsFromEnv(e, j.ProbeKeys)
-		h := g.emitHash(keys)
+		h := g.emitHashCanon(keys, true)
 		idx := g.emitSlotIndex(ht, h)
 		entry := f.AddLocal(wasm.I32)
 

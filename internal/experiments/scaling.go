@@ -17,14 +17,19 @@ import (
 var ScalingWorkers = []int{1, 2, 4}
 
 // scalingQueries are the parallel-eligible shapes the experiment sweeps:
-// a keyless aggregation (merged via ad-hoc partial-state exports) and a
-// grouped aggregation (merged host-side through the group-merge barrier).
+// a keyless aggregation (merged via ad-hoc partial-state exports), a
+// grouped aggregation (merged host-side through the group-merge barrier),
+// and a hash join (build partitions merged at the join barrier, probe
+// embarrassingly parallel). The join runs on its own build/probe table
+// pair; the others on the generic table t.
 var scalingQueries = []struct {
 	name string
+	join bool
 	src  string
 }{
-	{"scaling", "SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 0"},
-	{"scaling-group", "SELECT g0, COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t GROUP BY g0"},
+	{"scaling", false, "SELECT COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t WHERE i0 < 0"},
+	{"scaling-group", false, "SELECT g0, COUNT(*), SUM(i0), MIN(i1), MAX(i1) FROM t GROUP BY g0"},
+	{"scaling-join", true, "SELECT COUNT(*) FROM build, probe WHERE build.pk = probe.fk"},
 }
 
 // Scaling measures intra-query parallel speedup: each query is compiled
@@ -43,14 +48,24 @@ func Scaling(o Options) ([]Record, error) {
 		return nil, err
 	}
 
+	// Join pair: build is a quarter of the probe row count, unique keys.
+	joinCat, err := workload.JoinPair(o.Rows/4, o.Rows, 1, 4343)
+	if err != nil {
+		return nil, err
+	}
+
 	eng := engine.New(engine.Config{Tier: engine.TierTurbofan})
 	var recs []Record
 	for _, qry := range scalingQueries {
+		qcat := cat
+		if qry.join {
+			qcat = joinCat
+		}
 		stmt, err := sql.ParseSelect(qry.src)
 		if err != nil {
 			return nil, err
 		}
-		q, err := sema.Analyze(stmt, cat)
+		q, err := sema.Analyze(stmt, qcat)
 		if err != nil {
 			return nil, err
 		}

@@ -83,6 +83,12 @@ const (
 	// EvSortMerge marks the order-by barrier: per-worker sorted runs were
 	// k-way merged into the primary worker's array (args: tuples, workers).
 	EvSortMerge = "sort-merge"
+	// EvJoinMerge marks a join build barrier of parallel execution: every
+	// secondary worker's build partition was drained, appended into the
+	// primary worker's table, and the completed table replicated to all
+	// workers (args: records — partition records drained, partitions,
+	// workers).
+	EvJoinMerge = "join-merge"
 )
 
 // Counter names stored on the trace (set by the executor at query end).
@@ -103,6 +109,9 @@ const (
 	// CtrGroupsMerged counts the distinct groups the host folded at the
 	// parallel group-by barrier (0 when no group merge ran).
 	CtrGroupsMerged = "groups_merged"
+	// CtrJoinPartitionsMerged counts the secondary-worker build partitions
+	// drained at parallel join barriers (0 when no join merge ran).
+	CtrJoinPartitionsMerged = "join_partitions_merged"
 )
 
 // WorkerCtr names a per-worker trace counter, e.g. "worker.2.morsels_turbofan"

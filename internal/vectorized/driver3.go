@@ -40,8 +40,11 @@ func describeKeys(exprs []sema.Expr) ([]keyDesc, int) {
 }
 
 // hashAndNormalize computes the hash vector and the key-word area for the
-// given key expressions over a batch.
-func (r *Runner) hashAndNormalize(b *batch, keys []keyDesc, nKW int) (vec, error) {
+// given key expressions over a batch. canonFloat hashes (and stores key
+// words for) Float64 keys through a -0.0→+0.0 canonical copy so the join's
+// bit-compared key words agree wherever float equality does; group keys
+// keep raw bits, where ±0 forming two groups is the established behavior.
+func (r *Runner) hashAndNormalize(b *batch, keys []keyDesc, nKW int, canonFloat bool) (vec, error) {
 	hv := r.newVec()
 	for i, d := range keys {
 		first := uint64(0)
@@ -61,6 +64,11 @@ func (r *Runner) hashAndNormalize(b *batch, keys []keyDesc, nKW int) (vec, error
 			v, err := r.evalVec(b, d.expr)
 			if err != nil {
 				return vec{}, err
+			}
+			if canonFloat && d.expr.Type().Kind == types.Float64 {
+				cv := r.newVec()
+				r.call("canon_f64", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(cv.addr))
+				v = cv
 			}
 			r.call("hash_word", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(hv.addr), first)
 			r.call("kw_word", uint64(b.sel), uint64(b.selN), uint64(v.addr), uint64(r.kwArea),
@@ -99,7 +107,7 @@ func (r *Runner) execGroup(g *plan.Group, emit func(*batch) error) error {
 	r.vecPoolN-- // reserve the last pool slot across batches
 
 	err := r.exec(g.Input, func(b *batch) error {
-		hv, err := r.hashAndNormalize(b, keys, nKW)
+		hv, err := r.hashAndNormalize(b, keys, nKW, false)
 		if err != nil {
 			return err
 		}
@@ -352,7 +360,21 @@ func (r *Runner) execJoin(j *plan.HashJoin, emit func(*batch) error) error {
 	r.vecPoolN--
 
 	err := r.exec(j.Build, func(b *batch) error {
-		hv, err := r.hashAndNormalize(b, keys, nKW)
+		// A NaN key can never satisfy the probe's float equality — filter
+		// those rows out before insertion (in-place sel compaction is safe:
+		// the write index never passes the read index).
+		for _, d := range keys {
+			if d.char || d.expr.Type().Kind != types.Float64 {
+				continue
+			}
+			v, err := r.evalVec(b, d.expr)
+			if err != nil {
+				return err
+			}
+			b.selN = int(int32(r.call("sel_nonnan_f64", uint64(b.sel), uint64(b.selN),
+				uint64(v.addr), uint64(b.sel))))
+		}
+		hv, err := r.hashAndNormalize(b, keys, nKW, true)
 		if err != nil {
 			return err
 		}
@@ -411,7 +433,7 @@ func (r *Runner) execJoin(j *plan.HashJoin, emit func(*batch) error) error {
 	}
 
 	return r.exec(j.Probe, func(b *batch) error {
-		hv, err := r.hashAndNormalize(b, probeKeys, nKW)
+		hv, err := r.hashAndNormalize(b, probeKeys, nKW, true)
 		if err != nil {
 			return err
 		}

@@ -74,6 +74,8 @@ func buildKernels() []byte {
 	k.genHashChar()
 	k.genKwWord()
 	k.genKwChar()
+	k.genCanonF64()
+	k.genSelNonNanF64()
 	k.genGroupLocate()
 	k.genAggKernels()
 	k.genJoinInsert()

@@ -241,7 +241,10 @@ func newHashJoin(j *plan.HashJoin, b, p Iterator) *hashJoinIter {
 
 // encodeKey builds a type-agnostic key encoding — the design the paper's
 // §4.3 criticizes: every insert and probe pays for boxing and encoding.
-func encodeKey(vals []types.Value) string {
+// canonFloat folds -0.0 into +0.0 so join encodings agree wherever float
+// equality does; group keys keep the raw value (±0 forming two groups is
+// the established cross-backend behavior).
+func encodeKey(vals []types.Value, canonFloat bool) string {
 	var sb strings.Builder
 	for _, v := range vals {
 		switch v.Type.Kind {
@@ -249,7 +252,11 @@ func encodeKey(vals []types.Value) string {
 			sb.WriteString(strings.TrimRight(v.S, " "))
 			sb.WriteByte(0)
 		case types.Float64:
-			fmt.Fprintf(&sb, "%x;", v.F)
+			f := v.F
+			if canonFloat && f == 0 {
+				f = 0
+			}
+			fmt.Fprintf(&sb, "%x;", f)
 		case types.Decimal:
 			// Normalize scale for cross-side equality.
 			fmt.Fprintf(&sb, "%d@%d;", v.I, v.Type.Scale)
@@ -277,10 +284,20 @@ func (h *hashJoinIter) Open() error {
 		}
 		ctx := tupleCtx{s: bs, t: t}
 		keys := make([]types.Value, len(h.j.BuildKeys))
+		nan := false
 		for i, k := range h.j.BuildKeys {
 			keys[i] = eval.Eval(k, ctx)
+			if v := keys[i]; v.Type.Kind == types.Float64 && v.F != v.F {
+				nan = true
+			}
 		}
-		ek := encodeKey(keys)
+		if nan {
+			// A NaN key can never compare equal to a probe key — the entry
+			// would be unreachable (and worse, the encoding would make NaN
+			// self-join). Skip the row.
+			continue
+		}
+		ek := encodeKey(keys, true)
 		h.table[ek] = append(h.table[ek], t)
 	}
 	return h.probe.Open()
@@ -321,7 +338,7 @@ func (h *hashJoinIter) Next() (Tuple, bool, error) {
 			keys[i] = eval.Eval(k, ctx)
 		}
 		h.cur = t
-		h.pending = h.table[encodeKey(keys)]
+		h.pending = h.table[encodeKey(keys, true)]
 	}
 }
 
@@ -382,7 +399,7 @@ func (g *groupIter) Open() error {
 		for i, k := range g.g.Keys {
 			keys[i] = eval.Eval(k, ctx)
 		}
-		ek := encodeKey(keys)
+		ek := encodeKey(keys, false)
 		st := index[ek]
 		if st == nil {
 			st = &groupState{keys: keys, aggs: make([]aggAcc, len(g.g.Aggs))}

@@ -1,0 +1,215 @@
+package wasmdb_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wasmdb"
+	"wasmdb/internal/types"
+)
+
+// joinDB creates a database with two small float-keyed tables for the join
+// edge-case corpus. Rows are passed as (key, tag) pairs.
+func joinDB(t *testing.T, bld, prb [][2]string) *wasmdb.DB {
+	t.Helper()
+	db := wasmdb.Open()
+	mustExec := func(s string) {
+		t.Helper()
+		if err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	mustExec(`CREATE TABLE bld (k DOUBLE, tag INT)`)
+	mustExec(`CREATE TABLE prb (k DOUBLE, val INT)`)
+	insert := func(table string, rows [][2]string) {
+		for _, r := range rows {
+			mustExec("INSERT INTO " + table + " VALUES (" + r[0] + ", " + r[1] + ")")
+		}
+	}
+	insert("bld", bld)
+	insert("prb", prb)
+	return db
+}
+
+// expectJoin runs src on every backend and requires the exact expected
+// result (sorted rows joined with "|" and "\n").
+func expectJoin(t *testing.T, db *wasmdb.DB, src, want string) {
+	t.Helper()
+	for _, b := range allBackends {
+		res, err := db.Query(src, wasmdb.WithBackend(b))
+		if err != nil {
+			t.Fatalf("%v: %v\nquery: %s", b, err, src)
+		}
+		if got := formatSorted(t, res, false); got != want {
+			t.Errorf("%v on %q:\ngot:\n%s\nwant:\n%s", b, src, got, want)
+		}
+	}
+}
+
+// TestJoinFloatZeroKeyAliasing pins the float-key aliasing fix: +0.0 and -0.0
+// compare equal under F64Eq but have different bit patterns, so hashing the
+// raw bits sent them to different slots and the probe silently dropped
+// matching rows. The hash must canonicalize the sign of zero. Every expected
+// count here is ground truth — before the fix all backends agreed on the
+// wrong answer, so cross-backend agreement alone cannot catch it.
+//
+// -0.0e0 is deliberate: the exponent form lexes as a float literal, which the
+// unary minus negates to IEEE negative zero. Plain -0.0 takes the exact
+// decimal path and loses the sign.
+func TestJoinFloatZeroKeyAliasing(t *testing.T) {
+	db := joinDB(t,
+		[][2]string{{"-0.0e0", "1"}, {"0.0", "2"}, {"1.5", "3"}},
+		[][2]string{{"0.0", "10"}, {"-0.0e0", "20"}, {"1.5", "30"}, {"2.5", "40"}})
+	// Two zero keys on each side: 2×2 zero matches plus the 1.5 match.
+	expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "5")
+	// Same join with the probe side listed first (whichever side builds, both
+	// the insert hash and the lookup hash must canonicalize).
+	expectJoin(t, db, "SELECT COUNT(*) FROM prb, bld WHERE prb.k = bld.k", "5")
+	// Row-level ground truth.
+	expectJoin(t, db, "SELECT bld.tag, prb.val FROM bld, prb WHERE bld.k = prb.k",
+		"1|10\n1|20\n2|10\n2|20\n3|30")
+	// GROUP BY over the ±0 join keys: zero signs stay distinct as *group*
+	// keys (that is established engine behavior), but the join must match
+	// them; grouping on the integer tag keeps the expectation sign-free.
+	expectJoin(t, db, "SELECT bld.tag, COUNT(*) FROM bld, prb WHERE bld.k = prb.k GROUP BY bld.tag",
+		"1|2\n2|2\n3|1")
+}
+
+// TestJoinNaNKeyNeverMatches pins the build-side NaN handling: NaN compares
+// unequal to everything including itself, so a NaN build key used to insert
+// an entry no probe could ever match — and distinct NaN bit patterns could
+// alias under raw-bit hashing. NaN rows are now skipped at build time; the
+// observable contract is simply that NaN never joins. No SQL literal produces
+// NaN, so the values are planted through the catalog directly.
+func TestJoinNaNKeyNeverMatches(t *testing.T) {
+	db := joinDB(t,
+		[][2]string{{"2.0", "1"}},
+		[][2]string{{"2.0", "10"}, {"3.0", "20"}})
+	cat := db.TestCatalog()
+	for _, name := range []string{"bld", "prb"} {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.AppendRow(types.NewFloat64(math.NaN()), types.NewInt32(99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the 2.0 keys match; the NaN row on each side joins nothing.
+	expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "1")
+	expectJoin(t, db, "SELECT COUNT(*) FROM prb, bld WHERE prb.k = bld.k", "1")
+	expectJoin(t, db, "SELECT bld.tag, prb.val FROM bld, prb WHERE bld.k = prb.k", "1|10")
+}
+
+// TestJoinDegenerateShapes pins the capacity fix: the build hash table used
+// to be sized at rows/2 with no floor, so empty and single-row builds
+// produced a capacity-0 table. Every degenerate shape must work on every
+// backend, in both join orders.
+func TestJoinDegenerateShapes(t *testing.T) {
+	t.Run("empty-build", func(t *testing.T) {
+		db := joinDB(t, nil, [][2]string{{"1.0", "10"}, {"2.0", "20"}})
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "0")
+		expectJoin(t, db, "SELECT COUNT(*) FROM prb, bld WHERE prb.k = bld.k", "0")
+		expectJoin(t, db, "SELECT bld.tag, prb.val FROM bld, prb WHERE bld.k = prb.k", "")
+	})
+	t.Run("single-row-build", func(t *testing.T) {
+		db := joinDB(t, [][2]string{{"5.0", "1"}},
+			[][2]string{{"5.0", "10"}, {"5.0", "20"}, {"6.0", "30"}})
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "2")
+		expectJoin(t, db, "SELECT COUNT(*) FROM prb, bld WHERE prb.k = bld.k", "2")
+	})
+	t.Run("empty-probe", func(t *testing.T) {
+		db := joinDB(t, [][2]string{{"1.0", "1"}, {"2.0", "2"}}, nil)
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "0")
+		expectJoin(t, db, "SELECT COUNT(*) FROM prb, bld WHERE prb.k = bld.k", "0")
+	})
+	t.Run("both-empty", func(t *testing.T) {
+		db := joinDB(t, nil, nil)
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "0")
+	})
+	t.Run("duplicate-build-keys", func(t *testing.T) {
+		db := joinDB(t,
+			[][2]string{{"7.0", "1"}, {"7.0", "2"}, {"7.0", "3"}},
+			[][2]string{{"7.0", "10"}, {"7.0", "20"}})
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld, prb WHERE bld.k = prb.k", "6")
+		expectJoin(t, db, "SELECT bld.tag, prb.val FROM bld, prb WHERE bld.k = prb.k",
+			"1|10\n1|20\n2|10\n2|20\n3|10\n3|20")
+	})
+	t.Run("self-join", func(t *testing.T) {
+		db := joinDB(t, [][2]string{{"1.0", "1"}, {"2.0", "2"}, {"2.0", "3"}}, nil)
+		expectJoin(t, db, "SELECT COUNT(*) FROM bld a, bld b WHERE a.k = b.k", "5")
+	})
+	t.Run("join-feeding-tails", func(t *testing.T) {
+		db := joinDB(t,
+			[][2]string{{"1.0", "1"}, {"2.0", "2"}},
+			[][2]string{{"1.0", "10"}, {"1.0", "20"}, {"2.0", "30"}})
+		expectJoin(t, db, "SELECT bld.tag, SUM(prb.val) FROM bld, prb WHERE bld.k = prb.k GROUP BY bld.tag",
+			"1|30\n2|30")
+		for _, b := range allBackends {
+			res, err := db.Query("SELECT prb.val FROM bld, prb WHERE bld.k = prb.k ORDER BY prb.val DESC LIMIT 2",
+				wasmdb.WithBackend(b))
+			if err != nil {
+				t.Fatalf("%v: %v", b, err)
+			}
+			if got := formatSorted(t, res, true); got != "30\n20" {
+				t.Errorf("%v: ordered limited join = %q, want 30,20", b, got)
+			}
+		}
+	})
+}
+
+// TestTPCHJoinParallelByteIdentical is the tentpole acceptance check: the
+// join-bearing TPC-H queries (Q3: two joins feeding GROUP BY/ORDER BY/LIMIT,
+// Q12: join feeding GROUP BY, Q14: join feeding a keyless aggregate) must
+// produce byte-identical rows under 2- and 4-worker parallel execution, on
+// both a cold and a warm plan cache, with the build partitions merged rather
+// than a serial fallback.
+func TestTPCHJoinParallelByteIdentical(t *testing.T) {
+	for _, id := range []string{"Q3", "Q12", "Q14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			src, ok := wasmdb.TPCHQuery(id)
+			if !ok {
+				t.Fatalf("unknown query %s", id)
+			}
+			ordered := strings.Contains(src, "ORDER BY")
+			for _, workers := range []int{2, 4} {
+				db := tpchDB(t) // fresh plan cache: first run is cold
+				var want string
+				for run, label := range []string{"cold", "warm"} {
+					par, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm),
+						wasmdb.WithParallelism(workers))
+					if err != nil {
+						t.Fatalf("%d workers %s: %v", workers, label, err)
+					}
+					s := par.Stats
+					if s.SerialFallback != "" || s.PipelinesParallel == 0 {
+						t.Fatalf("%d workers %s: fallback %q, parallel %d; want parallel join",
+							workers, label, s.SerialFallback, s.PipelinesParallel)
+					}
+					if s.JoinPartitionsMerged == 0 {
+						t.Errorf("%d workers %s: no join partitions merged", workers, label)
+					}
+					got := formatSorted(t, par, ordered)
+					if run == 0 {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Errorf("%d workers: warm run differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s",
+							workers, clip(want), clip(got))
+					}
+				}
+				serial, err := db.Query(src, wasmdb.WithBackend(wasmdb.BackendWasm))
+				if err != nil {
+					t.Fatalf("serial: %v", err)
+				}
+				if got := formatSorted(t, serial, ordered); got != want {
+					t.Errorf("%d workers: parallel differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, clip(got), clip(want))
+				}
+			}
+		})
+	}
+}

@@ -9,8 +9,8 @@ import (
 )
 
 // parallelCorpus spans every pipeline shape: parallel-eligible scans,
-// keyless and grouped aggregations, and sorts, plus queries that must fall
-// back (joins, LIMIT, float SUM) and still agree with serial execution.
+// keyless and grouped aggregations, joins, and sorts, plus queries that must
+// fall back (LIMIT, float SUM) and still agree with serial execution.
 var parallelCorpus = []struct {
 	src     string
 	ordered bool
@@ -82,7 +82,7 @@ func TestParallelDifferential(t *testing.T) {
 
 // TestParallelStatsSurface checks the public stats plumbing: an eligible
 // aggregation reports its pool size and parallel pipeline, a join reports
-// the serial fallback.
+// both of its pipelines parallel and the merged build partitions.
 func TestParallelStatsSurface(t *testing.T) {
 	db := tpchDB(t)
 	res, err := db.Query("SELECT COUNT(*), MIN(l_quantity) FROM lineitem",
@@ -102,9 +102,12 @@ func TestParallelStatsSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	s = res.Stats
-	if s.Workers != 1 || s.PipelinesParallel != 0 || s.PipelinesSerial == 0 {
-		t.Errorf("join stats = workers %d, parallel %d, serial %d; want serial fallback",
-			s.Workers, s.PipelinesParallel, s.PipelinesSerial)
+	if s.Workers != 4 || s.PipelinesParallel != 2 || s.SerialFallback != "" {
+		t.Errorf("join stats = workers %d, parallel %d, serial %d, fallback %q; want both pipelines parallel",
+			s.Workers, s.PipelinesParallel, s.PipelinesSerial, s.SerialFallback)
+	}
+	if s.JoinPartitionsMerged == 0 {
+		t.Error("parallel join reported no merged build partitions")
 	}
 }
 

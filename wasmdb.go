@@ -458,6 +458,9 @@ type Stats struct {
 	// GroupsMerged counts the distinct groups the host folded at the
 	// parallel group-by barrier (0 when no group merge ran).
 	GroupsMerged int
+	// JoinPartitionsMerged counts the secondary-worker build partitions
+	// drained at parallel join barriers (0 when no join merge ran).
+	JoinPartitionsMerged int
 }
 
 // statsFromTrace derives the public Stats from the query trace — the single
@@ -472,16 +475,17 @@ func statsFromTrace(tr *obs.Trace, b Backend) Stats {
 		Turbofan: tr.Dur(obs.SpanTurbofan),
 		Execute: tr.Dur(obs.SpanRewire) + tr.Dur(obs.SpanInstantiate) +
 			tr.Dur(obs.SpanExecute),
-		MorselsLiftoff:    uint64(tr.Value(obs.CtrMorselsLiftoff)),
-		MorselsTurbofan:   uint64(tr.Value(obs.CtrMorselsTurbofan)),
-		TurbofanFailed:    int(tr.Value(obs.CtrTurbofanFailed)),
-		ModuleBytes:       int(tr.Value(obs.CtrModuleBytes)),
-		FuelUsed:          tr.Value(obs.CtrFuelUsed),
-		PeakMemBytes:      uint64(tr.Value(obs.CtrPeakMemBytes)),
-		Workers:           int(tr.Value(obs.CtrWorkers)),
-		PipelinesParallel: int(tr.Value(obs.CtrPipelinesParallel)),
-		PipelinesSerial:   int(tr.Value(obs.CtrPipelinesSerial)),
-		GroupsMerged:      int(tr.Value(obs.CtrGroupsMerged)),
+		MorselsLiftoff:       uint64(tr.Value(obs.CtrMorselsLiftoff)),
+		MorselsTurbofan:      uint64(tr.Value(obs.CtrMorselsTurbofan)),
+		TurbofanFailed:       int(tr.Value(obs.CtrTurbofanFailed)),
+		ModuleBytes:          int(tr.Value(obs.CtrModuleBytes)),
+		FuelUsed:             tr.Value(obs.CtrFuelUsed),
+		PeakMemBytes:         uint64(tr.Value(obs.CtrPeakMemBytes)),
+		Workers:              int(tr.Value(obs.CtrWorkers)),
+		PipelinesParallel:    int(tr.Value(obs.CtrPipelinesParallel)),
+		PipelinesSerial:      int(tr.Value(obs.CtrPipelinesSerial)),
+		GroupsMerged:         int(tr.Value(obs.CtrGroupsMerged)),
+		JoinPartitionsMerged: int(tr.Value(obs.CtrJoinPartitionsMerged)),
 	}
 	for _, e := range tr.Events() {
 		if e.Name == obs.EvSerialFallback {
