@@ -45,11 +45,17 @@ lint-layers:
 		echo "lint-layers: internal/server may import only the public API (wasmdb), obs, and faultpoint" >&2; \
 		exit 1; \
 	fi
-	@echo "lint-layers: ok (internal/obs imports stdlib only; plancache between core/engine and the API; server above the API)"
+	@if grep -n '"wasmdb/' internal/autopilot/*.go | grep -v '_test.go:' | grep -v 'wasmdb/internal/plan"\|wasmdb/internal/plancache"\|wasmdb/internal/obs"'; then \
+		echo "lint-layers: internal/autopilot may import only plan, plancache, and obs" >&2; \
+		exit 1; \
+	fi
+	@echo "lint-layers: ok (internal/obs imports stdlib only; plancache between core/engine and the API; server above the API; autopilot beside the planner)"
 
 # bench-smoke runs one micro-benchmark per backend at a small scale, the
-# 1/2/4-worker scaling experiment, the plan-cache cold/warm experiment, and
-# the concurrent-serving load experiment (throughput/p99/rejection-rate at
+# 1/2/4-worker scaling experiment, the plan-cache cold/warm experiment, the
+# autopilot crossover experiment (small→interpret, large→compile, and the
+# feedback-corrected warm decision — fails if auto misses best-in-class by
+# >10%), and the concurrent-serving load experiment (throughput/p99/rejection-rate at
 # 1/4/8 virtual users against a 2-slot server, plus the telemetry-overhead
 # probe, which fails the run above a 5% p50 regression), and validates that
 # the emitted BENCH_*.json parse (the bench binary re-reads and unmarshals
@@ -57,8 +63,8 @@ lint-layers:
 # dispatch path: with no trace attached the telemetry must cost only a nil
 # check, so traced-vs-untraced overhead stays ≈0% (≤5% allows timer noise).
 bench-smoke:
-	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache,serving -rows 100000 -reps 1 -sf 0.01 -json
-	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json BENCH_serving.json
+	$(GO) run ./cmd/bench -experiment smoke,scaling,plancache,serving,auto -rows 100000 -reps 1 -sf 0.01 -json
+	@rm -f BENCH_smoke.json BENCH_scaling.json BENCH_plancache.json BENCH_serving.json BENCH_auto.json
 	@$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkMorselDispatch(Untraced|Traced)$$' -benchtime 200x -count 3 \
 		| awk '/DispatchUntraced/ { if (u==0 || $$3<u) u=$$3 } \
 		       /DispatchTraced/   { if (t==0 || $$3<t) t=$$3 } \

@@ -114,6 +114,25 @@ func renderAnalyze(planText string, tr *Trace, st Stats, rows int) string {
 
 	sb.WriteString("\ntotals:\n")
 	fmt.Fprintf(&sb, "  backend            %s\n", st.Backend)
+	// The autopilot's routing decision, when the query ran with backend auto.
+	for _, ev := range tr.Events() {
+		if ev.Name != obs.EvAutopilot {
+			continue
+		}
+		var choice, reason string
+		var workers int64
+		for _, a := range ev.Args {
+			switch a.Key {
+			case "choice":
+				choice = a.Str
+			case "reason":
+				reason = a.Str
+			case "workers":
+				workers = a.Val
+			}
+		}
+		fmt.Fprintf(&sb, "  auto               %s, %d worker(s) — %s\n", choice, workers, reason)
+	}
 	fmt.Fprintf(&sb, "  rows               %d\n", rows)
 	fmt.Fprintf(&sb, "  morsels            %d liftoff / %d turbofan\n", st.MorselsLiftoff, st.MorselsTurbofan)
 	if st.ModuleBytes > 0 {

@@ -13,6 +13,7 @@
 //	bench -experiment smoke -rows 100000 -json   # health check, BENCH_smoke.json
 //	bench -experiment scaling -json              # 1/2/4-worker parallel speedup
 //	bench -experiment plancache -json            # cold vs warm plan-cache latency
+//	bench -experiment auto -json                 # autopilot crossover sweep
 package main
 
 import (
@@ -31,7 +32,7 @@ var allExperiments = []string{
 	"fig7a", "fig7b", "fig7c", "fig7d",
 	"fig8a", "fig8b", "fig9", "fig10",
 	"abl-ht", "abl-sort", "abl-rewire", "abl-tier",
-	"smoke", "scaling", "plancache", "serving",
+	"smoke", "scaling", "plancache", "serving", "auto",
 }
 
 func main() {
@@ -137,6 +138,15 @@ func main() {
 			}
 		case "serving":
 			r, err := experiments.Serving(opts)
+			if err != nil {
+				fail(err)
+			}
+			recs = r
+			if err := experiments.WriteRecords(os.Stdout, recs); err != nil {
+				fail(err)
+			}
+		case "auto":
+			r, err := experiments.Auto(opts)
 			if err != nil {
 				fail(err)
 			}

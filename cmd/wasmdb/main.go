@@ -24,8 +24,10 @@
 //
 // Meta commands:
 //
-//	\backend <name>       switch execution backend (wasm, liftoff, turbofan,
-//	                      hyper, vectorized, volcano)
+//	\backend <name>       switch execution backend (auto, wasm, liftoff,
+//	                      turbofan, hyper, vectorized, volcano); "auto" lets
+//	                      the autopilot pick interpret/compile and workers
+//	                      per query ("\set backend <name>" is an alias)
 //	\set parallelism <n>  morsel worker-pool size for the Wasm backends
 //	                      (1 = serial, 0 = GOMAXPROCS)
 //	\set plancache on|off reuse compiled modules across same-shaped queries
@@ -319,6 +321,8 @@ func (sh *shell) meta(line string) bool {
 		}
 	case "\\backend":
 		switch arg {
+		case "auto":
+			sh.backend = wasmdb.BackendAuto
 		case "wasm", "adaptive":
 			sh.backend = wasmdb.BackendWasm
 		case "liftoff":
@@ -332,11 +336,14 @@ func (sh *shell) meta(line string) bool {
 		case "volcano":
 			sh.backend = wasmdb.BackendVolcano
 		default:
-			fmt.Fprintln(sh.out, "backends: wasm, liftoff, turbofan, hyper, vectorized, volcano")
+			fmt.Fprintln(sh.out, "backends: auto, wasm, liftoff, turbofan, hyper, vectorized, volcano")
 		}
 	case "\\set":
 		key, val, _ := strings.Cut(arg, " ")
 		switch key {
+		case "backend":
+			// Alias for \backend, so "\set backend auto" reads naturally.
+			return sh.meta("\\backend " + strings.TrimSpace(val))
 		case "parallelism":
 			n, err := strconv.Atoi(strings.TrimSpace(val))
 			if err != nil || n < 0 {
@@ -360,7 +367,7 @@ func (sh *shell) meta(line string) bool {
 			}
 			fmt.Fprintf(sh.out, "plancache %s\n", strings.TrimSpace(val))
 		default:
-			fmt.Fprintln(sh.out, "settable: parallelism, plancache")
+			fmt.Fprintln(sh.out, "settable: backend, parallelism, plancache")
 		}
 	case "\\explain":
 		out, err := sh.db.Explain(arg)

@@ -1,0 +1,302 @@
+// Package autopilot decides, per query, how the engine should execute when
+// the caller selects BackendAuto: interpret (tuple-at-a-time volcano for the
+// very smallest queries, the vectorized engine above that — zero compilation
+// either way) versus compile (liftoff-only versus adaptive tier-up), and
+// the morsel worker-pool size. The paper's architecture makes adaptivity a
+// per-morsel engine concern; this package closes the remaining loop one
+// level up — whether to enter the compiling engine at all, and with how
+// much parallelism — following the empirical observation (Ma et al.,
+// arXiv:2311.04692) that compilation only pays off past a data-volume
+// threshold.
+//
+// The cost model is deliberately small: a single scalar "work" estimate in
+// row units, derived from the planner's cardinality estimates (ProfilePlan),
+// bucketed by three thresholds (Knobs). Cold decisions use estimates alone;
+// warm decisions additionally consult the execution feedback the plan cache
+// stores per fingerprint (plancache.Feedback), so a cold decision made from
+// a wrong estimate corrects itself on the next run of the same shape.
+//
+// Decisions are a pure function of (profile, feedback, knobs): no clocks,
+// no randomness, no global state. Given the same fingerprint, feedback
+// slot, and catalog statistics, the decision is always the same — the
+// property the byte-identical differential corpora rely on.
+//
+// Layering: autopilot sits beside the planner and below the public API; it
+// may import only plan, plancache, and obs (`make lint-layers` checks).
+package autopilot
+
+import (
+	"fmt"
+	"math"
+
+	"wasmdb/internal/obs"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/plancache"
+)
+
+// Choice is the backend-and-tier half of a decision.
+type Choice int
+
+// The four execution strategies auto picks between.
+const (
+	// ChoiceVectorized interprets over pre-compiled vector kernels — no
+	// compilation at all, the right call when the query finishes before
+	// even baseline compilation would pay for itself.
+	ChoiceVectorized Choice = iota
+	// ChoiceLiftoff compiles with the baseline tier only: the query is big
+	// enough that compiled code wins, but would finish before background
+	// optimization could publish anything worth the compile burn.
+	ChoiceLiftoff
+	// ChoiceAdaptive compiles baseline and tiers up in the background —
+	// the paper's default for long queries.
+	ChoiceAdaptive
+	// ChoiceVolcano interprets tuple-at-a-time. Boxed values lose to the
+	// vectorized engine as soon as there is real data volume, but the
+	// vectorized engine pays a fixed batch-machinery setup cost (~10⁵ ns)
+	// that tuple-at-a-time does not — so for the very smallest queries
+	// volcano is the fastest thing we have.
+	ChoiceVolcano
+)
+
+func (c Choice) String() string {
+	switch c {
+	case ChoiceVolcano:
+		return "volcano"
+	case ChoiceVectorized:
+		return "vectorized"
+	case ChoiceLiftoff:
+		return "liftoff"
+	case ChoiceAdaptive:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
+// Profile is the cost-relevant shape of a physical plan, extracted once per
+// decision by ProfilePlan from the planner's (sanitized, finite, ≥1)
+// cardinality estimates.
+type Profile struct {
+	// ScanRows is the total raw base-table cardinality — rows the scan
+	// pipelines touch regardless of filter selectivity. This term uses
+	// catalog row counts, not estimates, so it is exact.
+	ScanRows float64
+	// TailRows is the estimate-derived downstream work in row units: join
+	// build/probe/output, group hashing input and output, n·log₂n sort
+	// work, and final result emission.
+	TailRows float64
+	// OutRows is the root estimate — what the planner thinks the result
+	// cardinality is. Feedback corrections compare it to observed rows.
+	OutRows float64
+	// Limit is the query's effective LIMIT (bound placeholders already
+	// resolved by the caller; -1 when absent), and PreLimitRows the
+	// estimate entering the limit — together they model the scan
+	// short-circuit a limit enables.
+	Limit        int64
+	PreLimitRows float64
+	// Shape flags for the worker grant.
+	Joins     int
+	Grouped   bool
+	GroupKeys int
+	Sorted    bool
+}
+
+// ProfilePlan walks a physical plan and accumulates its cost profile.
+func ProfilePlan(root plan.Node) Profile {
+	p := Profile{Limit: -1, OutRows: root.Rows()}
+	profileNode(root, &p)
+	return p
+}
+
+func profileNode(n plan.Node, p *Profile) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		p.ScanRows += float64(x.Table.Rows())
+	case *plan.HashJoin:
+		p.Joins++
+		p.TailRows += x.Build.Rows() + x.Probe.Rows() + x.Rows()
+		profileNode(x.Build, p)
+		profileNode(x.Probe, p)
+	case *plan.Group:
+		p.Grouped = true
+		p.GroupKeys = len(x.Keys)
+		p.TailRows += x.Input.Rows() + x.Rows()
+		profileNode(x.Input, p)
+	case *plan.Sort:
+		p.Sorted = true
+		in := x.Input.Rows()
+		p.TailRows += in * math.Log2(in+1)
+		profileNode(x.Input, p)
+	case *plan.Limit:
+		p.Limit = x.N
+		p.PreLimitRows = x.Input.Rows()
+		profileNode(x.Input, p)
+	case *plan.Project:
+		p.TailRows += x.Rows() // result decode and emission
+		profileNode(x.Input, p)
+	}
+}
+
+// Knobs are the decision thresholds, in estimated row-work units. The
+// defaults place the vectorized/liftoff crossover where per-query codegen +
+// baseline compilation (~a millisecond) stops dominating, and the
+// liftoff/adaptive crossover where background optimization has enough
+// morsels left to publish into.
+type Knobs struct {
+	// Below VolcanoBelow, interpret tuple-at-a-time: the query is too small
+	// to amortize even the vectorized engine's fixed batch setup.
+	VolcanoBelow float64
+	// Below InterpretBelow (and at or above VolcanoBelow), interpret
+	// vectorized (ChoiceVectorized).
+	InterpretBelow float64
+	// Below AdaptiveAbove (and at or above InterpretBelow), compile
+	// baseline-only; at or above it, tier up adaptively.
+	AdaptiveAbove float64
+	// At or above ParallelAbove grant 2 workers, at 4× grant 4, at 16×
+	// grant 8 — capped by MaxWorkers.
+	ParallelAbove float64
+	MaxWorkers    int
+	// FeedbackClamp bounds the observed/estimated row-count ratio applied
+	// as a correction, keeping one pathological observation from swinging
+	// decisions unboundedly.
+	FeedbackClamp float64
+}
+
+// DefaultKnobs returns the tuned defaults.
+func DefaultKnobs() Knobs {
+	return Knobs{
+		VolcanoBelow:   1024,
+		InterpretBelow: 4096,
+		AdaptiveAbove:  32768,
+		ParallelAbove:  65536,
+		MaxWorkers:     8,
+		FeedbackClamp:  64,
+	}
+}
+
+// Decision is one resolved auto choice.
+type Decision struct {
+	Choice Choice
+	// Workers is the morsel worker-pool size to request (1 = serial).
+	Workers int
+	// Work is the scalar cost estimate the thresholds were applied to.
+	Work float64
+	// Corrected reports that stored feedback changed the work estimate.
+	Corrected bool
+	// Reason is a human-readable one-liner for EXPLAIN ANALYZE and traces.
+	Reason string
+}
+
+// Decide maps a plan profile (and optional stored feedback) to an execution
+// strategy. It is a pure function — see the package comment for why that
+// matters.
+func Decide(p Profile, fb *plancache.Feedback, k Knobs) Decision {
+	scan, tail := p.ScanRows, p.TailRows
+
+	// A LIMIT over a bare scan short-circuits: execution stops once the
+	// limit is hit, so the expected scan volume is the fraction of the
+	// estimated pre-limit output the limit keeps. Sorts, groups, and joins
+	// must consume their whole input first, so only the no-tail shape
+	// scales down. This term is why the decision depends on a bound LIMIT
+	// parameter — and why deciding before bind would misclassify.
+	if p.Limit >= 0 && !p.Sorted && !p.Grouped && p.Joins == 0 && p.PreLimitRows >= 1 {
+		if frac := float64(p.Limit) / p.PreLimitRows; frac < 1 {
+			scan *= frac
+			tail *= frac
+		}
+	}
+
+	// Feedback correction: scale the estimate-derived tail by the observed
+	// result cardinality relative to the estimate. Only for unaggregated
+	// plans — a grouped query's result counts groups, not processed rows,
+	// so it says nothing about the work estimate (whose scan term is exact
+	// catalog data anyway). The clamp bounds the swing; the correction is
+	// deterministic because the feedback slot is part of the decision input.
+	corrected := false
+	if fb != nil && fb.Rows > 0 && !p.Grouped && p.OutRows >= 1 {
+		ratio := float64(fb.Rows) / p.OutRows
+		if ratio > k.FeedbackClamp {
+			ratio = k.FeedbackClamp
+		}
+		if ratio < 1/k.FeedbackClamp {
+			ratio = 1 / k.FeedbackClamp
+		}
+		if ratio != 1 {
+			tail *= ratio
+			corrected = true
+		}
+	}
+
+	work := scan + tail
+	d := Decision{Work: work, Corrected: corrected, Workers: 1}
+	switch {
+	case work < k.VolcanoBelow:
+		d.Choice = ChoiceVolcano
+	case work < k.InterpretBelow:
+		d.Choice = ChoiceVectorized
+	case work < k.AdaptiveAbove:
+		d.Choice = ChoiceLiftoff
+	default:
+		d.Choice = ChoiceAdaptive
+	}
+	if d.Choice == ChoiceLiftoff || d.Choice == ChoiceAdaptive {
+		d.Workers = workersFor(work, p, fb, k)
+	}
+	suffix := ""
+	if corrected {
+		suffix = ", feedback-corrected"
+	}
+	d.Reason = fmt.Sprintf("est-work %.0f rows%s", work, suffix)
+	return d
+}
+
+// workersFor sizes the worker-pool request. Workers are granted only for
+// shapes whose parallel merge is order-deterministic — sorted output (the
+// run merge fixes the order) or keyless aggregation (one row) — so auto
+// results stay byte-identical to serial execution; and LIMIT without ORDER
+// BY never parallelizes (mirroring the executor's classifier). A feedback
+// slot recording an intrinsic serial fallback stops the request entirely:
+// the classifier would refuse it again every time.
+func workersFor(work float64, p Profile, fb *plancache.Feedback, k Knobs) int {
+	orderStable := p.Sorted || (p.Grouped && p.GroupKeys == 0)
+	if !orderStable {
+		return 1
+	}
+	if p.Limit >= 0 && !p.Sorted {
+		return 1
+	}
+	if fb != nil && fb.SerialFallback != "" && fb.FallbackIntrinsic {
+		return 1
+	}
+	w := 1
+	switch {
+	case work >= 16*k.ParallelAbove:
+		w = 8
+	case work >= 4*k.ParallelAbove:
+		w = 4
+	case work >= k.ParallelAbove:
+		w = 2
+	}
+	if w > k.MaxWorkers {
+		w = k.MaxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Record stamps the decision on the query trace (the EXPLAIN ANALYZE and
+// query-log surface) and the process-wide per-choice decision counter.
+func (d Decision) Record(tr *obs.Trace) {
+	corr := int64(0)
+	if d.Corrected {
+		corr = 1
+	}
+	tr.Event(obs.EvAutopilot,
+		obs.S("choice", d.Choice.String()),
+		obs.I("workers", int64(d.Workers)),
+		obs.I("corrected", corr),
+		obs.S("reason", d.Reason))
+	obs.Default.CounterWith(obs.MetricAutopilotDecisions,
+		obs.Label{Key: "choice", Val: d.Choice.String()}).Add(1)
+}

@@ -1,0 +1,91 @@
+package autopilot
+
+// Test-only imports below (sql, sema, catalog) are exempt from the
+// lint-layers import pin: they build real plans to profile.
+
+import (
+	"testing"
+
+	"wasmdb/internal/catalog"
+	"wasmdb/internal/plan"
+	"wasmdb/internal/sema"
+	"wasmdb/internal/sql"
+	"wasmdb/internal/types"
+)
+
+func profileFor(t *testing.T, cat *catalog.Catalog, src string) Profile {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sema.Analyze(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ProfilePlan(p)
+}
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	a, err := cat.Create("a", []catalog.ColumnDef{
+		{Name: "id", Type: types.TInt32},
+		{Name: "x", Type: types.TInt32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a.AppendRow(types.NewInt32(int32(i)), types.NewInt32(int32(i%7)))
+	}
+	b, err := cat.Create("b", []catalog.ColumnDef{
+		{Name: "aid", Type: types.TInt32},
+		{Name: "v", Type: types.TInt64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b.AppendRow(types.NewInt32(int32(i)), types.NewInt64(int64(i)))
+	}
+	return cat
+}
+
+func TestProfilePlanShapes(t *testing.T) {
+	cat := testCatalog(t)
+
+	scan := profileFor(t, cat, "SELECT x FROM a WHERE x < 3")
+	if scan.ScanRows != 1000 || scan.Grouped || scan.Sorted || scan.Joins != 0 || scan.Limit != -1 {
+		t.Errorf("scan profile: %+v", scan)
+	}
+	if scan.TailRows <= 0 {
+		t.Errorf("scan profile: no emission tail: %+v", scan)
+	}
+
+	group := profileFor(t, cat, "SELECT x, COUNT(*) AS n FROM a GROUP BY x ORDER BY n LIMIT 3")
+	if !group.Grouped || group.GroupKeys != 1 || !group.Sorted || group.Limit != 3 {
+		t.Errorf("tower profile: %+v", group)
+	}
+	if group.PreLimitRows < 1 {
+		t.Errorf("tower profile: PreLimitRows %v", group.PreLimitRows)
+	}
+
+	agg := profileFor(t, cat, "SELECT COUNT(*) FROM a")
+	if !agg.Grouped || agg.GroupKeys != 0 || agg.OutRows != 1 {
+		t.Errorf("keyless agg profile: %+v", agg)
+	}
+
+	join := profileFor(t, cat, "SELECT a.x FROM a, b WHERE a.id = b.aid")
+	if join.Joins != 1 || join.ScanRows != 1100 {
+		t.Errorf("join profile: %+v", join)
+	}
+	// Join tail covers build + probe + output on top of the raw scans.
+	if join.TailRows < 100 {
+		t.Errorf("join profile: tail %v", join.TailRows)
+	}
+}

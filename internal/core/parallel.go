@@ -82,6 +82,22 @@ const (
 	fallbackSlots = "worker-slots-exhausted"
 )
 
+// FallbackIntrinsic reports whether a serial-fallback reason (from
+// ExecStats.SerialFallback or the trace) is intrinsic to the query shape —
+// it would recur on every execution of the same fingerprint — as opposed to
+// transient pressure (scheduler slot exhaustion, a caller's fuel budget)
+// or per-call options (chunked rewiring). The autopilot stores this with
+// its execution feedback: a shape that fell back intrinsically stops being
+// granted workers on warm decisions, while a transiently starved one may
+// try again.
+func FallbackIntrinsic(reason string) bool {
+	switch reason {
+	case fallbackLimit, fallbackFloatSum, fallbackFloatKey, fallbackUnmergeable:
+		return true
+	}
+	return false
+}
+
 // classifyParallel decides whether the compiled query's pipelines can be
 // driven by a worker pool of the requested size, and if not, why. The reason
 // string is empty when parallel execution applies or when the caller never

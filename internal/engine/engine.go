@@ -100,6 +100,15 @@ type Config struct {
 	// (default turbofan.DefaultOptRounds). Large values model heavier,
 	// LLVM-grade compilation pipelines (used by the HyPer-like baseline).
 	OptRounds int
+	// TierPolicy, when non-nil under TierAdaptive, gates background
+	// optimization per compiled module: Compile consults it once with the
+	// module's function count and binary size, and a false return leaves
+	// the module on baseline code — deferred, not forbidden — until
+	// Module.EnsureOptimizing is called. This is the hook the autopilot's
+	// liftoff-only decision uses: the module keeps its adaptive identity
+	// (and plan-cache fingerprint), so a later feedback-corrected adaptive
+	// decision on the same cached module can still kick tier-up.
+	TierPolicy func(numFuncs, codeBytes int) bool
 }
 
 // Engine compiles modules. It is stateless and safe for concurrent use.
@@ -177,6 +186,16 @@ type Module struct {
 	stats     CompileStats
 	optimized chan struct{}
 	optErr    error
+
+	// Adaptive-tier bookkeeping for deferred background optimization:
+	// adaptive marks the module as tier-up capable, optStart makes the kick
+	// idempotent, optStarted lets WaitOptimized distinguish "deferred, never
+	// kicked" (return immediately) from "running" (block), and optRounds
+	// carries the engine's budget to the background compile.
+	adaptive   bool
+	optStart   sync.Once
+	optStarted atomic.Bool
+	optRounds  int
 }
 
 // Compile decodes, validates, and compiles a binary module according to the
@@ -243,12 +262,30 @@ func (e *Engine) CompileTraced(bin []byte, tr *obs.Trace) (*Module, error) {
 		hCompileLiftoff.Observe(m.stats.Liftoff.Nanoseconds())
 		sp.End(obs.I("funcs", int64(len(wmod.Funcs))))
 		if e.cfg.Tier == TierAdaptive {
-			go m.optimize(e.optRounds())
+			m.adaptive = true
+			m.optRounds = e.optRounds()
+			if e.cfg.TierPolicy == nil || e.cfg.TierPolicy(len(wmod.Funcs), len(bin)) {
+				m.EnsureOptimizing()
+			}
 		} else {
 			close(m.optimized)
 		}
 	}
 	return m, nil
+}
+
+// EnsureOptimizing starts an adaptive module's background optimization if it
+// has not started yet — the tier-up kick for modules whose compile-time
+// TierPolicy deferred it. Idempotent and safe for concurrent use; a no-op
+// for non-adaptive modules, whose tier was final at compile time.
+func (m *Module) EnsureOptimizing() {
+	if !m.adaptive {
+		return
+	}
+	m.optStart.Do(func() {
+		m.optStarted.Store(true)
+		go m.optimize(m.optRounds)
+	})
 }
 
 // optimize runs turbofan over every function in the background, publishing
@@ -301,8 +338,13 @@ func (m *Module) Optimized() bool {
 
 // WaitOptimized blocks until background optimization has finished (it
 // returns immediately for non-adaptive tiers) and reports any compile error;
-// execution continues on baseline code for functions that failed.
+// execution continues on baseline code for functions that failed. An
+// adaptive module whose TierPolicy deferred optimization and that was never
+// kicked has no background work to wait for and returns immediately.
 func (m *Module) WaitOptimized() error {
+	if m.adaptive && !m.optStarted.Load() {
+		return nil
+	}
 	<-m.optimized
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -656,3 +656,103 @@ func TestImportErrors(t *testing.T) {
 		t.Error("import signature mismatch not rejected")
 	}
 }
+
+func TestTierPolicyDefersOptimization(t *testing.T) {
+	// A TierPolicy veto keeps an adaptive module's identity (it still caches
+	// and shares as adaptive) but defers background optimization until
+	// EnsureOptimizing is called — the autopilot's liftoff-only decision.
+	build := func() []byte {
+		b := wasm.NewModuleBuilder()
+		f := b.NewFunc("work", wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+		f.LocalGet(0)
+		f.I64Const(1)
+		f.I64Add()
+		b.Export("work", wasm.ExternFunc, f.Index)
+		return b.Bytes()
+	}
+
+	var polFuncs, polBytes int
+	cfg := Config{Tier: TierAdaptive, TierPolicy: func(numFuncs, codeBytes int) bool {
+		polFuncs, polBytes = numFuncs, codeBytes
+		return false
+	}}
+	m, err := New(cfg).Compile(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polFuncs != 1 || polBytes <= 0 {
+		t.Errorf("policy saw funcs=%d bytes=%d", polFuncs, polBytes)
+	}
+	inst, err := m.Instantiate(Imports{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WaitOptimized must not hang on a vetoed module — there is nothing to
+	// wait for.
+	if err := m.WaitOptimized(); err != nil {
+		t.Fatal(err)
+	}
+	mustCall(t, inst, "work", 1)
+	if lo, tf := inst.TierCalls(); lo != 1 || tf != 0 {
+		t.Fatalf("vetoed module dispatched liftoff=%d turbofan=%d, want 1/0", lo, tf)
+	}
+	if st := m.Stats(); st.Turbofan != 0 {
+		t.Errorf("vetoed module spent turbofan compile time: %+v", st)
+	}
+
+	// The deferred kick: EnsureOptimizing starts the background compile; after
+	// WaitOptimized, calls dispatch optimized code.
+	m.EnsureOptimizing()
+	if err := m.WaitOptimized(); err != nil {
+		t.Fatal(err)
+	}
+	mustCall(t, inst, "work", 1)
+	if _, tf := inst.TierCalls(); tf != 1 {
+		t.Errorf("post-kick turbofan calls = %d, want 1", tf)
+	}
+	// Idempotent: a second kick must not restart anything.
+	m.EnsureOptimizing()
+	if err := m.WaitOptimized(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTierPolicyApproveMatchesAdaptive(t *testing.T) {
+	// A policy that approves is indistinguishable from no policy at all.
+	b := wasm.NewModuleBuilder()
+	f := b.NewFunc("work", wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	f.LocalGet(0)
+	b.Export("work", wasm.ExternFunc, f.Index)
+
+	m, err := New(Config{Tier: TierAdaptive, TierPolicy: func(int, int) bool { return true }}).Compile(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitOptimized(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate(Imports{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCall(t, inst, "work", 7)
+	if _, tf := inst.TierCalls(); tf != 1 {
+		t.Errorf("approved module turbofan calls = %d, want 1", tf)
+	}
+}
+
+// EnsureOptimizing on a non-adaptive module is a no-op (nothing to kick).
+func TestEnsureOptimizingNonAdaptive(t *testing.T) {
+	b := wasm.NewModuleBuilder()
+	f := b.NewFunc("work", wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	f.LocalGet(0)
+	b.Export("work", wasm.ExternFunc, f.Index)
+	m, err := New(Config{Tier: TierLiftoff}).Compile(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureOptimizing()
+	if st := m.Stats(); st.Turbofan != 0 {
+		t.Errorf("liftoff-tier module optimized after kick: %+v", st)
+	}
+}

@@ -34,6 +34,10 @@ type Record struct {
 	// Fallback is the serial-fallback reason reported by the executor
 	// (empty when the run parallelized as classified).
 	Fallback string `json:"fallback,omitempty"`
+	// Choice is the autopilot's routing decision for backend-auto runs
+	// ("volcano" | "vectorized" | "liftoff" | "adaptive"; empty for manual
+	// backends).
+	Choice string `json:"choice,omitempty"`
 	// Serving-experiment fields (BENCH_serving.json), one record per
 	// concurrency level of the load harness. The four rate/latency fields
 	// are deliberately not omitempty: a 0.0 rejection rate at low

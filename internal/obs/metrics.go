@@ -59,6 +59,7 @@ const (
 	MetricServerRequestLatency = "server_request_latency_ns" // {route}
 	MetricServerRequests       = "server_requests_total"     // {route,code}
 	MetricSerialFallbacks      = "serial_fallback_total"     // {reason}
+	MetricAutopilotDecisions   = "autopilot_decisions_total" // {choice}
 	MetricEngineCompileLatency = "engine_compile_latency_ns" // {tier}
 	MetricSchedSlotsTotal      = "sched_slots_total"
 	MetricServerDraining       = "server_draining"

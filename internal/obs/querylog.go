@@ -56,6 +56,10 @@ type QueryLogRecord struct {
 	// why a parallel request ran serially (empty otherwise).
 	Workers        int    `json:"workers,omitempty"`
 	SerialFallback string `json:"serial_fallback,omitempty"`
+	// Auto is the autopilot's routing decision for BackendAuto queries
+	// ("volcano" | "vectorized" | "liftoff" | "adaptive"; empty for manual
+	// backends).
+	Auto string `json:"auto,omitempty"`
 	FuelUsed       int64  `json:"fuel_used,omitempty"`
 	PeakMemBytes   int64  `json:"peak_mem_bytes,omitempty"`
 	Rows           int    `json:"rows"`
@@ -147,6 +151,12 @@ func RecordFromTrace(tr *Trace) QueryLogRecord {
 			for _, a := range e.Args {
 				if a.Key == "reason" {
 					rec.SerialFallback = a.Str
+				}
+			}
+		case EvAutopilot:
+			for _, a := range e.Args {
+				if a.Key == "choice" {
+					rec.Auto = a.Str
 				}
 			}
 		}

@@ -18,10 +18,7 @@ func Build(q *sema.Query) (Node, error) {
 		if len(q.GroupBy) == 0 {
 			est = 1
 		}
-		if est < 1 {
-			est = 1
-		}
-		root = &Group{Input: root, Keys: q.GroupBy, Aggs: q.Aggs, Having: q.Having, est: est}
+		root = &Group{Input: root, Keys: q.GroupBy, Aggs: q.Aggs, Having: q.Having, est: sanitizeRows(est)}
 	}
 	if len(q.OrderBy) > 0 {
 		root = &Sort{Input: root, Keys: q.OrderBy}
@@ -70,10 +67,7 @@ func (b *builder) joinTree() (Node, error) {
 		for range scanFilters[i] {
 			est *= 0.5 // crude selectivity guess per conjunct
 		}
-		if est < 1 {
-			est = 1
-		}
-		nodes[i] = &Scan{TableIdx: i, Table: tr.Table, Filter: scanFilters[i], est: est}
+		nodes[i] = &Scan{TableIdx: i, Table: tr.Table, Filter: scanFilters[i], est: sanitizeRows(est)}
 	}
 	if n == 1 {
 		return nodes[0], nil
@@ -186,6 +180,7 @@ func (b *builder) joinTree() (Node, error) {
 		if est > probe.Rows()*build.Rows() {
 			est = probe.Rows() * build.Rows()
 		}
+		est = sanitizeRows(est)
 		cur = &HashJoin{
 			Build:     build,
 			Probe:     probe,

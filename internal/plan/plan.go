@@ -9,11 +9,34 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"wasmdb/internal/sema"
 	"wasmdb/internal/storage"
 )
+
+// maxRowsEst caps cardinality estimates so downstream float arithmetic
+// (cost models multiplying estimates, log terms) stays finite.
+const maxRowsEst = 1e18
+
+// sanitizeRows clamps a cardinality estimate to a finite value in
+// [1, maxRowsEst]. Degenerate statistics — empty tables, long conjunct
+// chains multiplying selectivity toward zero, NaN or Inf propagated through
+// estimate arithmetic — must not escape the planner: every consumer of
+// Rows() (the autopilot cost model, hash-table pre-sizing, plan-fingerprint
+// quantization) assumes finite, ≥1 estimates. core's joinInitialCap keeps
+// its own clamp as a backstop, but the planner boundary is where the
+// invariant is owed.
+func sanitizeRows(est float64) float64 {
+	if math.IsNaN(est) || est < 1 {
+		return 1
+	}
+	if est > maxRowsEst {
+		return maxRowsEst
+	}
+	return est
+}
 
 // Node is a physical plan operator.
 type Node interface {
@@ -36,7 +59,7 @@ type Scan struct {
 }
 
 // Rows implements Node.
-func (s *Scan) Rows() float64 { return s.est }
+func (s *Scan) Rows() float64 { return sanitizeRows(s.est) }
 
 // Tables implements Node.
 func (s *Scan) Tables() map[int]bool { return map[int]bool{s.TableIdx: true} }
@@ -65,7 +88,7 @@ type HashJoin struct {
 }
 
 // Rows implements Node.
-func (j *HashJoin) Rows() float64 { return j.est }
+func (j *HashJoin) Rows() float64 { return sanitizeRows(j.est) }
 
 // Tables implements Node.
 func (j *HashJoin) Tables() map[int]bool {
@@ -110,7 +133,7 @@ type Group struct {
 }
 
 // Rows implements Node.
-func (g *Group) Rows() float64 { return g.est }
+func (g *Group) Rows() float64 { return sanitizeRows(g.est) }
 
 // Tables implements Node.
 func (g *Group) Tables() map[int]bool { return map[int]bool{} }
@@ -139,7 +162,7 @@ type Sort struct {
 }
 
 // Rows implements Node.
-func (s *Sort) Rows() float64 { return s.Input.Rows() }
+func (s *Sort) Rows() float64 { return sanitizeRows(s.Input.Rows()) }
 
 // Tables implements Node.
 func (s *Sort) Tables() map[int]bool { return s.Input.Tables() }
@@ -168,9 +191,9 @@ type Limit struct {
 func (l *Limit) Rows() float64 {
 	r := l.Input.Rows()
 	if float64(l.N) < r {
-		return float64(l.N)
+		r = float64(l.N)
 	}
-	return r
+	return sanitizeRows(r)
 }
 
 // Tables implements Node.
@@ -189,7 +212,7 @@ type Project struct {
 }
 
 // Rows implements Node.
-func (p *Project) Rows() float64 { return p.Input.Rows() }
+func (p *Project) Rows() float64 { return sanitizeRows(p.Input.Rows()) }
 
 // Tables implements Node.
 func (p *Project) Tables() map[int]bool { return p.Input.Tables() }

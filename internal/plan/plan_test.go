@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -192,4 +193,69 @@ func TestGlobalAggregateSingleGroup(t *testing.T) {
 	if len(g.Keys) != 0 || g.Rows() != 1 {
 		t.Errorf("global group: keys=%d rows=%v", len(g.Keys), g.Rows())
 	}
+}
+
+// Degenerate cardinality estimates — zero, negative, NaN, or overflowing —
+// must not escape the planner: every Rows() is clamped to a finite value in
+// [1, 1e18] at the planner boundary. core's joinInitialCap keeps its own
+// clamp as a defense-in-depth backstop (pinned in core's tests), but the
+// invariant is owed here.
+func TestRowsEstimatesSanitized(t *testing.T) {
+	nan := math.NaN()
+	leaf := &Scan{est: 100}
+	nodes := map[string]Node{
+		"scan-nan":       &Scan{est: nan},
+		"scan-zero":      &Scan{est: 0},
+		"scan-negative":  &Scan{est: -17},
+		"scan-inf":       &Scan{est: math.Inf(1)},
+		"join-nan":       &HashJoin{Build: leaf, Probe: leaf, est: nan},
+		"join-negative":  &HashJoin{Build: leaf, Probe: leaf, est: -1},
+		"group-zero":     &Group{Input: leaf, est: 0},
+		"sort-over-nan":  &Sort{Input: &Scan{est: nan}},
+		"limit-zero":     &Limit{Input: leaf, N: 0},
+		"project-od-nan": &Project{Input: &Scan{est: nan}},
+	}
+	for name, n := range nodes {
+		r := n.Rows()
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 1 || r > maxRowsEst {
+			t.Errorf("%s: Rows() = %v, want finite in [1, %g]", name, r, maxRowsEst)
+		}
+	}
+}
+
+// An empty table with a long conjunct chain drives the multiplicative
+// selectivity estimate toward zero through every operator of the tower; all
+// of them must still report >= 1.
+func TestBuiltPlanEstimatesFinite(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Create("e", []catalog.ColumnDef{
+		{Name: "a", Type: types.TInt32},
+		{Name: "b", Type: types.TInt32},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := buildPlan(t, cat,
+		"SELECT a, COUNT(*) AS n FROM e WHERE a < 1 AND b < 2 AND a < 3 AND b < 4 AND a < 5 "+
+			"GROUP BY a ORDER BY n LIMIT 10")
+	var walk func(n Node)
+	walk = func(n Node) {
+		r := n.Rows()
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 1 {
+			t.Errorf("%T: Rows() = %v, want finite >= 1", n, r)
+		}
+		switch x := n.(type) {
+		case *HashJoin:
+			walk(x.Build)
+			walk(x.Probe)
+		case *Group:
+			walk(x.Input)
+		case *Sort:
+			walk(x.Input)
+		case *Limit:
+			walk(x.Input)
+		case *Project:
+			walk(x.Input)
+		}
+	}
+	walk(p)
 }

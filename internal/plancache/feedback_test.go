@@ -1,0 +1,101 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFeedbackRecordAndMerge(t *testing.T) {
+	c := New(4, 0)
+	if _, ok := c.Feedback("fp1"); ok {
+		t.Fatal("feedback present before any record")
+	}
+	c.RecordFeedback("fp1", Feedback{Rows: 100, ExecNs: 5000, Choice: "vectorized"})
+	fb, ok := c.Feedback("fp1")
+	if !ok || fb.Runs != 1 || fb.Rows != 100 || fb.Choice != "vectorized" {
+		t.Fatalf("first record: %+v ok=%v", fb, ok)
+	}
+	// A second record replaces the observation whole and accumulates Runs.
+	c.RecordFeedback("fp1", Feedback{Rows: 250, ExecNs: 900, Choice: "liftoff", SerialFallback: "limit", FallbackIntrinsic: true})
+	fb, _ = c.Feedback("fp1")
+	if fb.Runs != 2 || fb.Rows != 250 || fb.Choice != "liftoff" || !fb.FallbackIntrinsic {
+		t.Fatalf("merged record: %+v", fb)
+	}
+	if got := c.Stats().FeedbackEntries; got != 1 {
+		t.Fatalf("FeedbackEntries = %d, want 1", got)
+	}
+}
+
+func TestFeedbackFlushedOnDDL(t *testing.T) {
+	c := New(4, 0)
+	c.RecordFeedback("fp1", Feedback{Rows: 10})
+	c.RecordFeedback("fp2", Feedback{Rows: 20})
+	c.Flush()
+	if _, ok := c.Feedback("fp1"); ok {
+		t.Error("fp1 feedback survived Flush")
+	}
+	if got := c.Stats().FeedbackEntries; got != 0 {
+		t.Errorf("FeedbackEntries after Flush = %d, want 0", got)
+	}
+	// Post-flush records start a fresh run count.
+	c.RecordFeedback("fp1", Feedback{Rows: 30})
+	if fb, _ := c.Feedback("fp1"); fb.Runs != 1 {
+		t.Errorf("post-flush Runs = %d, want 1", fb.Runs)
+	}
+}
+
+func TestFeedbackBounded(t *testing.T) {
+	c := New(2, 0) // bound = 2 entries * feedbackSlotsPerEntry slots
+	max := 2 * feedbackSlotsPerEntry
+	for i := 0; i < max+3; i++ {
+		c.RecordFeedback(fmt.Sprintf("fp%d", i), Feedback{Rows: int64(i)})
+	}
+	if got := c.Stats().FeedbackEntries; got != max {
+		t.Fatalf("FeedbackEntries = %d, want %d", got, max)
+	}
+	// Oldest slots evicted, newest retained.
+	if _, ok := c.Feedback("fp0"); ok {
+		t.Error("oldest slot fp0 survived past the bound")
+	}
+	if _, ok := c.Feedback(fmt.Sprintf("fp%d", max+2)); !ok {
+		t.Error("newest slot missing")
+	}
+
+	// Tightening the bounds trims immediately.
+	c.SetLimits(1, 0)
+	if got := c.Stats().FeedbackEntries; got != feedbackSlotsPerEntry {
+		t.Errorf("after SetLimits(1): FeedbackEntries = %d, want %d", got, feedbackSlotsPerEntry)
+	}
+}
+
+// Concurrent write-back of the same fingerprint must serialize on the cache
+// lock: the slot is replaced whole (no torn half-old half-new observation)
+// and every run is counted. Run with -race.
+func TestFeedbackConcurrentWriteback(t *testing.T) {
+	c := New(8, 0)
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Rows and ExecNs always move together; a torn slot would
+				// decouple them.
+				v := int64(g*perG + i + 1)
+				c.RecordFeedback("shared", Feedback{Rows: v, ExecNs: v * 1000, Choice: "adaptive"})
+				if fb, ok := c.Feedback("shared"); ok {
+					if fb.ExecNs != fb.Rows*1000 {
+						t.Errorf("torn feedback: rows=%d execns=%d", fb.Rows, fb.ExecNs)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	fb, ok := c.Feedback("shared")
+	if !ok || fb.Runs != goroutines*perG {
+		t.Fatalf("Runs = %d (ok=%v), want %d", fb.Runs, ok, goroutines*perG)
+	}
+}

@@ -58,6 +58,42 @@ type Entry struct {
 	Mod *engine.Module
 }
 
+// Feedback is one query shape's observed-execution record, keyed by the
+// same fingerprint as the compiled entry — the memory of the autopilot's
+// feedback loop. The cold decision runs on planner estimates alone; every
+// execution writes what actually happened back here, and the next decision
+// for the same fingerprint corrects itself against it. Feedback lives in a
+// side table rather than on the LRU entry because interpret decisions have
+// no compiled module to hang it on, and because it must survive tier-up
+// sharing: liftoff-only and adaptive decisions for one shape use a single
+// slot (and a single cached module). Like code entries, feedback is
+// invalidated wholesale on DDL Flush — the catalog statistics it was
+// observed under are gone.
+type Feedback struct {
+	// Runs counts executions recorded for this fingerprint.
+	Runs int64
+	// Rows is the last observed result cardinality.
+	Rows int64
+	// ExecNs / Morsels / MorselNs describe the last execution's cost:
+	// pipeline execution time, morsel calls driven, and mean per-morsel
+	// latency.
+	ExecNs   int64
+	Morsels  int64
+	MorselNs int64
+	// TierUpMorsel is the morsel index at which the first optimized-tier
+	// dispatch happened (-1 when the run never left baseline code).
+	TierUpMorsel int64
+	// Workers is the worker-pool size the run executed with; SerialFallback
+	// names why a parallel request ran serially (empty otherwise), and
+	// FallbackIntrinsic marks reasons that are properties of the query shape
+	// (they recur every run) rather than transient resource pressure.
+	Workers           int
+	SerialFallback    string
+	FallbackIntrinsic bool
+	// Choice is the autopilot decision the run executed under.
+	Choice string
+}
+
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
 	Hits          int64
@@ -67,6 +103,8 @@ type Stats struct {
 	// Entries and CodeBytes describe current occupancy.
 	Entries   int
 	CodeBytes int64
+	// FeedbackEntries counts occupied autopilot feedback slots.
+	FeedbackEntries int
 }
 
 // Cache is a bounded LRU of compiled queries. Safe for concurrent use.
@@ -79,8 +117,26 @@ type Cache struct {
 	bytes      int64
 	flights    map[string]*flight
 
+	// Autopilot feedback slots, FIFO-bounded independently of the code LRU
+	// (a slot is a few dozen bytes; an entry is a compiled module). Guarded
+	// by mu — the same lock that already serializes entry access, so
+	// concurrent warm hits writing back cannot race or tear.
+	feedback map[string]*list.Element
+	fbOrder  *list.List // front = newest; values are *fbSlot
+
 	hits, misses, evictions, invalidations int64
 }
+
+// fbSlot is one feedback slot in insertion order.
+type fbSlot struct {
+	fp string
+	fb Feedback
+}
+
+// feedbackSlotsPerEntry scales the feedback bound off the entry bound:
+// feedback is retained for more shapes than code is, since shapes the
+// autopilot routed to the interpreter occupy no code entry at all.
+const feedbackSlotsPerEntry = 4
 
 // flight is one in-progress compilation that concurrent identical queries
 // attach to instead of compiling again.
@@ -105,6 +161,41 @@ func New(maxEntries int, maxBytes int64) *Cache {
 		lru:        list.New(),
 		byFP:       map[string]*list.Element{},
 		flights:    map[string]*flight{},
+		feedback:   map[string]*list.Element{},
+		fbOrder:    list.New(),
+	}
+}
+
+// Feedback returns the stored execution feedback for a fingerprint.
+func (c *Cache) Feedback(fp string) (Feedback, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.feedback[fp]; ok {
+		return el.Value.(*fbSlot).fb, true
+	}
+	return Feedback{}, false
+}
+
+// RecordFeedback stores one execution's observations for a fingerprint,
+// replacing the previous observation and accumulating the run count. Safe
+// for concurrent use: warm hits of the same shape on many goroutines
+// serialize on the cache lock, so the slot is replaced whole — never torn.
+func (c *Cache) RecordFeedback(fp string, fb Feedback) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.feedback[fp]; ok {
+		slot := el.Value.(*fbSlot)
+		fb.Runs = slot.fb.Runs + 1
+		slot.fb = fb
+		return
+	}
+	fb.Runs = 1
+	el := c.fbOrder.PushFront(&fbSlot{fp: fp, fb: fb})
+	c.feedback[fp] = el
+	for c.fbOrder.Len() > c.maxEntries*feedbackSlotsPerEntry {
+		old := c.fbOrder.Back()
+		c.fbOrder.Remove(old)
+		delete(c.feedback, old.Value.(*fbSlot).fp)
 	}
 }
 
@@ -192,6 +283,10 @@ func (c *Cache) Flush() int {
 	c.lru.Init()
 	c.byFP = map[string]*list.Element{}
 	c.bytes = 0
+	// Feedback was observed under the pre-DDL catalog statistics; decisions
+	// after a schema change must start cold.
+	c.fbOrder.Init()
+	c.feedback = map[string]*list.Element{}
 	c.invalidations += int64(n)
 	c.mu.Unlock()
 	mInvalidations.Add(int64(n))
@@ -203,12 +298,13 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Entries:       c.lru.Len(),
-		CodeBytes:     c.bytes,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		Invalidations:   c.invalidations,
+		Entries:         c.lru.Len(),
+		CodeBytes:       c.bytes,
+		FeedbackEntries: c.fbOrder.Len(),
 	}
 }
 
@@ -225,5 +321,10 @@ func (c *Cache) SetLimits(maxEntries int, maxBytes int64) {
 	c.maxEntries = maxEntries
 	c.maxBytes = maxBytes
 	c.evictLocked()
+	for c.fbOrder.Len() > c.maxEntries*feedbackSlotsPerEntry {
+		old := c.fbOrder.Back()
+		c.fbOrder.Remove(old)
+		delete(c.feedback, old.Value.(*fbSlot).fp)
+	}
 	c.mu.Unlock()
 }

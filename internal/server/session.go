@@ -101,7 +101,7 @@ func (ss *session) set(key, value string) error {
 	case "backend":
 		b, ok := backendByName(value)
 		if !ok {
-			return fmt.Errorf("unknown backend %q (wasm, liftoff, turbofan, hyper, vectorized, volcano)", value)
+			return fmt.Errorf("unknown backend %q (auto, wasm, liftoff, turbofan, hyper, vectorized, volcano)", value)
 		}
 		ss.backend = b
 	case "parallelism":
@@ -163,6 +163,8 @@ func (ss *session) stmt(id string) (*wasmdb.Stmt, bool) {
 
 func backendByName(name string) (wasmdb.Backend, bool) {
 	switch name {
+	case "auto":
+		return wasmdb.BackendAuto, true
 	case "wasm", "adaptive":
 		return wasmdb.BackendWasm, true
 	case "liftoff":

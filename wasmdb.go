@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"wasmdb/internal/autopilot"
 	"wasmdb/internal/catalog"
 	"wasmdb/internal/core"
 	"wasmdb/internal/engine"
@@ -64,6 +65,12 @@ const (
 	BackendVectorized
 	// BackendVolcano is the PostgreSQL-style iterator baseline.
 	BackendVolcano
+	// BackendAuto lets the autopilot choose per query: interpret
+	// (vectorized) versus compile (liftoff-only versus adaptive tier-up),
+	// and the worker-pool size — from the planner's cardinality estimates,
+	// corrected on warm plan-cache hits by the execution feedback recorded
+	// for the query's fingerprint. See WithAutoTuning.
+	BackendAuto
 )
 
 func (b Backend) String() string {
@@ -80,6 +87,8 @@ func (b Backend) String() string {
 		return "vectorized"
 	case BackendVolcano:
 		return "volcano"
+	case BackendAuto:
+		return "auto"
 	}
 	return "unknown"
 }
@@ -289,6 +298,16 @@ func WriteTraceEvents(w io.Writer, traces ...*Trace) error {
 // WithBackend selects the execution backend (default BackendWasm).
 func WithBackend(b Backend) Option { return func(o *queryOpts) { o.backend = b } }
 
+// WithAutoTuning is WithBackend(BackendAuto): the engine picks the
+// execution strategy per query — interpretation for queries too small to
+// amortize compilation, baseline-only compilation for the mid band,
+// adaptive tier-up plus a sized worker pool for large ones. The decision is
+// deterministic given the query shape, the catalog statistics, and the
+// feedback recorded for the shape's plan-cache fingerprint; Stats.Auto and
+// EXPLAIN ANALYZE report what was chosen and why. An explicit
+// WithParallelism overrides the worker half of the decision.
+func WithAutoTuning() Option { return func(o *queryOpts) { o.backend = BackendAuto } }
+
 // WithMorselRows overrides the morsel size for the Wasm backends.
 func WithMorselRows(n int) Option { return func(o *queryOpts) { o.morselRows = n } }
 
@@ -461,6 +480,11 @@ type Stats struct {
 	// JoinPartitionsMerged counts the secondary-worker build partitions
 	// drained at parallel join barriers (0 when no join merge ran).
 	JoinPartitionsMerged int
+	// Auto is the autopilot's resolved choice for a BackendAuto query
+	// ("vectorized", "liftoff", "adaptive"; empty for manual backends), and
+	// AutoReason its one-line rationale.
+	Auto       string
+	AutoReason string
 }
 
 // statsFromTrace derives the public Stats from the query trace — the single
@@ -488,10 +512,20 @@ func statsFromTrace(tr *obs.Trace, b Backend) Stats {
 		JoinPartitionsMerged: int(tr.Value(obs.CtrJoinPartitionsMerged)),
 	}
 	for _, e := range tr.Events() {
-		if e.Name == obs.EvSerialFallback {
+		switch e.Name {
+		case obs.EvSerialFallback:
 			for _, a := range e.Args {
 				if a.Key == "reason" {
 					s.SerialFallback = a.Str
+				}
+			}
+		case obs.EvAutopilot:
+			for _, a := range e.Args {
+				switch a.Key {
+				case "choice":
+					s.Auto = a.Str
+				case "reason":
+					s.AutoReason = a.Str
 				}
 			}
 		}
@@ -715,12 +749,74 @@ func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *q
 		return nil, err
 	}
 
+	// Resolve BackendAuto into a concrete strategy. The decision runs after
+	// placeholder binding (an explicit LIMIT ? is already resolved into
+	// q.Limit and the plan's limit node — deciding earlier would repeat PR
+	// 5's unbound-LimitSlot misclassification) and is a pure function of
+	// the plan profile, the stored feedback, and the knobs, so it is
+	// deterministic per (fingerprint, feedback, catalog stats). The
+	// feedback key is the adaptive-tier fingerprint regardless of the tier
+	// chosen: liftoff-only and adaptive decisions share one slot and one
+	// cached module, so a warm hit can correct a wrong cold choice without
+	// recompiling.
+	backend := o.backend
+	var dec autopilot.Decision
+	autoKey := ""
+	if o.backend == BackendAuto {
+		autoKey = core.Fingerprint(q, p, db.cat.Version(), core.Style{}, engine.TierAdaptive, 0)
+		var fbp *plancache.Feedback
+		if fb, ok := db.pcache.Feedback(autoKey); ok {
+			fbp = &fb
+		}
+		knobs := autopilot.DefaultKnobs()
+		if n := runtime.GOMAXPROCS(0); knobs.MaxWorkers > n {
+			knobs.MaxWorkers = n
+		}
+		dec = autopilot.Decide(autopilot.ProfilePlan(p), fbp, knobs)
+		if o.parallelism > 0 {
+			// An explicit WithParallelism overrides the worker half of the
+			// decision; the backend half still applies.
+			dec.Workers = o.parallelism
+		}
+		dec.Record(tr)
+		if dec.Choice == autopilot.ChoiceVectorized || dec.Choice == autopilot.ChoiceVolcano {
+			backend = BackendVectorized
+			if dec.Choice == autopilot.ChoiceVolcano {
+				backend = BackendVolcano
+			}
+			if useCache {
+				// The fingerprint was computed on the parameterized query (a
+				// stable feedback key); the interpreter executes the literal
+				// one — re-derive it exactly as the param-region overflow
+				// path below does.
+				if q, err = sema.Analyze(stmt, db.cat); err != nil {
+					return nil, err
+				}
+				if q.LimitParam >= 0 {
+					q.Limit = args[q.LimitParam].I
+				}
+				if q.NumParams > 0 {
+					sema.SubstituteParams(q, args)
+				}
+				if p, err = plan.Build(q); err != nil {
+					return nil, err
+				}
+				params = nil
+			}
+		} else {
+			backend = BackendWasm
+			if dec.Workers > 1 {
+				o.parallelism = dec.Workers
+			}
+		}
+	}
+
 	res := &Result{}
 	for _, oc := range q.Select {
 		res.Columns = append(res.Columns, oc.Name)
 	}
 
-	switch o.backend {
+	switch backend {
 	case BackendVolcano:
 		sp = tr.Begin(obs.SpanExecute)
 		_, rows, err := volcano.Run(q, p)
@@ -740,7 +836,7 @@ func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *q
 	default:
 		style := core.Style{}
 		cfg := engine.Config{}
-		switch o.backend {
+		switch backend {
 		case BackendWasm:
 			cfg.Tier = engine.TierAdaptive
 		case BackendWasmLiftoff:
@@ -751,6 +847,15 @@ func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *q
 			cfg.Tier = engine.TierAdaptive
 			cfg.OptRounds = hyperOptRounds
 			style = core.Style{LibraryHT: true, LibrarySort: true, PredicatedSelection: true}
+		}
+		// A liftoff-only auto decision keeps the module's adaptive identity
+		// (same fingerprint, same cache entry as an adaptive decision) but
+		// vetoes its background optimization; an adaptive decision — cold or
+		// a later feedback-corrected warm hit on the same entry — kicks it
+		// via EnsureOptimizing below.
+		autoLiftoff := autoKey != "" && dec.Choice == autopilot.ChoiceLiftoff
+		if autoLiftoff {
+			cfg.TierPolicy = func(int, int) bool { return false }
 		}
 		eng := engine.New(cfg)
 		var cq *core.CompiledQuery
@@ -812,6 +917,12 @@ func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *q
 				return nil, err
 			}
 		}
+		if mod != nil && cfg.Tier == engine.TierAdaptive && !autoLiftoff {
+			// A warm hit on a module whose earlier liftoff-only compile
+			// deferred tier-up starts it now; modules already optimizing (or
+			// optimized) ignore the kick.
+			mod.EnsureOptimizing()
+		}
 		out, _, err := core.Execute(cq, q, eng, core.ExecOptions{
 			MorselRows:        o.morselRows,
 			WaitOptimized:     o.wait,
@@ -834,6 +945,35 @@ func (db *DB) runQuery(ctx context.Context, src string, args []types.Value, o *q
 	}
 	res.Stats = statsFromTrace(tr, o.backend)
 	obs.Default.Counter(obs.MetricQueries + "." + o.backend.String()).Add(1)
+	if autoKey != "" {
+		// Close the feedback loop: store what actually happened under this
+		// fingerprint, so the next decision for the shape corrects itself.
+		// The write goes through the cache's own lock — concurrent warm hits
+		// replace the slot whole, never tear it.
+		fb := plancache.Feedback{
+			Rows:           int64(len(res.rows)),
+			ExecNs:         tr.Dur(obs.SpanExecute).Nanoseconds(),
+			Morsels:        int64(res.Stats.MorselsLiftoff + res.Stats.MorselsTurbofan),
+			TierUpMorsel:   -1,
+			Workers:        res.Stats.Workers,
+			SerialFallback: res.Stats.SerialFallback,
+			Choice:         dec.Choice.String(),
+		}
+		fb.FallbackIntrinsic = core.FallbackIntrinsic(fb.SerialFallback)
+		if fb.Morsels > 0 {
+			fb.MorselNs = fb.ExecNs / fb.Morsels
+		}
+		for _, ev := range tr.Events() {
+			if ev.Name == obs.EvTierSwitch && fb.TierUpMorsel < 0 {
+				for _, a := range ev.Args {
+					if a.Key == "morsel" {
+						fb.TierUpMorsel = a.Val
+					}
+				}
+			}
+		}
+		db.pcache.RecordFeedback(autoKey, fb)
+	}
 	return res, nil
 }
 
